@@ -1,0 +1,23 @@
+"""Shared benchmark plumbing.
+
+Every bench regenerates one experiment's table (E1-E10 in DESIGN.md) and
+emits it through :func:`emit`, which both prints it (visible with
+``pytest -s`` and in pytest-benchmark's captured output) and writes it to
+``benchmarks/out/<name>.txt`` so runs can be diffed.
+"""
+
+from __future__ import annotations
+
+import os
+
+OUT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "out")
+
+
+def emit(name: str, text: str) -> str:
+    """Print an experiment artifact and persist it under benchmarks/out."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    print(f"\n{text}\n[written to {path}]")
+    return path

@@ -1,0 +1,99 @@
+"""E9 -- The price and payoff of the AD-level abstraction.
+
+Section 4.1: treating an inter-AD route as a sequence of ADs "reduces
+the amount of information exchanged between ADs ... As with any
+abstraction or hierarchical routing, some optimality may be lost.
+Nonetheless the benefits of this abstraction far outweigh its costs."
+
+This bench prices both sides with :class:`repro.adgraph.RouterExpansion`:
+ADs expand into internal router rings (more routers at higher levels),
+inter-AD links attach to border routers, and for sampled flows we compare
+the router-level optimal path cost with the best router-level realisation
+of the AD-level route.  Routing-information volume is compared at the two
+granularities.
+"""
+
+import random
+
+import pytest
+
+from _common import emit
+from repro.adgraph.expansion import RouterExpansion
+from repro.adgraph.generator import TopologyConfig, generate_internet
+from repro.analysis.stats import summarize
+from repro.analysis.tables import Table
+from repro.core.synthesis import synthesize_route
+from repro.policy.flows import FlowSpec
+from repro.policy.generators import open_policies
+
+
+def _measure_abstraction(graph, flows):
+    expansion = RouterExpansion(graph)
+    policies = open_policies(graph).policies
+    stretches = []
+    for flow in flows:
+        route = synthesize_route(graph, policies, flow)
+        if route is None:
+            continue
+        stretch = expansion.stretch(route.path)
+        if stretch is not None:
+            stretches.append(stretch)
+    info_ad, info_router = expansion.information_volume()
+    return stretches, info_ad, info_router, expansion.total_routers()
+
+
+def test_abstraction_price(benchmark):
+    table = Table(
+        "topology",
+        "routers",
+        "AD-level info",
+        "router-level info",
+        "info ratio",
+        "stretch mean",
+        "stretch p95",
+        "stretch max",
+        title="E9: AD-level abstraction -- information saved vs optimality lost",
+    )
+    all_ok = []
+    for seed in (51, 52, 53):
+        graph = generate_internet(
+            TopologyConfig(
+                num_backbones=2,
+                regionals_per_backbone=3,
+                campuses_per_parent=4,
+                lateral_prob=0.4,
+                bypass_prob=0.15,
+                seed=seed,
+            )
+        )
+        rng = random.Random(seed)
+        stubs = [a.ad_id for a in graph.stub_ads()]
+        flows = [FlowSpec(*rng.sample(stubs, 2)) for _ in range(40)]
+        stretches, info_ad, info_router, routers = _measure_abstraction(graph, flows)
+        s = summarize(stretches)
+        all_ok.append((s, info_ad, info_router))
+        table.add(
+            f"seed {seed} ({graph.num_ads} ADs)",
+            routers,
+            info_ad,
+            info_router,
+            f"{info_router / info_ad:.1f}x",
+            f"{s.mean:.3f}",
+            f"{s.p95:.3f}",
+            f"{s.maximum:.3f}",
+        )
+    emit("abstraction", table.render())
+
+    # Shape: stretch is small (a few percent mean), information saving
+    # is large -- "benefits far outweigh the costs".
+    for s, info_ad, info_router in all_ok:
+        assert s.mean < 1.5
+        assert s.minimum >= 1.0 - 1e-9
+        assert info_router > 3 * info_ad
+
+    graph = generate_internet(TopologyConfig(seed=51))
+    stubs = [a.ad_id for a in graph.stub_ads()]
+    flows = [FlowSpec(stubs[0], stubs[-1])]
+    benchmark.pedantic(
+        _measure_abstraction, args=(graph, flows), iterations=1, rounds=1
+    )

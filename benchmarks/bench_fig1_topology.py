@@ -1,0 +1,91 @@
+"""E2 -- Figure 1, regenerated.
+
+The paper's Figure 1 shows an example internet: a backbone/regional/
+campus hierarchy augmented with lateral and bypass links.  This bench
+regenerates that family of topologies across the exception-link density
+knobs and reports the composition the figure illustrates: AD counts per
+level, AD kinds (stub / multi-homed / transit / hybrid), and link kinds
+(hierarchical / lateral / bypass).
+"""
+
+import pytest
+
+from _common import emit
+from repro.adgraph.ad import ADKind, Level, LinkKind
+from repro.adgraph.generator import TopologyConfig, generate_internet
+from repro.analysis.tables import Table
+
+BASE = dict(num_backbones=2, regionals_per_backbone=3, campuses_per_parent=4)
+
+
+def _compose(lateral, bypass, multihome, seed=0):
+    cfg = TopologyConfig(
+        lateral_prob=lateral,
+        bypass_prob=bypass,
+        multihome_prob=multihome,
+        seed=seed,
+        **BASE,
+    )
+    return generate_internet(cfg)
+
+
+def test_fig1_topology_composition(benchmark):
+    table = Table(
+        "lateral/bypass/multihome",
+        "ADs",
+        "bb/reg/cam",
+        "stub",
+        "multi",
+        "transit",
+        "hybrid",
+        "hier links",
+        "lateral",
+        "bypass",
+        "connected",
+        title="Figure 1 (regenerated): internet composition vs exception-link density",
+    )
+    sweeps = [
+        (0.0, 0.0, 0.0),
+        (0.2, 0.05, 0.1),
+        (0.3, 0.1, 0.15),  # the Figure-1-like default
+        (0.5, 0.2, 0.3),
+        (0.8, 0.4, 0.5),
+    ]
+    for lateral, bypass, multihome in sweeps:
+        g = benchmark.pedantic(
+            _compose, args=(lateral, bypass, multihome), iterations=1, rounds=1
+        ) if (lateral, bypass, multihome) == sweeps[2] else _compose(
+            lateral, bypass, multihome
+        )
+        levels = g.level_counts()
+        kinds = g.kind_counts()
+        links = g.link_kind_counts()
+        table.add(
+            f"{lateral:.1f}/{bypass:.2f}/{multihome:.2f}",
+            g.num_ads,
+            f"{levels[Level.BACKBONE]}/{levels[Level.REGIONAL]}/{levels[Level.CAMPUS]}",
+            kinds[ADKind.STUB],
+            kinds[ADKind.MULTIHOMED],
+            kinds[ADKind.TRANSIT],
+            kinds[ADKind.HYBRID],
+            links[LinkKind.HIERARCHICAL],
+            links[LinkKind.LATERAL],
+            links[LinkKind.BYPASS],
+            "yes" if g.is_connected() else "NO",
+        )
+        assert g.is_connected()
+    emit("fig1_topology", table.render())
+
+
+def test_fig1_exception_links_persist(benchmark):
+    """The paper's point: lateral/bypass links persist at all densities >0
+    and the pure hierarchy is a tree."""
+    pure = _compose(0.0, 0.0, 0.0)
+    # Pure hierarchy: one hierarchical link per non-backbone AD, plus the
+    # full backbone mesh.
+    nb = BASE["num_backbones"]
+    assert pure.num_links == (pure.num_ads - nb) + nb * (nb - 1) // 2
+    augmented = benchmark(_compose, 0.3, 0.1, 0.15)
+    kinds = augmented.link_kind_counts()
+    assert kinds[LinkKind.LATERAL] >= 1
+    assert augmented.num_links > augmented.num_ads - 1

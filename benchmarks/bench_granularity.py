@@ -1,0 +1,153 @@
+"""E5 -- The cost of source-specific policy granularity.
+
+Quantifies Sections 5.2.1 and 5.3: as transit policies discriminate
+among sources,
+
+* hop-by-hop forwarding state fans out -- a transit AD needs *multiple
+  next hops per destination* (the "multiple spanning trees"), measured
+  as FIB fanout;
+* every transit AD replicates the per-flow route computation (LS-HbH),
+  while ORWG transit ADs never compute routes at all;
+* IDRP's single advertised route per destination serves ever fewer
+  sources, so availability decays;
+* the advertised policy volume (PT bytes) grows linearly with classes.
+"""
+
+from collections import defaultdict
+
+import pytest
+
+from _common import emit
+from repro.adgraph.generator import TopologyConfig, generate_internet
+from repro.analysis.tables import Table
+from repro.core.evaluation import evaluate_availability
+from repro.policy.flows import FlowSpec
+from repro.policy.generators import source_class_policies
+from repro.protocols.idrp import IDRPProtocol
+from repro.protocols.lshbh import LinkStateHopByHopProtocol
+from repro.protocols.orwg import ORWGProtocol
+
+CLASSES = [1, 2, 4, 8, 16, 32]
+
+
+@pytest.fixture(scope="module")
+def setting():
+    graph = generate_internet(
+        TopologyConfig(
+            num_backbones=2,
+            regionals_per_backbone=3,
+            campuses_per_parent=5,
+            lateral_prob=0.4,
+            bypass_prob=0.15,
+            seed=23,
+        )
+    )
+    stubs = [a.ad_id for a in graph.ads() if a.level.rank == 0]
+    # Many sources, few destinations: the per-source-tree pressure case.
+    # Destinations are spread across the hierarchy (not siblings).
+    dests = stubs[:: max(1, len(stubs) // 3)][:3]
+    sources = [s for s in stubs if s not in dests]
+    flows = [FlowSpec(s, d) for d in dests for s in sources]
+    return graph, flows, set(sources)
+
+
+def _fib_fanout(proto, flows):
+    """Distinct next hops per (transit AD, destination) under LS-HbH."""
+    fanout = defaultdict(set)
+    for flow in flows:
+        path = proto.find_route(flow)
+        if path is None:
+            continue
+        for i in range(1, len(path) - 1):
+            fanout[(path[i], flow.dst)].add(path[i + 1])
+    if not fanout:
+        return 0.0, 0
+    sizes = [len(v) for v in fanout.values()]
+    return sum(sizes) / len(sizes), max(sizes)
+
+
+def _run_granularity(graph, flows, sources, classes):
+    scen = source_class_policies(graph, classes, refusal_prob=0.3, seed=4)
+
+    hbh = LinkStateHopByHopProtocol(graph.copy(), scen.policies.copy())
+    hbh.converge()
+    mean_fan, max_fan = _fib_fanout(hbh, flows)
+    transit_comps = sum(
+        n
+        for (ad, kind), n in hbh.network.metrics.computations.items()
+        if kind == "policy_route" and ad not in sources
+    )
+
+    orwg = ORWGProtocol(graph.copy(), scen.policies.copy())
+    orwg.converge()
+    orwg_rep = evaluate_availability(
+        orwg.graph, orwg.policies, flows, orwg.find_route
+    )
+    orwg_transit = sum(
+        n
+        for (ad, kind), n in orwg.network.metrics.computations.items()
+        if kind == "synthesis" and ad not in sources
+    )
+
+    idrp = IDRPProtocol(graph.copy(), scen.policies.copy())
+    idrp.converge()
+    idrp_rep = evaluate_availability(
+        idrp.graph, idrp.policies, flows, idrp.find_route
+    )
+
+    return dict(
+        pts=scen.policies.num_terms,
+        pt_bytes=scen.policies.size_bytes(),
+        mean_fan=mean_fan,
+        max_fan=max_fan,
+        transit_comps=transit_comps,
+        orwg_transit=orwg_transit,
+        idrp_avail=idrp_rep.availability,
+        orwg_avail=orwg_rep.availability,
+    )
+
+
+def test_granularity_cost(benchmark, setting):
+    graph, flows, sources = setting
+    table = Table(
+        "classes",
+        "PTs",
+        "PT KB",
+        "FIB fanout mean",
+        "FIB fanout max",
+        "LS-HbH transit comps",
+        "ORWG transit comps",
+        "IDRP avail",
+        "ORWG avail",
+        title=(
+            f"E5: source-specific granularity ({len(flows)} flows, "
+            f"{len(sources)} sources -> 3 destinations)"
+        ),
+    )
+    results = {}
+    for classes in CLASSES:
+        r = _run_granularity(graph, flows, sources, classes)
+        results[classes] = r
+        table.add(
+            classes,
+            r["pts"],
+            f"{r['pt_bytes'] / 1024:.1f}",
+            f"{r['mean_fan']:.2f}",
+            r["max_fan"],
+            r["transit_comps"],
+            r["orwg_transit"],
+            f"{r['idrp_avail']:.2f}",
+            f"{r['orwg_avail']:.2f}",
+        )
+    emit("granularity", table.render())
+
+    # Shape assertions.
+    assert results[CLASSES[-1]]["pts"] > results[1]["pts"] * 8
+    assert results[CLASSES[-1]]["max_fan"] >= results[1]["max_fan"]
+    assert all(r["orwg_transit"] == 0 for r in results.values())
+    assert all(r["orwg_avail"] == 1.0 for r in results.values())
+    assert results[CLASSES[-1]]["idrp_avail"] <= results[1]["idrp_avail"]
+
+    benchmark.pedantic(
+        _run_granularity, args=(graph, flows, sources, 8), iterations=1, rounds=1
+    )

@@ -1,0 +1,120 @@
+"""E8 -- Mutual satisfiability of policies in a single partial ordering.
+
+Quantifies Section 5.1.1's two complaints about the ECMA approach:
+
+* "policies of different ADs may not be mutually satisfiable.  That is
+  to say, there may not be a single partial ordering that simultaneously
+  expresses the policies of all ADs" -- measured as the fraction of
+  random policy-constraint sets that admit a consistent ordering, vs the
+  number of ADs and the per-AD policy count;
+* "when policy changes, the partial ordering may need to be recomputed
+  and may require another round of negotiation" -- measured as the
+  probability that adding one more policy breaks an existing ordering.
+"""
+
+import random
+
+import pytest
+
+from _common import emit
+from repro.adgraph.partial_order import (
+    order_from_constraints,
+    try_order_from_constraints,
+)
+from repro.analysis.tables import Table
+
+TRIALS = 120
+
+
+def _random_constraints(rng, n_ads, n_constraints):
+    """Each constraint is an AD's policy preference 'I must be below X'
+    (e.g. to keep X's traffic from transiting me upward)."""
+    out = []
+    while len(out) < n_constraints:
+        a, b = rng.sample(range(n_ads), 2)
+        out.append((a, b))
+    return out
+
+
+def _satisfiable_fraction(n_ads, n_constraints, seed):
+    rng = random.Random(seed)
+    ok = 0
+    for _ in range(TRIALS):
+        constraints = _random_constraints(rng, n_ads, n_constraints)
+        if try_order_from_constraints(range(n_ads), constraints) is not None:
+            ok += 1
+    return ok / TRIALS
+
+
+def _renegotiation_probability(n_ads, n_constraints, seed):
+    """Given a satisfiable ordering, how often does ONE new policy
+    constraint conflict with it (forcing global renegotiation)?"""
+    rng = random.Random(seed)
+    broken = attempts = 0
+    while attempts < TRIALS:
+        constraints = _random_constraints(rng, n_ads, n_constraints)
+        if try_order_from_constraints(range(n_ads), constraints) is None:
+            continue
+        attempts += 1
+        extra = _random_constraints(rng, n_ads, 1)
+        combined = constraints + extra
+        if try_order_from_constraints(range(n_ads), combined) is None:
+            broken += 1
+    return broken / attempts
+
+
+def test_partial_order_satisfiability(benchmark):
+    table = Table(
+        "ADs",
+        "constraints/AD=0.5",
+        "1.0",
+        "1.5",
+        "2.0",
+        title=(
+            "E8a: fraction of random policy sets expressible in a single "
+            f"partial ordering ({TRIALS} trials each)"
+        ),
+    )
+    fractions = {}
+    for n_ads in (10, 20, 40, 80):
+        row = []
+        for density in (0.5, 1.0, 1.5, 2.0):
+            frac = _satisfiable_fraction(n_ads, int(n_ads * density), seed=n_ads)
+            fractions[(n_ads, density)] = frac
+            row.append(f"{frac:.2f}")
+        table.add(n_ads, *row)
+
+    reneg = Table(
+        "ADs",
+        "P(one new policy breaks the ordering)",
+        title="E8b: renegotiation pressure after a single policy change",
+    )
+    for n_ads in (10, 20, 40, 80):
+        p = _renegotiation_probability(n_ads, n_ads, seed=n_ads + 1)
+        reneg.add(n_ads, f"{p:.2f}")
+    emit("partial_order", table.render() + "\n\n" + reneg.render())
+
+    # Shape: satisfiability decays with constraint density; dense policy
+    # sets are rarely expressible in one ordering.
+    for n_ads in (20, 40, 80):
+        assert fractions[(n_ads, 2.0)] <= fractions[(n_ads, 0.5)]
+    assert fractions[(80, 2.0)] < 0.5
+
+    benchmark.pedantic(
+        _satisfiable_fraction, args=(40, 40, 7), iterations=1, rounds=1
+    )
+
+
+def test_ordering_construction_cost(benchmark):
+    """Cost of (re)computing the global ordering -- the ECMA authority's
+    recurring job."""
+    rng = random.Random(3)
+    n_ads = 200
+    constraints = []
+    # Build a guaranteed-acyclic constraint set (respect id order).
+    while len(constraints) < 400:
+        a, b = rng.sample(range(n_ads), 2)
+        constraints.append((min(a, b), max(a, b)))
+    order = benchmark(order_from_constraints, range(n_ads), constraints)
+    for low, high in constraints:
+        assert order.rank(low) < order.rank(high)

@@ -1,0 +1,160 @@
+"""E6 -- Route setup amortisation, header overhead, and PG state.
+
+Quantifies Section 5.4.1's data-plane mechanism: "the first packet ...
+acts as a policy route setup packet ... a handle is assigned at the time
+that the Policy Route is set up and successive data packets use that
+handle."
+
+Measured across traffic locality (Zipf skew of flow popularity):
+
+* setup latency (simulated round-trip) distribution;
+* per-packet header bytes: handle mode (amortising the setup) vs.
+  carrying the full source route in every packet;
+* PG cache state and hit behaviour: how many setups a transit AD holds,
+  and how many packets each amortises over.
+"""
+
+import pytest
+
+from _common import emit
+from repro.analysis.stats import summarize
+from repro.analysis.tables import Table
+from repro.forwarding.headers import (
+    amortized_handle_bytes,
+    source_route_header_bytes,
+)
+from repro.protocols.orwg import ORWGProtocol
+from repro.workloads import reference_scenario
+from repro.workloads.traffic import request_sequence, uniform_traffic
+
+ZIPF_SKEWS = [0.0, 0.8, 1.6]
+REQUESTS = 150
+PACKETS_PER_REQUEST = 8
+
+
+def _routable_matrix(scenario, n_flows, seed):
+    """A flow population restricted to flows with a legal route: real
+    sources stop asking for destinations they can never reach, so the
+    request stream should not be dominated by dead flows."""
+    from repro.core.synthesis import synthesize_route
+    from repro.workloads.traffic import TrafficMatrix
+
+    matrix = uniform_traffic(scenario.graph, 3 * n_flows, seed=seed)
+    routable = [
+        (flow, weight)
+        for flow, weight in matrix.entries
+        if synthesize_route(scenario.graph, scenario.policies, flow) is not None
+    ]
+    return TrafficMatrix(tuple(routable[:n_flows]))
+
+
+def _run_locality(scenario, zipf_s):
+    proto = ORWGProtocol(scenario.graph.copy(), scenario.policies.copy())
+    proto.converge()
+    matrix = _routable_matrix(scenario, 40, seed=31)
+    requests = request_sequence(matrix, REQUESTS, zipf_s=zipf_s, seed=32)
+
+    open_routes = {}
+    latencies = []
+    setups = reuses = failures = 0
+    for flow in requests:
+        attempt = open_routes.get(flow)
+        if attempt is not None and attempt.established:
+            reuses += 1
+        else:
+            attempt = proto.open_route(flow)
+            proto.network.run()
+            if attempt.established:
+                setups += 1
+                latencies.append(attempt.latency)
+                open_routes[flow] = attempt
+            else:
+                failures += 1
+                continue
+        proto.send_data(attempt, packets=PACKETS_PER_REQUEST)
+        proto.network.run()
+
+    delivered = sum(proto.delivered(a) for a in open_routes.values())
+    cache = [proto.pg_cache_size(a) for a in proto.graph.ad_ids()]
+    mean_route_len = (
+        sum(len(a.route) for a in open_routes.values()) / max(1, len(open_routes))
+    )
+    return dict(
+        proto=proto,
+        setups=setups,
+        reuses=reuses,
+        failures=failures,
+        latency=summarize(latencies) if latencies else None,
+        delivered=delivered,
+        max_cache=max(cache),
+        total_cache=sum(cache),
+        mean_route_len=mean_route_len,
+    )
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return reference_scenario(seed=29, restrictiveness=0.2)
+
+
+def test_setup_amortisation_vs_locality(benchmark, scenario):
+    table = Table(
+        "zipf s",
+        "setups",
+        "handle reuses",
+        "no-route",
+        "setup RTT p50",
+        "setup RTT p95",
+        "pkts delivered",
+        "max PG cache",
+        "total PG state",
+        title=f"E6a: setup amortisation vs traffic locality ({REQUESTS} route requests)",
+    )
+    results = {}
+    for s in ZIPF_SKEWS:
+        r = _run_locality(scenario, s)
+        results[s] = r
+        lat = r["latency"]
+        table.add(
+            f"{s:.1f}",
+            r["setups"],
+            r["reuses"],
+            r["failures"],
+            f"{lat.p50:.0f}" if lat else "-",
+            f"{lat.p95:.0f}" if lat else "-",
+            r["delivered"],
+            r["max_cache"],
+            r["total_cache"],
+        )
+
+    # Header-byte comparison at the measured mean route length.
+    route_len = max(2, round(results[0.0]["mean_route_len"]))
+    transits = max(0, route_len - 2)
+    hdr = Table(
+        "packets on route",
+        "per-packet source route",
+        "setup+handle amortised",
+        "saving",
+        title=f"E6b: header bytes per packet (route length {route_len} ADs)",
+    )
+    per_packet = source_route_header_bytes(route_len)
+    for n in (1, 2, 5, 10, 50, 200):
+        amortised = amortized_handle_bytes(route_len, transits, n)
+        hdr.add(
+            n,
+            per_packet,
+            f"{amortised:.1f}",
+            f"{(1 - amortised / per_packet) * 100:+.0f}%",
+        )
+    emit("setup_overhead", table.render() + "\n\n" + hdr.render())
+
+    # Shape: higher locality -> fewer setups, more reuse; long streams
+    # amortise below per-packet source routing.
+    assert results[ZIPF_SKEWS[-1]]["setups"] <= results[0.0]["setups"]
+    assert results[ZIPF_SKEWS[-1]]["reuses"] >= results[0.0]["reuses"]
+    assert amortized_handle_bytes(route_len, transits, 50) < per_packet
+    assert amortized_handle_bytes(route_len, transits, 1) > per_packet
+
+    benchmark.pedantic(
+        _run_locality, args=(scenario, 0.8), iterations=1, rounds=1
+    )

@@ -1,0 +1,121 @@
+"""E10 -- Route synthesis strategies: precompute vs on-demand vs hybrid.
+
+Section 6, research issue 1 (and Section 5.4.1): "Precomputation of all
+policy routes in a large internet is computationally intractable, while
+on demand computation may introduce excessive latency at setup time.
+Consequently, a combination of precomputation and on-demand computation
+should be used ... precomputation could use heuristics to prune the
+search and limit it to commonly used routes."
+
+Under a Zipf request stream we measure, per strategy: up-front work,
+table memory, request-time latency proxy (states expanded per request),
+and hit ratio -- including the hybrid's sensitivity to how many popular
+routes are precomputed.
+"""
+
+import pytest
+
+from _common import emit
+from repro.analysis.tables import Table
+from repro.core.strategies import (
+    HybridStrategy,
+    OnDemandStrategy,
+    PrecomputeStrategy,
+)
+from repro.core.synthesis import RouteSynthesizer
+from repro.policy.flows import FlowSpec
+from repro.workloads import reference_scenario
+from repro.workloads.traffic import request_sequence, uniform_traffic
+
+REQUESTS = 2000
+ZIPF_S = 1.0
+
+
+@pytest.fixture(scope="module")
+def setting():
+    scenario = reference_scenario(seed=61, restrictiveness=0.2)
+    matrix = uniform_traffic(scenario.graph, 120, seed=62, fixed_hour=12)
+    requests = request_sequence(matrix, REQUESTS, zipf_s=ZIPF_S, seed=63)
+    # The full flow universe a precompute-all strategy must cover: every
+    # ordered pair of edge (leaf-level) ADs -- the realistic lower bound
+    # on "all policy routes".
+    edges = [a.ad_id for a in scenario.graph.ads() if a.level.rank == 0]
+    universe = [FlowSpec(s, d) for s in edges for d in edges if s != d]
+    return scenario, matrix, requests, universe
+
+
+def _fresh_synth(scenario):
+    return RouteSynthesizer(scenario.graph, scenario.policies)
+
+
+def _drive(strategy, requests):
+    answered = sum(strategy.lookup(f) is not None for f in requests)
+    return answered
+
+
+def test_synthesis_strategies(benchmark, setting):
+    scenario, matrix, requests, universe = setting
+    popular = [f for f, _ in sorted(matrix.entries, key=lambda e: -e[1])]
+
+    strategies = [
+        ("precompute-all", PrecomputeStrategy(_fresh_synth(scenario), universe)),
+        ("on-demand (LRU 64)", OnDemandStrategy(_fresh_synth(scenario), 64)),
+        (
+            "hybrid (top 20 + LRU 64)",
+            HybridStrategy(_fresh_synth(scenario), popular[:20], 64),
+        ),
+        (
+            "hybrid (top 60 + LRU 64)",
+            HybridStrategy(_fresh_synth(scenario), popular[:60], 64),
+        ),
+    ]
+
+    table = Table(
+        "strategy",
+        "precompute states",
+        "table size",
+        "answered",
+        "hit ratio",
+        "mean states/request",
+        title=(
+            f"E10: synthesis strategies under a Zipf(s={ZIPF_S}) stream of "
+            f"{REQUESTS} requests (universe: {len(universe)} flows)"
+        ),
+    )
+    stats = {}
+    for name, strategy in strategies:
+        answered = _drive(strategy, requests)
+        s = strategy.stats
+        stats[name] = (s, strategy.table_size, answered)
+        table.add(
+            name,
+            s.precompute_states,
+            strategy.table_size,
+            answered,
+            f"{s.hit_ratio:.2f}",
+            f"{s.mean_request_states:.1f}",
+        )
+    emit("synthesis_strategies", table.render())
+
+    pre = stats["precompute-all"][0]
+    ond = stats["on-demand (LRU 64)"][0]
+    hyb = stats["hybrid (top 60 + LRU 64)"][0]
+    # Precompute-all: huge up-front bill, zero request-time work.
+    assert pre.precompute_states > 50 * hyb.precompute_states / 60
+    assert pre.mean_request_states == 0.0
+    # On-demand: no up-front bill, pays at request time.
+    assert ond.precompute_states == 0
+    assert ond.mean_request_states > 0
+    # Hybrid: small up-front bill, near-zero request-time work -- the
+    # paper's recommended combination.
+    assert hyb.precompute_states < pre.precompute_states
+    assert hyb.mean_request_states <= ond.mean_request_states
+    assert hyb.hit_ratio >= ond.hit_ratio
+
+    benchmark.pedantic(
+        lambda: _drive(
+            HybridStrategy(_fresh_synth(scenario), popular[:40], 64), requests
+        ),
+        iterations=1,
+        rounds=1,
+    )

@@ -1,0 +1,43 @@
+"""E1 -- Table 1, measured.
+
+Regenerates the paper's Table 1 (the eight-point design space) augmented
+with measured properties per point: convergence cost, route availability
+vs. ground truth, illegal routes, forwarding loops, source control,
+computation and state.
+
+Paper artifact: Table 1 ("Design Space for Inter-AD Routing"), plus the
+Section 5 per-point analyses it indexes.
+"""
+
+import pytest
+
+from _common import emit
+from repro.core.scorecard import build_scorecard, render_scorecard
+from repro.workloads import reference_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return reference_scenario(seed=1, num_flows=40)
+
+
+def test_table1_design_space(benchmark, scenario):
+    rows = benchmark.pedantic(
+        build_scorecard,
+        args=(scenario.graph, scenario.policies, scenario.flows),
+        iterations=1,
+        rounds=1,
+    )
+    text = render_scorecard(rows)
+    emit("table1_design_space", text)
+
+    by_label = {r.point.label: r for r in rows}
+    # The paper's conclusion must hold in the measurement.
+    orwg = by_label["LS/Src/PT"]
+    assert orwg.availability == 1.0
+    assert orwg.illegal_routes == 0
+    assert orwg.source_control
+    # Topology-expressed policy leaks illegal routes (expressiveness gap).
+    assert by_label["DV/HbH/Topo"].illegal_routes > 0
+    # Path vector is conservative: legal but starved.
+    assert by_label["DV/HbH/PT"].availability < 1.0

@@ -1,0 +1,6 @@
+"""Benchmark-suite configuration: make `_common` importable."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))

@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Tour of Table 1: run all eight design points on one internet.
+
+The paper dismisses half its design space with qualitative arguments;
+this example *measures* every cell on a common topology, policy scenario
+and traffic sample, printing the measured Table 1 next to the paper's
+verdicts.
+
+Run:  python examples/design_space_tour.py
+"""
+
+from repro.core.scorecard import build_scorecard, render_scorecard
+from repro.workloads import reference_scenario
+
+
+def main() -> None:
+    scenario = reference_scenario(seed=3)
+    print(
+        f"scenario: {scenario.graph.num_ads} ADs, "
+        f"{scenario.policies.num_terms} policy terms, "
+        f"{len(scenario.flows)} sample flows\n"
+    )
+    rows = build_scorecard(scenario.graph, scenario.policies, scenario.flows)
+    print(render_scorecard(rows))
+    print()
+    print("Paper verdicts (Section 5):")
+    for row in rows:
+        verdict = row.paper_verdict
+        tag = (
+            "RECOMMENDED"
+            if verdict.recommended
+            else ("dismissed" if verdict.dismissed else "analysed")
+        )
+        proposal = f" [{verdict.proposal}]" if verdict.proposal else ""
+        print(f"  {row.point.label:14s} ({tag}, S{verdict.section}){proposal}")
+        print(f"      {verdict.summary}")
+
+
+if __name__ == "__main__":
+    main()

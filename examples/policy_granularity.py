@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Policy granularity: who pays as policies become source-specific?
+
+Sections 5.2.1 and 5.3 argue that hop-by-hop designs do not scale as
+policies discriminate among sources: transit ADs must compute (and
+store) per-source routes, while under source routing transit ADs stay
+idle and the single advertised path-vector route serves ever fewer
+sources.  This example sweeps the number of source classes and shows all
+three effects.
+
+Run:  python examples/policy_granularity.py
+"""
+
+from repro.analysis.tables import Table
+from repro.core.evaluation import evaluate_availability, sample_flows
+from repro.policy.generators import source_class_policies
+from repro.protocols.idrp import IDRPProtocol
+from repro.protocols.lshbh import LinkStateHopByHopProtocol
+from repro.protocols.orwg import ORWGProtocol
+from repro.adgraph.generator import TopologyConfig, generate_internet
+
+
+def main() -> None:
+    graph = generate_internet(
+        TopologyConfig(
+            num_backbones=2,
+            regionals_per_backbone=3,
+            campuses_per_parent=4,
+            seed=5,
+        )
+    )
+    flows = sample_flows(graph, 40, seed=6)
+    sources = {f.src for f in flows}
+
+    table = Table(
+        "classes",
+        "PTs",
+        "LS-HbH transit comps",
+        "ORWG transit comps",
+        "IDRP avail",
+        "ORWG avail",
+        title="Cost of source-specific policy granularity",
+    )
+    for classes in (1, 2, 4, 8, 16):
+        scen = source_class_policies(graph, classes, refusal_prob=0.25, seed=3)
+
+        def transit_comps(proto, kind):
+            return sum(
+                n
+                for (ad, k), n in proto.network.metrics.computations.items()
+                if k == kind and ad not in sources
+            )
+
+        hbh = LinkStateHopByHopProtocol(graph.copy(), scen.policies.copy())
+        hbh.converge()
+        for f in flows:
+            hbh.find_route(f)
+
+        orwg = ORWGProtocol(graph.copy(), scen.policies.copy())
+        orwg.converge()
+        orwg_rep = evaluate_availability(
+            orwg.graph, orwg.policies, flows, orwg.find_route
+        )
+
+        idrp = IDRPProtocol(graph.copy(), scen.policies.copy())
+        idrp.converge()
+        idrp_rep = evaluate_availability(
+            idrp.graph, idrp.policies, flows, idrp.find_route
+        )
+
+        table.add(
+            classes,
+            scen.policies.num_terms,
+            transit_comps(hbh, "policy_route"),
+            transit_comps(orwg, "synthesis"),
+            f"{idrp_rep.availability:.2f}",
+            f"{orwg_rep.availability:.2f}",
+        )
+    print(table.render())
+    print(
+        "\nReading: transit-AD computation grows with class count under "
+        "hop-by-hop LS,\nstays zero under source routing; IDRP's single "
+        "advertised route serves fewer\nsources as granularity rises, "
+        "while ORWG keeps full availability."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,147 @@
+"""Administrative Domains and inter-AD links.
+
+The paper (Section 2.1) models the internet as a hierarchy of ADs --
+long-haul backbones at the top, then regional, metropolitan, and campus
+networks -- augmented with *lateral* links between peers and *bypass* links
+that skip levels of the hierarchy.  ADs are further classified by the
+transit role they play: *stub* (no transit), *multi-homed* (several
+connections, still no transit), *transit* (primary function is carrying
+other ADs' traffic), and *hybrid* (end-system access plus limited transit).
+
+Everything here is a plain immutable value type; mutable topology state
+(link status) lives on :class:`~repro.adgraph.graph.InterADGraph`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+#: Type alias for AD identifiers.  ADs are identified by small integers so
+#: that header sizes can be modelled (two bytes per AD id in a source route).
+ADId = int
+
+
+class Level(enum.IntEnum):
+    """Hierarchy level of an AD.
+
+    Lower numeric value means *higher* in the hierarchy.  The paper's
+    Figure 1 shows three drawn levels (backbone, regional, campus); the text
+    also names metropolitan networks, so we model four.
+    """
+
+    BACKBONE = 0
+    REGIONAL = 1
+    METRO = 2
+    CAMPUS = 3
+
+    @property
+    def rank(self) -> int:
+        """Height above the leaves: campus=0 ... backbone=3.
+
+        Used by the partial ordering: an *up* link goes to a strictly
+        higher-ranked AD.
+        """
+        return int(Level.CAMPUS) - int(self)
+
+
+class ADKind(enum.Enum):
+    """Transit role of an AD (Section 2.1)."""
+
+    STUB = "stub"
+    MULTIHOMED = "multihomed"
+    TRANSIT = "transit"
+    HYBRID = "hybrid"
+
+    @property
+    def may_transit(self) -> bool:
+        """Whether ADs of this kind ever carry third-party traffic."""
+        return self in (ADKind.TRANSIT, ADKind.HYBRID)
+
+
+class LinkKind(enum.Enum):
+    """Kind of an inter-AD link (Figure 1 legend)."""
+
+    HIERARCHICAL = "hierarchical"
+    LATERAL = "lateral"
+    BYPASS = "bypass"
+
+
+@dataclass(frozen=True)
+class AD:
+    """An Administrative Domain.
+
+    Attributes:
+        ad_id: Unique small-integer identifier.
+        name: Human-readable name (``"bb0"``, ``"reg3"``, ...).
+        level: Hierarchy level.
+        kind: Transit role.
+    """
+
+    ad_id: ADId
+    name: str
+    level: Level
+    kind: ADKind
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}(AD{self.ad_id})"
+
+
+def canonical_link_key(a: ADId, b: ADId) -> Tuple[ADId, ADId]:
+    """Return the canonical (sorted) endpoint pair identifying a link."""
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass
+class InterADLink:
+    """An undirected inter-AD connection.
+
+    Metrics are per-metric-name costs used by QOS routing (e.g. ``"delay"``,
+    ``"cost"``, ``"bandwidth"``); protocols look metrics up through
+    :meth:`metric`.  ``up`` is the administrative/operational status and is
+    toggled by failure injection.
+
+    Attributes:
+        a: One endpoint AD id (canonically the smaller).
+        b: Other endpoint AD id.
+        kind: Hierarchical, lateral, or bypass.
+        metrics: Mapping from metric name to non-negative cost.
+        up: Operational status.
+    """
+
+    a: ADId
+    b: ADId
+    kind: LinkKind
+    metrics: Dict[str, float] = field(default_factory=dict)
+    up: bool = True
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise ValueError(f"self-link at AD {self.a}")
+        if self.a > self.b:
+            self.a, self.b = self.b, self.a
+        for name, value in self.metrics.items():
+            if value < 0:
+                raise ValueError(f"negative metric {name}={value}")
+
+    @property
+    def key(self) -> Tuple[ADId, ADId]:
+        """Canonical (smaller, larger) endpoint pair."""
+        return (self.a, self.b)
+
+    def other(self, ad_id: ADId) -> ADId:
+        """Return the endpoint opposite ``ad_id``."""
+        if ad_id == self.a:
+            return self.b
+        if ad_id == self.b:
+            return self.a
+        raise ValueError(f"AD {ad_id} is not an endpoint of link {self.key}")
+
+    def metric(self, name: str, default: float = 1.0) -> float:
+        """Look up a metric, defaulting to unit cost for unknown names."""
+        return self.metrics.get(name, default)
+
+
+#: Default metric names attached by the topology generator.
+DEFAULT_METRICS = ("delay", "cost")

@@ -1,0 +1,111 @@
+"""Failure models for inter-AD links.
+
+Section 2.2 of the paper assumes intra-AD partitions are rare (ADs keep
+themselves internally connected) but that inter-AD links do fail, so the
+routing protocols "must be somewhat adaptive to changes in inter-AD
+topology".  Convergence experiments (E4) inject failures from a
+:class:`FailurePlan` built here.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.adgraph.ad import ADId, LinkKind
+from repro.adgraph.graph import InterADGraph
+
+
+@dataclass(frozen=True)
+class LinkFailure:
+    """A scheduled status change of one link.
+
+    Attributes:
+        time: Simulated time at which the change takes effect.
+        a: One endpoint.
+        b: Other endpoint.
+        up: New status (``False`` = failure, ``True`` = repair).
+    """
+
+    time: float
+    a: ADId
+    b: ADId
+    up: bool = False
+
+
+@dataclass(frozen=True)
+class FailurePlan:
+    """An ordered sequence of link status changes."""
+
+    events: Tuple[LinkFailure, ...]
+
+    def __post_init__(self) -> None:
+        times = [e.time for e in self.events]
+        if times != sorted(times):
+            raise ValueError("failure events must be time-ordered")
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def safe_failure_candidates(graph: InterADGraph) -> List[Tuple[ADId, ADId]]:
+    """Links whose individual failure leaves the internet connected.
+
+    Convergence experiments fail one link at a time and expect the
+    protocols to find alternate routes; failing a cut link would instead
+    measure partition behaviour, so candidates exclude bridges.
+    """
+    import networkx as nx
+
+    g = graph.nx_graph(live_only=True)
+    bridges = set(nx.bridges(g))
+    bridges |= {(b, a) for a, b in bridges}
+    return [ln.key for ln in graph.links(include_down=False) if ln.key not in bridges]
+
+
+def random_failure_plan(
+    graph: InterADGraph,
+    count: int = 1,
+    start_time: float = 100.0,
+    spacing: float = 500.0,
+    repair: bool = False,
+    kinds: Optional[Sequence[LinkKind]] = None,
+    seed: int = 0,
+) -> FailurePlan:
+    """Build a plan failing ``count`` random non-bridge links.
+
+    Failures are spaced ``spacing`` time units apart so each reconvergence
+    can be measured in isolation.  With ``repair=True`` every failure is
+    followed by a repair half a spacing later.
+
+    Args:
+        graph: Topology to draw links from.
+        count: Number of links to fail.
+        start_time: Time of the first failure.
+        spacing: Gap between consecutive failures.
+        repair: Whether to schedule repairs.
+        kinds: Restrict candidates to these link kinds (default: any).
+        seed: RNG seed.
+    """
+    rng = random.Random(seed)
+    candidates = safe_failure_candidates(graph)
+    if kinds is not None:
+        wanted = set(kinds)
+        candidates = [key for key in candidates if graph.link(*key).kind in wanted]
+    if len(candidates) < count:
+        raise ValueError(
+            f"only {len(candidates)} safe candidate links, need {count}"
+        )
+    chosen = rng.sample(candidates, count)
+    events: List[LinkFailure] = []
+    t = start_time
+    for a, b in chosen:
+        events.append(LinkFailure(t, a, b, up=False))
+        if repair:
+            events.append(LinkFailure(t + spacing / 2.0, a, b, up=True))
+        t += spacing
+    return FailurePlan(tuple(events))

@@ -1,0 +1,209 @@
+"""Typed inter-AD topology graph.
+
+:class:`InterADGraph` wraps a :class:`networkx.Graph` with AD/link value
+types and the small query surface the protocols need: neighbours, live
+links, link lookup, status changes, and deterministic iteration order.
+
+Protocols treat the graph as ground truth for *physical* connectivity; what
+each protocol node actually *knows* about the topology is up to the
+protocol (DV nodes only ever see their neighbours, LS nodes flood).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.adgraph.ad import (
+    AD,
+    ADId,
+    ADKind,
+    InterADLink,
+    Level,
+    LinkKind,
+    canonical_link_key,
+)
+
+
+class InterADGraph:
+    """The inter-AD topology: ADs as nodes, inter-AD links as edges.
+
+    The graph is undirected.  Iteration orders (``ads()``, ``links()``,
+    ``neighbors()``) are deterministic: sorted by AD id / link key, so that
+    simulations are reproducible run to run.
+    """
+
+    def __init__(self) -> None:
+        self._g = nx.Graph()
+        self._ads: Dict[ADId, AD] = {}
+        self._links: Dict[Tuple[ADId, ADId], InterADLink] = {}
+
+    # ------------------------------------------------------------------ ADs
+
+    def add_ad(self, ad: AD) -> AD:
+        """Register an AD.  Raises ``ValueError`` on duplicate id."""
+        if ad.ad_id in self._ads:
+            raise ValueError(f"duplicate AD id {ad.ad_id}")
+        self._ads[ad.ad_id] = ad
+        self._g.add_node(ad.ad_id)
+        return ad
+
+    def ad(self, ad_id: ADId) -> AD:
+        """Look up an AD by id."""
+        return self._ads[ad_id]
+
+    def has_ad(self, ad_id: ADId) -> bool:
+        return ad_id in self._ads
+
+    def ads(self) -> List[AD]:
+        """All ADs, sorted by id."""
+        return [self._ads[i] for i in sorted(self._ads)]
+
+    def ad_ids(self) -> List[ADId]:
+        """All AD ids, sorted."""
+        return sorted(self._ads)
+
+    def ads_by_level(self, level: Level) -> List[AD]:
+        return [a for a in self.ads() if a.level == level]
+
+    def ads_by_kind(self, kind: ADKind) -> List[AD]:
+        return [a for a in self.ads() if a.kind == kind]
+
+    def transit_ads(self) -> List[AD]:
+        """ADs whose kind permits carrying third-party traffic."""
+        return [a for a in self.ads() if a.kind.may_transit]
+
+    def stub_ads(self) -> List[AD]:
+        """ADs that never carry transit traffic (stub + multi-homed)."""
+        return [a for a in self.ads() if not a.kind.may_transit]
+
+    @property
+    def num_ads(self) -> int:
+        return len(self._ads)
+
+    # ---------------------------------------------------------------- links
+
+    def add_link(self, link: InterADLink) -> InterADLink:
+        """Register a link.  Both endpoints must already exist."""
+        for end in (link.a, link.b):
+            if end not in self._ads:
+                raise ValueError(f"link endpoint AD {end} not in graph")
+        if link.key in self._links:
+            raise ValueError(f"duplicate link {link.key}")
+        self._links[link.key] = link
+        self._g.add_edge(link.a, link.b)
+        return link
+
+    def connect(
+        self,
+        a: ADId,
+        b: ADId,
+        kind: LinkKind = LinkKind.HIERARCHICAL,
+        metrics: Optional[Dict[str, float]] = None,
+    ) -> InterADLink:
+        """Convenience: build and add a link in one call."""
+        return self.add_link(InterADLink(a, b, kind, dict(metrics or {})))
+
+    def link(self, a: ADId, b: ADId) -> InterADLink:
+        """Look up the link between two ADs (order-insensitive)."""
+        return self._links[canonical_link_key(a, b)]
+
+    def has_link(self, a: ADId, b: ADId) -> bool:
+        return canonical_link_key(a, b) in self._links
+
+    def links(self, include_down: bool = True) -> List[InterADLink]:
+        """All links in canonical key order; optionally only live ones."""
+        out = [self._links[k] for k in sorted(self._links)]
+        if not include_down:
+            out = [ln for ln in out if ln.up]
+        return out
+
+    def links_of(self, ad_id: ADId, include_down: bool = False) -> List[InterADLink]:
+        """Links incident to ``ad_id`` (live only by default), sorted."""
+        out = []
+        for nbr in sorted(self._g.neighbors(ad_id)):
+            ln = self.link(ad_id, nbr)
+            if ln.up or include_down:
+                out.append(ln)
+        return out
+
+    def neighbors(self, ad_id: ADId, include_down: bool = False) -> List[ADId]:
+        """Neighbouring AD ids over live links (sorted)."""
+        return [ln.other(ad_id) for ln in self.links_of(ad_id, include_down)]
+
+    def degree(self, ad_id: ADId) -> int:
+        """Number of live incident links."""
+        return len(self.links_of(ad_id))
+
+    @property
+    def num_links(self) -> int:
+        return len(self._links)
+
+    def set_link_status(self, a: ADId, b: ADId, up: bool) -> InterADLink:
+        """Mark a link up or down; returns the link."""
+        ln = self.link(a, b)
+        ln.up = up
+        return ln
+
+    # ------------------------------------------------------------- analysis
+
+    def nx_graph(self, live_only: bool = True) -> nx.Graph:
+        """Export a plain networkx graph (optionally live links only).
+
+        Edge attributes carry the link's metrics and kind so that standard
+        networkx algorithms can be applied directly.
+        """
+        g = nx.Graph()
+        g.add_nodes_from(self.ad_ids())
+        for ln in self.links():
+            if live_only and not ln.up:
+                continue
+            g.add_edge(ln.a, ln.b, kind=ln.kind, **ln.metrics)
+        return g
+
+    def is_connected(self, live_only: bool = True) -> bool:
+        """Whether the (live) topology is a single connected component."""
+        g = self.nx_graph(live_only=live_only)
+        if g.number_of_nodes() == 0:
+            return True
+        return nx.is_connected(g)
+
+    def link_kind_counts(self) -> Dict[LinkKind, int]:
+        """Histogram of link kinds (all links, up or down)."""
+        counts = {kind: 0 for kind in LinkKind}
+        for ln in self.links():
+            counts[ln.kind] += 1
+        return counts
+
+    def level_counts(self) -> Dict[Level, int]:
+        """Histogram of AD levels."""
+        counts = {level: 0 for level in Level}
+        for ad in self.ads():
+            counts[ad.level] += 1
+        return counts
+
+    def kind_counts(self) -> Dict[ADKind, int]:
+        """Histogram of AD kinds."""
+        counts = {kind: 0 for kind in ADKind}
+        for ad in self.ads():
+            counts[ad.kind] += 1
+        return counts
+
+    def copy(self) -> "InterADGraph":
+        """Deep-enough copy: shares AD value objects, copies link state."""
+        out = InterADGraph()
+        for ad in self.ads():
+            out.add_ad(ad)
+        for ln in self.links():
+            out.add_link(InterADLink(ln.a, ln.b, ln.kind, dict(ln.metrics), ln.up))
+        return out
+
+    def __contains__(self, ad_id: object) -> bool:
+        return ad_id in self._ads
+
+    def __iter__(self) -> Iterator[ADId]:
+        return iter(self.ad_ids())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"InterADGraph(ads={self.num_ads}, links={self.num_links})"

@@ -1,0 +1,216 @@
+"""Partial ordering of ADs and the ECMA up/down rule.
+
+The ECMA/NIST proposal (paper Section 5.1.1) avoids loops and
+count-to-infinity in a cyclic inter-AD topology by imposing a *partial
+ordering* on all ADs.  Every inter-AD link is labelled *up* or *down*
+according to the relative position of its endpoints in the ordering, and
+the forwarding rule is: **once a packet traverses a down link it cannot
+traverse another up link**.
+
+Two constructions are provided:
+
+* :meth:`PartialOrder.from_hierarchy` — the natural ordering for a
+  Figure-1 topology: rank by hierarchy level (backbone highest).
+* :func:`order_from_constraints` — build an ordering from explicit
+  pairwise constraints (as the ECMA central authority must); raises
+  :class:`OrderConflictError` when the constraints are not mutually
+  satisfiable in a single ordering, which is exactly the failure mode the
+  paper warns about (experiment E8).
+
+For link labelling the ordering is refined to a *total* order (ties broken
+by AD id) so that every link is strictly up or strictly down; the
+refinement preserves all strict relations of the partial order.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.adgraph.ad import ADId
+from repro.adgraph.graph import InterADGraph
+
+
+class Direction(enum.Enum):
+    """Direction of a link traversal relative to the ordering."""
+
+    UP = "up"
+    DOWN = "down"
+
+
+class OrderConflictError(ValueError):
+    """The given ordering constraints contain a cycle.
+
+    Attributes:
+        cycle: A list of AD ids forming the conflicting cycle (each must be
+            strictly below the next, and the last strictly below the first).
+    """
+
+    def __init__(self, cycle: Sequence[ADId]) -> None:
+        self.cycle = list(cycle)
+        super().__init__(f"ordering constraints conflict on cycle {self.cycle}")
+
+
+class PartialOrder:
+    """A rank assignment over ADs with a deterministic total refinement.
+
+    ``rank[a] > rank[b]`` means *a is above b* (closer to the backbone).
+    Equal ranks are incomparable in the partial order; the total refinement
+    breaks ties by AD id (larger id = infinitesimally lower), which keeps
+    labelling deterministic and every link strictly oriented.
+    """
+
+    def __init__(self, ranks: Mapping[ADId, int]) -> None:
+        self._ranks: Dict[ADId, int] = dict(ranks)
+
+    @classmethod
+    def from_hierarchy(cls, graph: InterADGraph) -> "PartialOrder":
+        """Rank ADs by hierarchy level: campus=0 ... backbone=3."""
+        return cls({ad.ad_id: ad.level.rank for ad in graph.ads()})
+
+    def rank(self, ad_id: ADId) -> int:
+        """Partial-order rank of an AD."""
+        return self._ranks[ad_id]
+
+    def ads(self) -> List[ADId]:
+        return sorted(self._ranks)
+
+    def _total_key(self, ad_id: ADId) -> Tuple[int, int]:
+        """Total-order sort key: primary rank, ties broken by -ad_id."""
+        return (self._ranks[ad_id], -ad_id)
+
+    def above(self, a: ADId, b: ADId) -> bool:
+        """Whether ``a`` is strictly above ``b`` in the *total refinement*."""
+        return self._total_key(a) > self._total_key(b)
+
+    def comparable(self, a: ADId, b: ADId) -> bool:
+        """Whether ``a`` and ``b`` are comparable in the *partial* order."""
+        return self._ranks[a] != self._ranks[b]
+
+    def direction(self, from_ad: ADId, to_ad: ADId) -> Direction:
+        """Label the traversal ``from_ad -> to_ad`` as up or down.
+
+        Uses the total refinement, so every traversal is strictly oriented.
+        """
+        if from_ad == to_ad:
+            raise ValueError("traversal endpoints must differ")
+        return Direction.UP if self.above(to_ad, from_ad) else Direction.DOWN
+
+    def path_is_valid(self, path: Sequence[ADId]) -> bool:
+        """Check the up/down rule over a whole AD path.
+
+        Valid iff no up traversal follows a down traversal ("once a packet
+        traverses a down link, it cannot traverse another up link").
+        """
+        gone_down = False
+        for frm, to in zip(path, path[1:]):
+            d = self.direction(frm, to)
+            if d is Direction.DOWN:
+                gone_down = True
+            elif gone_down:
+                return False
+        return True
+
+    def max_valid_path_len(self) -> int:
+        """Upper bound on the hop count of any valid path.
+
+        A valid path climbs through strictly increasing total-order keys
+        and then descends through strictly decreasing ones, so it visits at
+        most ``2 * (#ADs)`` nodes; with distinct keys the tight bound is
+        ``len(ads)`` per phase.  This bound is what lets ECMA cap its
+        metric and avoid count-to-infinity.
+        """
+        n = len(self._ranks)
+        return max(1, 2 * n)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PartialOrder) and self._ranks == other._ranks
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PartialOrder({len(self._ranks)} ADs)"
+
+
+def order_from_constraints(
+    ads: Iterable[ADId],
+    constraints: Iterable[Tuple[ADId, ADId]],
+) -> PartialOrder:
+    """Build a partial order satisfying ``lower < upper`` constraints.
+
+    Each constraint ``(lower, upper)`` demands ``rank[lower] < rank[upper]``.
+    Ranks are assigned by longest-path layering over the constraint DAG, so
+    unconstrained ADs share rank 0 and every constraint holds strictly.
+
+    Raises:
+        OrderConflictError: if the constraints contain a cycle (no single
+            partial ordering can accommodate them — the ECMA negotiation
+            failure of Section 5.1.1).
+    """
+    ad_list = sorted(set(ads))
+    ad_set = set(ad_list)
+    succs: Dict[ADId, List[ADId]] = {a: [] for a in ad_list}
+    indeg: Dict[ADId, int] = {a: 0 for a in ad_list}
+    edges = set()
+    for lower, upper in constraints:
+        if lower not in ad_set or upper not in ad_set:
+            raise ValueError(f"constraint ({lower}, {upper}) names unknown AD")
+        if lower == upper:
+            raise OrderConflictError([lower])
+        if (lower, upper) in edges:
+            continue
+        edges.add((lower, upper))
+        succs[lower].append(upper)
+        indeg[upper] += 1
+
+    # Kahn's algorithm with longest-path layering.
+    ranks: Dict[ADId, int] = {a: 0 for a in ad_list}
+    queue = sorted(a for a in ad_list if indeg[a] == 0)
+    done = 0
+    while queue:
+        node = queue.pop(0)
+        done += 1
+        for nxt in sorted(succs[node]):
+            ranks[nxt] = max(ranks[nxt], ranks[node] + 1)
+            indeg[nxt] -= 1
+            if indeg[nxt] == 0:
+                queue.append(nxt)
+        queue.sort()
+    if done != len(ad_list):
+        raise OrderConflictError(_find_cycle(succs, indeg))
+    return PartialOrder(ranks)
+
+
+def try_order_from_constraints(
+    ads: Iterable[ADId],
+    constraints: Iterable[Tuple[ADId, ADId]],
+) -> Optional[PartialOrder]:
+    """Like :func:`order_from_constraints` but returns ``None`` on conflict."""
+    try:
+        return order_from_constraints(ads, constraints)
+    except OrderConflictError:
+        return None
+
+
+def _find_cycle(
+    succs: Mapping[ADId, List[ADId]], indeg: Mapping[ADId, int]
+) -> List[ADId]:
+    """Extract one cycle from the residual (non-topologically-sorted) graph."""
+    remaining = {a for a, d in indeg.items() if d > 0}
+    # Peel off nodes that merely feed a cycle without being on one (no
+    # successor inside the residual); what's left is a union of cycles
+    # plus cross-edges, so a forward walk must revisit a node.
+    changed = True
+    while changed:
+        changed = False
+        for node in sorted(remaining):
+            if not any(n in remaining for n in succs[node]):
+                remaining.discard(node)
+                changed = True
+    start = min(remaining)
+    seen: Dict[ADId, int] = {}
+    walk: List[ADId] = []
+    node = start
+    while node not in seen:
+        seen[node] = len(walk)
+        walk.append(node)
+        node = min(n for n in succs[node] if n in remaining)
+    return walk[seen[node]:]

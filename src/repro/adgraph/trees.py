@@ -1,0 +1,51 @@
+"""Spanning-tree computation over the inter-AD topology.
+
+Used in two places:
+
+* the EGP baseline, whose protocol *requires* a cycle-free topology
+  (Section 3) and therefore runs on this tree;
+* the tree-scoped flooding strategy of the link-state protocols -- the
+  Section 6 "database distribution" knob that trades robustness for
+  distribution overhead (ablation A2).
+
+The tree prefers hierarchical links (Kruskal with hierarchical links
+first), matching the shape the 1990 internet actually ran on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+from repro.adgraph.ad import ADId, LinkKind
+from repro.adgraph.graph import InterADGraph
+
+LinkKey = Tuple[ADId, ADId]
+
+
+def spanning_tree_links(graph: InterADGraph) -> FrozenSet[LinkKey]:
+    """Canonical link keys of a hierarchical-first spanning tree.
+
+    Kruskal over live links ordered hierarchical-first with deterministic
+    tie-breaking, so every node computing this over the same topology
+    gets the same tree.  On a disconnected graph, returns a spanning
+    forest.
+    """
+    parent: Dict[ADId, ADId] = {a: a for a in graph.ad_ids()}
+
+    def find(x: ADId) -> ADId:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    kept = set()
+    ordered = sorted(
+        graph.links(include_down=False),
+        key=lambda ln: (ln.kind is not LinkKind.HIERARCHICAL, ln.key),
+    )
+    for link in ordered:
+        ra, rb = find(link.a), find(link.b)
+        if ra != rb:
+            parent[ra] = rb
+            kept.add(link.key)
+    return frozenset(kept)

@@ -1,0 +1,6 @@
+"""Reporting helpers: ASCII tables and summary statistics."""
+
+from repro.analysis.stats import Summary, summarize
+from repro.analysis.tables import Table
+
+__all__ = ["Summary", "Table", "summarize"]

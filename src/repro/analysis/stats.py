@@ -1,0 +1,61 @@
+"""Summary statistics for experiment series."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    n: int
+    mean: float
+    stdev: float
+    minimum: float
+    p50: float
+    p95: float
+    maximum: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.n} mean={self.mean:.3g} sd={self.stdev:.3g} "
+            f"min={self.minimum:.3g} p50={self.p50:.3g} "
+            f"p95={self.p95:.3g} max={self.maximum:.3g}"
+        )
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of pre-sorted values, q in [0, 1]."""
+    if not sorted_values:
+        raise ValueError("empty sample")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0,1], got {q}")
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    pos = q * (len(sorted_values) - 1)
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    frac = pos - lo
+    return float(sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac)
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Summarise a non-empty sample."""
+    data: List[float] = sorted(float(v) for v in values)
+    if not data:
+        raise ValueError("cannot summarise an empty sample")
+    n = len(data)
+    mean = sum(data) / n
+    var = sum((v - mean) ** 2 for v in data) / n if n > 1 else 0.0
+    return Summary(
+        n=n,
+        mean=mean,
+        stdev=math.sqrt(var),
+        minimum=data[0],
+        p50=percentile(data, 0.5),
+        p95=percentile(data, 0.95),
+        maximum=data[-1],
+    )

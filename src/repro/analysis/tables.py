@@ -1,0 +1,51 @@
+"""Minimal ASCII table rendering for experiment output.
+
+Every benchmark prints its table/figure rows through this, so the
+regenerated "paper" artifacts have a uniform look and are easy to diff
+between runs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+class Table:
+    """A fixed-column ASCII table."""
+
+    def __init__(self, *columns: str, title: str = "") -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.columns = [str(c) for c in columns]
+        self.title = title
+        self.rows: List[List[str]] = []
+
+    def add(self, *values: object) -> None:
+        """Add a row; values are str()-ed.  Must match the column count."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append([str(v) for v in values])
+
+    def render(self) -> str:
+        """Render the table with a header rule and column alignment."""
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt(cells: Sequence[str]) -> str:
+            return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt(self.columns))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(fmt(row))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()

@@ -1,0 +1,334 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Small, scriptable entry points over the library:
+
+* ``topology``  — generate a Figure-1 internet and describe it;
+* ``scorecard`` — run all eight design points and print measured Table 1;
+* ``route``     — converge ORWG on a scenario and resolve one flow;
+* ``audit``     — connectivity audit of a policy scenario;
+* ``impact``    — what-if analysis of an AD withdrawing transit;
+* ``experiments`` — list the paper experiments and their bench modules.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.adgraph.ad import ADKind, Level, LinkKind
+from repro.adgraph.generator import TopologyConfig, generate_internet, scaled_config
+from repro.analysis.tables import Table
+from repro.policy.qos import QOS
+
+
+def _build_scenario(args: argparse.Namespace):
+    from repro.workloads import reference_scenario
+
+    return reference_scenario(
+        seed=args.seed, restrictiveness=args.restrictiveness
+    )
+
+
+def cmd_topology(args: argparse.Namespace) -> int:
+    if args.target:
+        config = scaled_config(args.target, seed=args.seed)
+    else:
+        config = TopologyConfig(
+            num_backbones=args.backbones,
+            regionals_per_backbone=args.regionals,
+            campuses_per_parent=args.campuses,
+            seed=args.seed,
+        )
+    graph = generate_internet(config)
+    levels = graph.level_counts()
+    kinds = graph.kind_counts()
+    links = graph.link_kind_counts()
+    table = Table("property", "value", title=f"Generated internet (seed {args.seed})")
+    table.add("ADs", graph.num_ads)
+    table.add("links", graph.num_links)
+    table.add("backbone/regional/metro/campus",
+              "/".join(str(levels[l]) for l in Level))
+    table.add("stub/multihomed/transit/hybrid",
+              "/".join(str(kinds[k]) for k in ADKind))
+    table.add("hierarchical/lateral/bypass",
+              "/".join(str(links[k]) for k in LinkKind))
+    table.add("connected", "yes" if graph.is_connected() else "NO")
+    print(table.render())
+    return 0
+
+
+def cmd_scorecard(args: argparse.Namespace) -> int:
+    from repro.core.scorecard import build_scorecard, render_scorecard
+
+    scenario = _build_scenario(args)
+    rows = build_scorecard(
+        scenario.graph, scenario.policies, scenario.flows[: args.flows]
+    )
+    print(render_scorecard(rows))
+    return 0
+
+
+def cmd_route(args: argparse.Namespace) -> int:
+    from repro.policy.flows import FlowSpec
+    from repro.protocols.orwg import ORWGProtocol
+
+    scenario = _build_scenario(args)
+    graph = scenario.graph
+    for endpoint in (args.src, args.dst):
+        if endpoint not in graph:
+            print(f"error: AD {endpoint} not in topology "
+                  f"(ids 0..{graph.num_ads - 1})", file=sys.stderr)
+            return 2
+    protocol = ORWGProtocol(graph, scenario.policies)
+    protocol.converge()
+    flow = FlowSpec(args.src, args.dst, qos=QOS(args.qos), hour=args.hour)
+    routes = protocol.k_routes(flow, k=args.k)
+    if not routes:
+        print(f"no legal route for {flow}")
+        return 1
+    table = Table("#", "route", "hops", "cost", "charges",
+                  title=f"Policy routes for {flow}")
+    for i, route in enumerate(routes):
+        table.add(i + 1, "->".join(map(str, route.path)), route.hops,
+                  f"{route.cost:.1f}", f"{route.charges:.1f}")
+    print(table.render())
+    return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    from repro.mgmt.audit import connectivity_audit
+
+    scenario = _build_scenario(args)
+    audit = connectivity_audit(
+        scenario.graph, scenario.policies, scenario.flows
+    )
+    print(audit.summary())
+    if args.verbose:
+        for finding in audit.findings:
+            print(f"  {finding}")
+    return 0
+
+
+def cmd_impact(args: argparse.Namespace) -> int:
+    from repro.mgmt.impact import PolicyImpactAnalyzer
+
+    scenario = _build_scenario(args)
+    if args.owner not in scenario.graph:
+        print(f"error: AD {args.owner} not in topology", file=sys.stderr)
+        return 2
+    analyzer = PolicyImpactAnalyzer(
+        scenario.graph, scenario.policies, flows=scenario.flows
+    )
+    if args.rank:
+        table = Table("AD", "flows stranded by withdrawal",
+                      title="Most critical transit ADs")
+        for ad_id, damage in analyzer.rank_critical_transits(top=args.rank):
+            table.add(ad_id, damage)
+        print(table.render())
+        return 0
+    print(analyzer.assess_withdrawal(args.owner).summary())
+    return 0
+
+
+def cmd_converge(args: argparse.Namespace) -> int:
+    from repro.adgraph.failures import random_failure_plan
+    from repro.protocols.dv import DistanceVectorProtocol
+    from repro.protocols.ecma import ECMAProtocol
+    from repro.protocols.idrp import IDRPProtocol
+    from repro.protocols.orwg import ORWGProtocol
+    from repro.simul.runner import run_with_failures
+
+    scenario = _build_scenario(args)
+    contenders = [
+        ("naive-dv", DistanceVectorProtocol),
+        ("ecma", ECMAProtocol),
+        ("idrp", IDRPProtocol),
+        ("orwg", ORWGProtocol),
+    ]
+    table = Table(
+        "protocol",
+        "initial msgs",
+        "initial KB",
+        "events",
+        "mean msgs/event",
+        title=f"Convergence on {scenario.graph.num_ads} ADs "
+        f"({args.failures} failure/repair events)",
+    )
+    plan = None
+    if args.failures:
+        plan = random_failure_plan(
+            scenario.graph, count=args.failures, repair=True, seed=args.seed
+        )
+    for name, cls in contenders:
+        proto = cls(scenario.graph.copy(), scenario.policies.copy())
+        if plan is None:
+            result = proto.converge()
+            table.add(name, result.messages, f"{result.bytes / 1024:.0f}", 0, "-")
+            continue
+        initial, episodes = run_with_failures(proto.build(), plan)
+        msgs = [e.result.messages for e in episodes]
+        table.add(
+            name,
+            initial.messages,
+            f"{initial.bytes / 1024:.0f}",
+            len(episodes),
+            f"{sum(msgs) / len(msgs):.0f}",
+        )
+    print(table.render())
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Run every experiment bench and collate the tables into one report."""
+    import os
+    import subprocess
+
+    repo_root = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    bench_dir = os.path.join(repo_root, "benchmarks")
+    out_dir = os.path.join(bench_dir, "out")
+    if not os.path.isdir(bench_dir):
+        print("error: benchmarks/ not found (installed without the repo?)",
+              file=sys.stderr)
+        return 2
+    if not args.skip_run:
+        print("running the full experiment suite (several minutes)...")
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", bench_dir, "--benchmark-only", "-q"],
+            cwd=repo_root,
+        )
+        if proc.returncode != 0:
+            print("error: experiment suite failed", file=sys.stderr)
+            return proc.returncode
+    if not os.path.isdir(out_dir):
+        print("error: no benchmarks/out/ artifacts found", file=sys.stderr)
+        return 2
+    sections = []
+    for name in sorted(os.listdir(out_dir)):
+        if name.endswith(".txt"):
+            with open(os.path.join(out_dir, name)) as fh:
+                sections.append(fh.read().rstrip())
+    report = (
+        "REPRODUCTION REPORT — Breslau & Estrin, SIGCOMM 1990\n"
+        "(see EXPERIMENTS.md for the paper-claim vs measured discussion)\n\n"
+        + "\n\n".join(sections)
+        + "\n"
+    )
+    with open(args.output, "w") as fh:
+        fh.write(report)
+    print(f"report written to {args.output} "
+          f"({len(sections)} experiment tables)")
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    experiments = [
+        ("E1", "Table 1 measured across all 8 design points",
+         "bench_table1_design_space.py"),
+        ("E2", "Figure 1 topology composition", "bench_fig1_topology.py"),
+        ("E3", "Route availability vs policy restrictiveness",
+         "bench_availability.py"),
+        ("E4", "Reconvergence after failures (count-to-infinity)",
+         "bench_convergence.py"),
+        ("E5", "Source-specific policy granularity costs",
+         "bench_granularity.py"),
+        ("E6", "Route setup amortisation and header overhead",
+         "bench_setup_overhead.py"),
+        ("E7", "Scaling with internet size", "bench_scaling.py"),
+        ("E8", "Partial-ordering satisfiability (ECMA)",
+         "bench_partial_order.py"),
+        ("E9", "AD-level abstraction: stretch vs information",
+         "bench_abstraction.py"),
+        ("E10", "Synthesis strategies: precompute/on-demand/hybrid",
+         "bench_synthesis_strategies.py"),
+        ("A1-A4", "Ablations: fast path, flooding scope, PG caches, "
+         "multi-route IDRP", "bench_ablations.py"),
+    ]
+    table = Table("id", "what", "bench", title="Paper experiments (see EXPERIMENTS.md)")
+    for row in experiments:
+        table.add(*row)
+    print(table.render())
+    print("\nrun all:  pytest benchmarks/ --benchmark-only")
+    return 0
+
+
+def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0, help="scenario seed")
+    parser.add_argument(
+        "--restrictiveness",
+        type=float,
+        default=0.3,
+        help="policy restrictiveness in [0,1]",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Inter-AD policy routing design-space simulator "
+        "(Breslau & Estrin, SIGCOMM 1990)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("topology", help="generate and describe an internet")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--backbones", type=int, default=2)
+    p.add_argument("--regionals", type=int, default=3)
+    p.add_argument("--campuses", type=int, default=3)
+    p.add_argument("--target", type=int, default=0,
+                   help="approximate AD count (overrides shape flags)")
+    p.set_defaults(fn=cmd_topology)
+
+    p = sub.add_parser("scorecard", help="measured Table 1")
+    _add_scenario_args(p)
+    p.add_argument("--flows", type=int, default=40)
+    p.set_defaults(fn=cmd_scorecard)
+
+    p = sub.add_parser("route", help="resolve one flow under ORWG")
+    _add_scenario_args(p)
+    p.add_argument("--src", type=int, required=True)
+    p.add_argument("--dst", type=int, required=True)
+    p.add_argument("--qos", choices=[q.value for q in QOS], default="default")
+    p.add_argument("--hour", type=int, default=12)
+    p.add_argument("-k", type=int, default=3, help="alternatives to list")
+    p.set_defaults(fn=cmd_route)
+
+    p = sub.add_parser("audit", help="connectivity audit")
+    _add_scenario_args(p)
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(fn=cmd_audit)
+
+    p = sub.add_parser("impact", help="what-if: AD withdraws transit")
+    _add_scenario_args(p)
+    p.add_argument("--owner", type=int, default=0)
+    p.add_argument("--rank", type=int, default=0,
+                   help="instead rank the N most critical transit ADs")
+    p.set_defaults(fn=cmd_impact)
+
+    p = sub.add_parser("report", help="run all experiments, collate a report")
+    p.add_argument("--output", default="REPORT.txt")
+    p.add_argument("--skip-run", action="store_true",
+                   help="collate existing benchmarks/out artifacts only")
+    p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("converge", help="compare convergence costs")
+    _add_scenario_args(p)
+    p.add_argument("--failures", type=int, default=0,
+                   help="failure/repair events to inject")
+    p.set_defaults(fn=cmd_converge)
+
+    p = sub.add_parser("experiments", help="list paper experiments")
+    p.set_defaults(fn=cmd_experiments)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

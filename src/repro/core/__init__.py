@@ -1,0 +1,64 @@
+"""The paper's primary contribution, made executable.
+
+* :mod:`~repro.core.design_space` — Table 1: the eight-point design space
+  (algorithm x decision location x policy expression) and the registry
+  mapping each point to a protocol implementation.
+* :mod:`~repro.core.routes` — the policy route value type.
+* :mod:`~repro.core.synthesis` — policy route synthesis: constrained
+  search over the (AD, previous-hop) state graph, with exact fallback.
+* :mod:`~repro.core.strategies` — precomputed / on-demand / hybrid
+  synthesis strategies (Section 6, research issue 1).
+* :mod:`~repro.core.evaluation` — ground-truth legality and route
+  availability metrics.
+* :mod:`~repro.core.scorecard` — the measured Table 1.
+"""
+
+from repro.core.design_space import (
+    Algorithm,
+    DecisionLocation,
+    DesignPoint,
+    PolicyExpression,
+    enumerate_design_space,
+)
+from repro.core.evaluation import (
+    AvailabilityReport,
+    evaluate_availability,
+    legal_route_exists,
+    sample_flows,
+)
+from repro.core.hierarchical import (
+    HierarchicalStats,
+    HierarchicalSynthesizer,
+    partition_by_region,
+)
+from repro.core.routes import Route
+from repro.core.strategies import (
+    HybridStrategy,
+    OnDemandStrategy,
+    PrecomputeStrategy,
+    StrategyStats,
+)
+from repro.core.synthesis import RouteSynthesizer, SynthesisStats, synthesize_route
+
+__all__ = [
+    "Algorithm",
+    "AvailabilityReport",
+    "DecisionLocation",
+    "DesignPoint",
+    "HierarchicalStats",
+    "HierarchicalSynthesizer",
+    "HybridStrategy",
+    "OnDemandStrategy",
+    "PolicyExpression",
+    "PrecomputeStrategy",
+    "Route",
+    "RouteSynthesizer",
+    "StrategyStats",
+    "SynthesisStats",
+    "enumerate_design_space",
+    "evaluate_availability",
+    "legal_route_exists",
+    "partition_by_region",
+    "sample_flows",
+    "synthesize_route",
+]

@@ -1,0 +1,208 @@
+"""Table 1: the eight-point design space for inter-AD routing.
+
+The paper organises all inter-AD routing proposals along three binary
+axes (Section 4):
+
+* **Algorithm** — distance vector vs. link state (Section 4.3);
+* **Decision location** — hop-by-hop vs. source routing (Section 4.4);
+* **Policy expression** — embedded in the topology vs. explicit Policy
+  Terms in routing exchanges (Section 4.2).
+
+Section 5 walks four of the eight points in a specific order (each step
+changes one axis) and dismisses the remaining four with brief arguments
+(Section 5.5).  :func:`enumerate_design_space` reproduces that ordering;
+:data:`PAPER_VERDICTS` records the paper's judgement per point, which the
+measured scorecard (E1) is compared against.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+class Algorithm(enum.Enum):
+    """Routing information algorithm (Section 4.3)."""
+
+    DISTANCE_VECTOR = "distance-vector"
+    LINK_STATE = "link-state"
+
+    @property
+    def short(self) -> str:
+        return "DV" if self is Algorithm.DISTANCE_VECTOR else "LS"
+
+
+class DecisionLocation(enum.Enum):
+    """Where the routing decision is made (Section 4.4)."""
+
+    HOP_BY_HOP = "hop-by-hop"
+    SOURCE = "source"
+
+    @property
+    def short(self) -> str:
+        return "HbH" if self is DecisionLocation.HOP_BY_HOP else "Src"
+
+
+class PolicyExpression(enum.Enum):
+    """How policy enters the routing architecture (Section 4.2)."""
+
+    TOPOLOGY = "topology"
+    TERMS = "policy-terms"
+
+    @property
+    def short(self) -> str:
+        return "Topo" if self is PolicyExpression.TOPOLOGY else "PT"
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One cell of Table 1."""
+
+    algorithm: Algorithm
+    location: DecisionLocation
+    expression: PolicyExpression
+
+    @property
+    def label(self) -> str:
+        """Compact label, e.g. ``"DV/HbH/Topo"``."""
+        return f"{self.algorithm.short}/{self.location.short}/{self.expression.short}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.label
+
+
+# The four points Section 5 discusses in depth, in its walk order.
+DV_HBH_TOPOLOGY = DesignPoint(
+    Algorithm.DISTANCE_VECTOR, DecisionLocation.HOP_BY_HOP, PolicyExpression.TOPOLOGY
+)
+DV_HBH_TERMS = DesignPoint(
+    Algorithm.DISTANCE_VECTOR, DecisionLocation.HOP_BY_HOP, PolicyExpression.TERMS
+)
+LS_HBH_TERMS = DesignPoint(
+    Algorithm.LINK_STATE, DecisionLocation.HOP_BY_HOP, PolicyExpression.TERMS
+)
+LS_SRC_TERMS = DesignPoint(
+    Algorithm.LINK_STATE, DecisionLocation.SOURCE, PolicyExpression.TERMS
+)
+# The four points Section 5.5 dismisses.
+LS_HBH_TOPOLOGY = DesignPoint(
+    Algorithm.LINK_STATE, DecisionLocation.HOP_BY_HOP, PolicyExpression.TOPOLOGY
+)
+LS_SRC_TOPOLOGY = DesignPoint(
+    Algorithm.LINK_STATE, DecisionLocation.SOURCE, PolicyExpression.TOPOLOGY
+)
+DV_SRC_TOPOLOGY = DesignPoint(
+    Algorithm.DISTANCE_VECTOR, DecisionLocation.SOURCE, PolicyExpression.TOPOLOGY
+)
+DV_SRC_TERMS = DesignPoint(
+    Algorithm.DISTANCE_VECTOR, DecisionLocation.SOURCE, PolicyExpression.TERMS
+)
+
+
+def enumerate_design_space() -> List[DesignPoint]:
+    """All eight points, Section 5's four first (in its walk order)."""
+    return [
+        DV_HBH_TOPOLOGY,
+        DV_HBH_TERMS,
+        LS_HBH_TERMS,
+        LS_SRC_TERMS,
+        LS_HBH_TOPOLOGY,
+        LS_SRC_TOPOLOGY,
+        DV_SRC_TOPOLOGY,
+        DV_SRC_TERMS,
+    ]
+
+
+@dataclass(frozen=True)
+class PaperVerdict:
+    """The paper's qualitative judgement of a design point."""
+
+    section: str
+    proposal: Optional[str]
+    summary: str
+    recommended: bool = False
+    dismissed: bool = False
+
+
+PAPER_VERDICTS: Dict[DesignPoint, PaperVerdict] = {
+    DV_HBH_TOPOLOGY: PaperVerdict(
+        section="5.1",
+        proposal="ECMA (NIST); BGP v1",
+        summary=(
+            "Partial ordering prevents loops and count-to-infinity, but "
+            "expressible policies are limited, a central authority must "
+            "maintain the ordering, and sources are constrained by "
+            "downstream choices"
+        ),
+    ),
+    DV_HBH_TERMS: PaperVerdict(
+        section="5.2",
+        proposal="IDRP; BGP v2",
+        summary=(
+            "Full AD-path suppresses loops and PTs widen expressible "
+            "policy, but one advertised route per destination/class "
+            "starves sources, and fine-grained policy replicates tables"
+        ),
+    ),
+    LS_HBH_TERMS: PaperVerdict(
+        section="5.3",
+        proposal="(suggested in Perlman 1981)",
+        summary=(
+            "Sources can discover any valid route, but every transit AD "
+            "must replicate the per-source computation and all must agree "
+            "to avoid loops"
+        ),
+    ),
+    LS_SRC_TERMS: PaperVerdict(
+        section="5.4",
+        proposal="ORWG / Clark policy routing (IDPR)",
+        summary=(
+            "Source controls the whole route, loop freedom by inspection, "
+            "multiple routes per destination without table replication; "
+            "route synthesis cost is the open challenge"
+        ),
+        recommended=True,
+    ),
+    LS_HBH_TOPOLOGY: PaperVerdict(
+        section="5.5.1",
+        proposal=None,
+        summary=(
+            "Flooding plus topology-constrained policy offers no advantage "
+            "over the schemes above"
+        ),
+        dismissed=True,
+    ),
+    LS_SRC_TOPOLOGY: PaperVerdict(
+        section="5.5.1",
+        proposal=None,
+        summary=(
+            "Flooding plus topology-constrained policy offers no advantage "
+            "over the schemes above"
+        ),
+        dismissed=True,
+    ),
+    DV_SRC_TOPOLOGY: PaperVerdict(
+        section="5.5.2",
+        proposal=None,
+        summary=(
+            "Source routing without link state cannot give the source "
+            "control of the route computation itself"
+        ),
+        dismissed=True,
+    ),
+    DV_SRC_TERMS: PaperVerdict(
+        section="5.5.2",
+        proposal="(imaginable BGP-with-source-routes)",
+        summary=(
+            "AD-path information could seed source routes, but without "
+            "complete link-state information source control is partial"
+        ),
+        dismissed=True,
+    ),
+}
+
+
+def verdict_for(point: DesignPoint) -> PaperVerdict:
+    """The paper's judgement for a design point."""
+    return PAPER_VERDICTS[point]

@@ -1,0 +1,204 @@
+"""Ground-truth legality and route-availability evaluation.
+
+The paper's sharpest quantitative claim (Sections 5.1-5.4) is about
+*route availability*: hop-by-hop architectures can leave a source with no
+route "when in fact a legal route exists", while the link-state
+source-routing architecture "allows an AD to discover a valid route if
+one in fact exists".  This module provides the ground truth those claims
+are measured against (experiment E3):
+
+* :func:`legal_route_exists` — exact existence of a legal loop-free route
+  (walk relaxation first, exact path search as tie-breaker);
+* :func:`evaluate_availability` — run any protocol's route finder over a
+  flow sample and compare with ground truth, also verifying that every
+  route the protocol *does* return is actually legal.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.adgraph.ad import ADId
+from repro.adgraph.graph import InterADGraph
+from repro.core.routes import Route
+from repro.core.synthesis import constrained_dijkstra, synthesize_route
+from repro.policy.database import PolicyDatabase
+from repro.policy.flows import FlowSpec
+from repro.policy.legality import is_legal_path
+from repro.policy.qos import QOS
+from repro.policy.uci import UCI
+
+#: Expansion budget for the exact existence search.
+DEFAULT_EXISTENCE_BUDGET = 500_000
+
+RouteFinder = Callable[[FlowSpec], Optional[Union[Route, Sequence[ADId]]]]
+
+
+def _exists_simple_path(
+    graph: InterADGraph,
+    policies: PolicyDatabase,
+    flow: FlowSpec,
+    budget: int,
+) -> Optional[bool]:
+    """Exact DFS for any legal simple path; ``None`` if budget exhausted."""
+    src, dst = flow.src, flow.dst
+    stack: List[Tuple[ADId, ...]] = [(src,)]
+    expanded = 0
+    while stack:
+        if expanded >= budget:
+            return None
+        path = stack.pop()
+        expanded += 1
+        u = path[-1]
+        p = path[-2] if len(path) > 1 else None
+        for link in graph.links_of(u):
+            v = link.other(u)
+            if v in path:
+                continue
+            if u != src and not policies.transit_permits(u, flow, p, v):
+                continue
+            if v == dst:
+                return True
+            stack.append(path + (v,))
+    return False
+
+
+def legal_route_exists(
+    graph: InterADGraph,
+    policies: PolicyDatabase,
+    flow: FlowSpec,
+    budget: int = DEFAULT_EXISTENCE_BUDGET,
+) -> Optional[bool]:
+    """Whether any legal loop-free route exists for ``flow``.
+
+    Decision procedure: the cheap walk relaxation first (no legal walk
+    implies no legal path; a loop-free optimal walk *is* a legal path),
+    exact search only in the ambiguous remainder.  Returns ``None`` only
+    when the exact search exceeds its budget (reported, never guessed).
+    """
+    if flow.src == flow.dst:
+        return True
+    walk = constrained_dijkstra(graph, policies, flow)
+    if walk is None:
+        return False
+    if len(set(walk)) == len(walk):
+        return True
+    return _exists_simple_path(graph, policies, flow, budget)
+
+
+def sample_flows(
+    graph: InterADGraph,
+    n: int,
+    seed: int = 0,
+    qos_choices: Sequence[QOS] = (QOS.DEFAULT,),
+    uci_choices: Sequence[UCI] = (UCI.DEFAULT,),
+    endpoints: str = "stub",
+) -> List[FlowSpec]:
+    """Sample ``n`` distinct-endpoint flows.
+
+    ``endpoints`` selects the candidate pool: ``"stub"`` (traffic
+    originates and terminates at stub/multi-homed/hybrid edge ADs, the
+    realistic case) or ``"all"``.
+    """
+    if endpoints == "stub":
+        pool = [a.ad_id for a in graph.ads() if a.level.rank == 0]
+        if len(pool) < 2:
+            pool = graph.ad_ids()
+    elif endpoints == "all":
+        pool = graph.ad_ids()
+    else:
+        raise ValueError(f"unknown endpoint pool {endpoints!r}")
+    rng = random.Random(seed)
+    flows = []
+    for _ in range(n):
+        src, dst = rng.sample(pool, 2)
+        flows.append(
+            FlowSpec(
+                src=src,
+                dst=dst,
+                qos=rng.choice(list(qos_choices)),
+                uci=rng.choice(list(uci_choices)),
+                hour=rng.randrange(24),
+            )
+        )
+    return flows
+
+
+@dataclass
+class AvailabilityReport:
+    """Outcome of evaluating a route finder against ground truth.
+
+    Attributes:
+        n_flows: Flows evaluated.
+        n_existing: Flows for which a legal route exists (ground truth).
+        n_found: Flows for which the finder returned a route.
+        n_found_legal: Found routes that are actually legal.
+        n_illegal: Found routes that violate some policy (protocol bug or
+            architectural unsoundness -- e.g. stale hop-by-hop state).
+        n_undecided: Flows whose ground truth exceeded the search budget.
+        stretches: Per-flow cost ratio found/optimal, where both known.
+    """
+
+    n_flows: int = 0
+    n_existing: int = 0
+    n_found: int = 0
+    n_found_legal: int = 0
+    n_illegal: int = 0
+    n_undecided: int = 0
+    stretches: List[float] = field(default_factory=list)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of existing legal routes the finder discovered."""
+        if self.n_existing == 0:
+            return 1.0
+        return self.n_found_legal / self.n_existing
+
+    @property
+    def mean_stretch(self) -> float:
+        """Mean cost inflation over the optimal legal route."""
+        if not self.stretches:
+            return 1.0
+        return sum(self.stretches) / len(self.stretches)
+
+
+def evaluate_availability(
+    graph: InterADGraph,
+    policies: PolicyDatabase,
+    flows: Sequence[FlowSpec],
+    finder: RouteFinder,
+    budget: int = DEFAULT_EXISTENCE_BUDGET,
+) -> AvailabilityReport:
+    """Measure a route finder's availability and stretch vs ground truth."""
+    report = AvailabilityReport(n_flows=len(flows))
+    for flow in flows:
+        exists = legal_route_exists(graph, policies, flow, budget)
+        if exists is None:
+            report.n_undecided += 1
+            continue
+        if exists:
+            report.n_existing += 1
+        result = finder(flow)
+        if result is None:
+            continue
+        path = tuple(result.path if isinstance(result, Route) else result)
+        report.n_found += 1
+        if not is_legal_path(graph, policies, path, flow):
+            report.n_illegal += 1
+            continue
+        report.n_found_legal += 1
+        optimal = synthesize_route(graph, policies, flow)
+        if optimal is not None and optimal.cost > 0:
+            from repro.policy.legality import path_metric
+
+            found_cost = path_metric(graph, path, flow.qos)
+            if flow.qos.is_bottleneck:
+                # Wider is better: stretch >= 1 means the found route's
+                # bottleneck is narrower than the optimum's.
+                if found_cost > 0:
+                    report.stretches.append(optimal.cost / found_cost)
+            else:
+                report.stretches.append(found_cost / optimal.cost)
+    return report

@@ -1,0 +1,34 @@
+"""Data-plane substrate: packet forwarding over converged tables.
+
+* :mod:`~repro.forwarding.dataplane` — walk flows through a converged
+  protocol's forwarding decisions with per-hop policy enforcement, loop
+  and blackhole detection (transit ADs "can concentrate on assuring that
+  routes crossing [them] conform to [their] own policies", Section 5.4).
+* :mod:`~repro.forwarding.headers` — byte-accurate packet header models
+  for the three data-plane styles E6 compares: plain hop-by-hop
+  datagrams, per-packet source routes, and setup + handle.
+"""
+
+from repro.forwarding.dataplane import (
+    DataPlaneReport,
+    ForwardingOutcome,
+    forward_flow,
+    run_traffic,
+)
+from repro.forwarding.headers import (
+    handle_header_bytes,
+    hop_by_hop_header_bytes,
+    setup_header_bytes,
+    source_route_header_bytes,
+)
+
+__all__ = [
+    "DataPlaneReport",
+    "ForwardingOutcome",
+    "forward_flow",
+    "handle_header_bytes",
+    "hop_by_hop_header_bytes",
+    "run_traffic",
+    "setup_header_bytes",
+    "source_route_header_bytes",
+]

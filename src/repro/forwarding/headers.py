@@ -1,0 +1,59 @@
+"""Packet header size models.
+
+Section 5.4.1 motivates the handle mechanism by "the header-length
+overhead of the source route in the Policy Route packet header".  These
+functions model the three header styles so E6 can price them:
+
+* plain hop-by-hop datagram: fixed header, no route, no handle;
+* per-packet source route: fixed header + 2 bytes per AD on the route
+  (+ a hop cursor);
+* handle-based: the setup packet pays for route + term citations once,
+  then every data packet carries a 4-byte handle.
+"""
+
+from __future__ import annotations
+
+from repro.protocols.orwg.messages import FLOW_SPEC_BYTES, HANDLE_BYTES
+from repro.simul.messages import AD_ID_BYTES, HEADER_BYTES
+
+
+def hop_by_hop_header_bytes() -> int:
+    """Header of a plain datagram forwarded by per-hop tables."""
+    return HEADER_BYTES + FLOW_SPEC_BYTES
+
+
+def source_route_header_bytes(route_len: int) -> int:
+    """Header of a datagram carrying its full source route."""
+    if route_len < 1:
+        raise ValueError("route must have at least one AD")
+    return HEADER_BYTES + FLOW_SPEC_BYTES + AD_ID_BYTES * route_len + 1
+
+
+def handle_header_bytes() -> int:
+    """Header of a data packet riding an established handle."""
+    return HEADER_BYTES + FLOW_SPEC_BYTES + HANDLE_BYTES
+
+
+def setup_header_bytes(route_len: int, num_transit_terms: int) -> int:
+    """Header of the one-time setup packet (route + PT citations)."""
+    if route_len < 1:
+        raise ValueError("route must have at least one AD")
+    from repro.policy.terms import TermRef
+
+    ref_bytes = TermRef(0, 0).size_bytes()
+    return (
+        HEADER_BYTES
+        + HANDLE_BYTES
+        + FLOW_SPEC_BYTES
+        + AD_ID_BYTES * route_len
+        + 1
+        + ref_bytes * num_transit_terms
+    )
+
+
+def amortized_handle_bytes(route_len: int, num_transit_terms: int, packets: int) -> float:
+    """Mean header bytes per packet for setup + ``packets`` data packets."""
+    if packets < 1:
+        raise ValueError("need at least one packet")
+    setup = setup_header_bytes(route_len, num_transit_terms)
+    return (setup + packets * handle_header_bytes()) / packets

@@ -1,0 +1,42 @@
+"""Network-management tools for policy administrators.
+
+Section 6 of the paper (research issue 2): "it will be the job of local
+administrators to specify policies for their ADs ... it will be possible
+to specify local policies that will result in poor service ... it will
+be imperative for these administrators to have available network
+management tools to assist them in predicting the impact of their
+policies on the service received from the routing architecture."
+
+This package is that tool, built on the ground-truth evaluator:
+
+* :class:`~repro.mgmt.impact.PolicyImpactAnalyzer` — before/after
+  assessment of a proposed policy change: connectivity gained/lost,
+  transit load attracted/shed, route-synthesis cost;
+* :func:`~repro.mgmt.audit.connectivity_audit` — which flows are cut off
+  by current policies (relative to open transit) and which AD's policy
+  is the first to block each of them.
+"""
+
+from repro.mgmt.accounting import Ledger, LedgerEntry, settle
+from repro.mgmt.audit import AuditFinding, ConnectivityAudit, connectivity_audit
+from repro.mgmt.impact import ImpactReport, PolicyChange, PolicyImpactAnalyzer
+from repro.mgmt.negotiation import (
+    NegotiationResult,
+    negotiate_ordering,
+    renegotiate,
+)
+
+__all__ = [
+    "AuditFinding",
+    "ConnectivityAudit",
+    "ImpactReport",
+    "Ledger",
+    "LedgerEntry",
+    "NegotiationResult",
+    "PolicyChange",
+    "PolicyImpactAnalyzer",
+    "connectivity_audit",
+    "negotiate_ordering",
+    "renegotiate",
+    "settle",
+]

@@ -1,0 +1,120 @@
+"""Connectivity audit: which flows do current policies cut off, and who
+is blocking them.
+
+The paper warns that locally-reasonable policies can compose into "poor
+service ... in terms of route computation overhead and the resulting
+inter-AD connectivity" (Section 6).  The audit compares the current
+policy database against the fully-open baseline:
+
+* a flow is *physically routable* if it has a route under open transit;
+* it is *policy-blocked* if it is physically routable but has no legal
+  route under the current database;
+* for each blocked flow we name a *culprit*: the first AD whose policy
+  rejects the flow on its open-transit route (a heuristic the real
+  blocking set may exceed, but the right starting point for a human).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.adgraph.ad import ADId
+from repro.adgraph.graph import InterADGraph
+from repro.core.synthesis import synthesize_route
+from repro.policy.database import PolicyDatabase
+from repro.policy.flows import FlowSpec
+from repro.policy.generators import open_policies
+
+
+@dataclass(frozen=True)
+class AuditFinding:
+    """One policy-blocked flow and the first AD that blocks it."""
+
+    flow: FlowSpec
+    open_route: Tuple[ADId, ...]
+    culprit: Optional[ADId]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        who = f"AD {self.culprit}" if self.culprit is not None else "unknown"
+        return f"{self.flow}: blocked (first blocker: {who})"
+
+
+@dataclass
+class ConnectivityAudit:
+    """Aggregate audit result."""
+
+    n_flows: int
+    physically_routable: int
+    legally_routable: int
+    findings: List[AuditFinding] = field(default_factory=list)
+
+    @property
+    def policy_blocked(self) -> int:
+        return len(self.findings)
+
+    @property
+    def connectivity_ratio(self) -> float:
+        """Legal routes as a fraction of physically possible ones."""
+        if self.physically_routable == 0:
+            return 1.0
+        return self.legally_routable / self.physically_routable
+
+    def blockers(self) -> List[Tuple[ADId, int]]:
+        """Culprit ADs ranked by how many flows they are first to block."""
+        counts = Counter(
+            f.culprit for f in self.findings if f.culprit is not None
+        )
+        return sorted(counts.items(), key=lambda pair: (-pair[1], pair[0]))
+
+    def summary(self) -> str:
+        lines = [
+            f"Connectivity audit over {self.n_flows} flows:",
+            f"  physically routable: {self.physically_routable}",
+            f"  legally routable:    {self.legally_routable} "
+            f"({self.connectivity_ratio:.0%} of physical)",
+            f"  policy-blocked:      {self.policy_blocked}",
+        ]
+        for ad_id, count in self.blockers()[:5]:
+            lines.append(f"    AD {ad_id} first-blocks {count} flow(s)")
+        return "\n".join(lines)
+
+
+def _first_blocker(
+    policies: PolicyDatabase, path: Tuple[ADId, ...], flow: FlowSpec
+) -> Optional[ADId]:
+    """First transit AD on a path whose policy refuses the flow."""
+    for i in range(1, len(path) - 1):
+        if not policies.transit_permits(path[i], flow, path[i - 1], path[i + 1]):
+            return path[i]
+    return None
+
+
+def connectivity_audit(
+    graph: InterADGraph,
+    policies: PolicyDatabase,
+    flows: Sequence[FlowSpec],
+) -> ConnectivityAudit:
+    """Audit a flow sample against the current policy database."""
+    open_db = open_policies(graph).policies
+    audit = ConnectivityAudit(
+        n_flows=len(flows), physically_routable=0, legally_routable=0
+    )
+    for flow in flows:
+        open_route = synthesize_route(graph, open_db, flow)
+        if open_route is None:
+            continue
+        audit.physically_routable += 1
+        legal = synthesize_route(graph, policies, flow)
+        if legal is not None:
+            audit.legally_routable += 1
+            continue
+        audit.findings.append(
+            AuditFinding(
+                flow=flow,
+                open_route=open_route.path,
+                culprit=_first_blocker(policies, open_route.path, flow),
+            )
+        )
+    return audit

@@ -1,0 +1,114 @@
+"""ECMA partial-ordering negotiation.
+
+Section 5.1.1: establishing the ECMA global ordering "requires both
+computation and negotiation either by a central authority or by a set of
+entities each with authority over a subset of the internetwork ... If
+unresolvable conflicts arise among policies ... the relevant authority
+must negotiate with the ADs involved to revise their policies".
+
+:func:`negotiate_ordering` plays the central authority: it accepts each
+AD's ordering constraints in priority order and *drops* every constraint
+that conflicts with those already accepted (the "negotiated revision"),
+reporting exactly which ADs had to give up which policies.  Experiment
+E8 measures how often negotiation is needed; this tool shows what it
+costs whom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.adgraph.ad import ADId
+from repro.adgraph.partial_order import (
+    PartialOrder,
+    order_from_constraints,
+    try_order_from_constraints,
+)
+
+#: One ordering demand: (lower AD, upper AD), read "lower must rank
+#: strictly below upper".
+Constraint = Tuple[ADId, ADId]
+
+
+@dataclass
+class NegotiationResult:
+    """Outcome of building a single ordering from everyone's policies."""
+
+    order: PartialOrder
+    accepted: List[Constraint] = field(default_factory=list)
+    dropped: List[Constraint] = field(default_factory=list)
+
+    @property
+    def n_requested(self) -> int:
+        return len(self.accepted) + len(self.dropped)
+
+    @property
+    def acceptance_ratio(self) -> float:
+        if self.n_requested == 0:
+            return 1.0
+        return len(self.accepted) / self.n_requested
+
+    def losers(self) -> Dict[ADId, int]:
+        """Per-AD count of dropped demands (keyed by the demanding lower AD)."""
+        out: Dict[ADId, int] = {}
+        for lower, _upper in self.dropped:
+            out[lower] = out.get(lower, 0) + 1
+        return out
+
+    def summary(self) -> str:
+        lines = [
+            f"Ordering negotiation: {len(self.accepted)}/{self.n_requested} "
+            f"policy constraints accepted "
+            f"({self.acceptance_ratio:.0%})",
+        ]
+        for ad_id, count in sorted(self.losers().items()):
+            lines.append(f"  AD {ad_id} had to revise {count} policy demand(s)")
+        return "\n".join(lines)
+
+
+def negotiate_ordering(
+    ads: Iterable[ADId],
+    demands: Sequence[Constraint],
+) -> NegotiationResult:
+    """Build one ordering, dropping conflicting demands greedily.
+
+    Demands are considered in the given order (earlier = higher
+    priority, e.g. bigger customers first); a demand is dropped exactly
+    when accepting it would make the accepted set cyclic.  The greedy
+    rule is the simplest model of the paper's negotiation round; it is
+    not a maximum acyclic subgraph (that problem is NP-hard), which is
+    itself a faithful property of any realistic authority.
+    """
+    ad_list = sorted(set(ads))
+    accepted: List[Constraint] = []
+    dropped: List[Constraint] = []
+    for demand in demands:
+        lower, upper = demand
+        if lower == upper:
+            dropped.append(demand)
+            continue
+        if try_order_from_constraints(ad_list, accepted + [demand]) is None:
+            dropped.append(demand)
+        else:
+            accepted.append(demand)
+    order = order_from_constraints(ad_list, accepted)
+    return NegotiationResult(order=order, accepted=accepted, dropped=dropped)
+
+
+def renegotiate(
+    ads: Iterable[ADId],
+    current: Sequence[Constraint],
+    new_demand: Constraint,
+) -> Tuple[bool, NegotiationResult]:
+    """A single AD files one new demand against an agreed constraint set.
+
+    Returns ``(accepted, result)``: if the demand fits the existing
+    ordering it is simply appended; otherwise a full renegotiation runs
+    with the new demand at *lowest* priority (incumbents win), and the
+    demand is reported dropped -- the Section 5.1.1 failure mode where a
+    policy change cannot be accommodated.
+    """
+    result = negotiate_ordering(ads, list(current) + [new_demand])
+    accepted = new_demand in result.accepted
+    return accepted, result

@@ -1,0 +1,49 @@
+"""Policy substrate: Policy Terms, flows, legality, and policy scenarios.
+
+Section 2.3 of the paper defines the policy model this package implements:
+
+* *Transit policies* — constraints a carrier AD places on who may use its
+  resources, expressed as **Policy Terms** (PTs, after Clark RFC 1102):
+  source/destination AD sets, previous/next AD constraints, QOS classes,
+  User Class Identifiers, a time-of-day window, and a cost.
+* *Route selection criteria* — the packet source's own preferences over
+  routes (ADs to avoid, QOS to optimise, hop budget).
+
+A path is **legal** for a flow iff every transit AD on it advertises at
+least one PT matching the flow and the path's local (previous, next) hops
+-- see :func:`~repro.policy.legality.is_legal_path`.
+"""
+
+from repro.policy.database import PolicyDatabase
+from repro.policy.flows import FlowSpec
+from repro.policy.generators import (
+    PolicyScenario,
+    hierarchical_policies,
+    open_policies,
+    restricted_policies,
+    source_class_policies,
+)
+from repro.policy.legality import is_legal_path, path_cost
+from repro.policy.qos import QOS
+from repro.policy.selection import RouteSelectionPolicy
+from repro.policy.sets import ADSet, TimeWindow
+from repro.policy.terms import PolicyTerm
+from repro.policy.uci import UCI
+
+__all__ = [
+    "ADSet",
+    "FlowSpec",
+    "PolicyDatabase",
+    "PolicyScenario",
+    "PolicyTerm",
+    "QOS",
+    "RouteSelectionPolicy",
+    "TimeWindow",
+    "UCI",
+    "hierarchical_policies",
+    "is_legal_path",
+    "open_policies",
+    "path_cost",
+    "restricted_policies",
+    "source_class_policies",
+]

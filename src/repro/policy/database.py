@@ -1,0 +1,111 @@
+"""The policy database: every AD's advertised Policy Terms.
+
+The database is the ground-truth policy state of the internet.  Protocols
+access it in ways that respect their information model: link-state
+protocols flood each AD's terms to everyone; distance-vector protocols
+only ever see terms reflected in their neighbours' advertisements; the
+legality checker (and the ground-truth evaluator) reads it directly.
+
+The database is versioned: any mutation bumps ``version``, which ORWG
+policy gateways use to invalidate cached route setups (Section 5.4.1:
+"It is essential ... that policy and topology change much more slowly
+than the time required for route setup").
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.adgraph.ad import ADId
+from repro.policy.flows import FlowSpec
+from repro.policy.terms import PolicyTerm
+
+
+class PolicyDatabase:
+    """Mapping from AD id to its advertised Policy Terms."""
+
+    def __init__(self, terms: Iterable[PolicyTerm] = ()) -> None:
+        self._terms: Dict[ADId, List[PolicyTerm]] = {}
+        self.version = 0
+        for term in terms:
+            self.add_term(term)
+
+    def add_term(self, term: PolicyTerm) -> PolicyTerm:
+        """Register a term, assigning its per-owner ``term_id``.
+
+        Returns the stored (id-stamped) term.
+        """
+        owned = self._terms.setdefault(term.owner, [])
+        stamped = replace(term, term_id=len(owned))
+        owned.append(stamped)
+        self.version += 1
+        return stamped
+
+    def remove_terms(self, owner: ADId) -> int:
+        """Withdraw all terms of an AD; returns how many were removed."""
+        removed = len(self._terms.pop(owner, []))
+        if removed:
+            self.version += 1
+        return removed
+
+    def terms_of(self, owner: ADId) -> Tuple[PolicyTerm, ...]:
+        """All terms advertised by an AD (possibly empty)."""
+        return tuple(self._terms.get(owner, ()))
+
+    def term(self, owner: ADId, term_id: int) -> PolicyTerm:
+        """Look up a term by citation; raises ``KeyError`` if absent."""
+        owned = self._terms.get(owner, [])
+        if not 0 <= term_id < len(owned):
+            raise KeyError(f"AD {owner} has no term {term_id}")
+        return owned[term_id]
+
+    def owners(self) -> List[ADId]:
+        """ADs that advertise at least one term, sorted."""
+        return sorted(self._terms)
+
+    def all_terms(self) -> List[PolicyTerm]:
+        """Every term in the database, in (owner, term_id) order."""
+        return [t for owner in self.owners() for t in self._terms[owner]]
+
+    @property
+    def num_terms(self) -> int:
+        return sum(len(ts) for ts in self._terms.values())
+
+    def transit_permits(
+        self, ad_id: ADId, flow: FlowSpec, prev: ADId, nxt: ADId
+    ) -> bool:
+        """Whether ``ad_id`` permits carrying ``flow`` from ``prev`` to ``nxt``.
+
+        An AD with no terms refuses all transit (the stub default).
+        """
+        return self.permitting_term(ad_id, flow, prev, nxt) is not None
+
+    def permitting_term(
+        self, ad_id: ADId, flow: FlowSpec, prev: ADId, nxt: ADId
+    ) -> Optional[PolicyTerm]:
+        """The first term of ``ad_id`` permitting the traversal, if any.
+
+        "First" is in term-id order, which makes citation deterministic.
+        """
+        for term in self._terms.get(ad_id, ()):
+            if term.permits(flow, prev, nxt):
+                return term
+        return None
+
+    def size_bytes(self) -> int:
+        """Total advertised policy volume (for state-size experiments)."""
+        return sum(t.size_bytes() for t in self.all_terms())
+
+    def copy(self) -> "PolicyDatabase":
+        """Independent copy (same version counter value)."""
+        out = PolicyDatabase()
+        out._terms = {owner: list(terms) for owner, terms in self._terms.items()}
+        out.version = self.version
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PolicyDatabase(owners={len(self._terms)}, "
+            f"terms={self.num_terms}, v{self.version})"
+        )

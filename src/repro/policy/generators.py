@@ -1,0 +1,230 @@
+"""Policy scenario generators.
+
+The paper has no single concrete policy workload; it reasons about how
+architectures behave as policies become more *restrictive* and more
+*fine-grained*.  These generators expose exactly those axes:
+
+* :func:`open_policies` — every transit-capable AD carries anything
+  (the permissive baseline; all protocols should agree here).
+* :func:`hierarchical_policies` — pure transit ADs carry anything, hybrid
+  ADs carry only traffic sourced by or destined to their customer cone
+  ("limited transit", Section 2.1).
+* :func:`restricted_policies` — hierarchical plus per-AD random
+  restrictions (source blacklists, QOS/UCI subsets, time windows, next-hop
+  constraints) controlled by a restrictiveness knob (experiment E3).
+* :func:`source_class_policies` — transit policies that discriminate among
+  *source classes*, the granularity axis of experiments E5: each transit AD
+  advertises one PT per source class it serves and refuses some classes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Set
+
+from repro.adgraph.ad import ADId, ADKind, Level, LinkKind
+from repro.adgraph.graph import InterADGraph
+from repro.policy.database import PolicyDatabase
+from repro.policy.qos import QOS
+from repro.policy.sets import ADSet, TimeWindow
+from repro.policy.terms import PolicyTerm
+from repro.policy.uci import UCI
+
+
+@dataclass(frozen=True, eq=False)
+class PolicyScenario:
+    """A named policy workload: the database plus provenance metadata."""
+
+    name: str
+    policies: PolicyDatabase
+    description: str = ""
+    params: Dict[str, object] = field(default_factory=dict)
+
+
+def customer_cone(graph: InterADGraph, ad_id: ADId) -> FrozenSet[ADId]:
+    """The AD and everything below it via hierarchical links.
+
+    "Below" means the neighbour is at a strictly lower hierarchy level
+    (larger :class:`Level` value).  This is the set of customers a hybrid
+    AD provides limited transit for.
+    """
+    cone: Set[ADId] = {ad_id}
+    frontier = [ad_id]
+    while frontier:
+        node = frontier.pop()
+        for link in graph.links_of(node, include_down=True):
+            if link.kind is not LinkKind.HIERARCHICAL:
+                continue
+            nbr = link.other(node)
+            if graph.ad(nbr).level > graph.ad(node).level and nbr not in cone:
+                cone.add(nbr)
+                frontier.append(nbr)
+    return frozenset(cone)
+
+
+def open_policies(graph: InterADGraph) -> PolicyScenario:
+    """Every transit-capable AD advertises a single fully-open term."""
+    db = PolicyDatabase()
+    for ad in graph.transit_ads():
+        db.add_term(PolicyTerm(owner=ad.ad_id))
+    return PolicyScenario(
+        name="open",
+        policies=db,
+        description="all transit-capable ADs carry anything",
+    )
+
+
+def hierarchical_policies(graph: InterADGraph) -> PolicyScenario:
+    """Provider/customer policies matching the Section 2.1 AD roles.
+
+    Pure transit ADs (backbones, regionals, metros of kind TRANSIT) carry
+    anything.  Hybrid ADs provide *limited* transit: only flows whose
+    source or destination lies in their customer cone.  Stub and
+    multi-homed ADs advertise nothing (no transit).
+    """
+    db = PolicyDatabase()
+    for ad in graph.ads():
+        if ad.kind is ADKind.TRANSIT:
+            db.add_term(PolicyTerm(owner=ad.ad_id))
+        elif ad.kind is ADKind.HYBRID:
+            cone = customer_cone(graph, ad.ad_id)
+            db.add_term(PolicyTerm(owner=ad.ad_id, sources=ADSet.of(cone)))
+            db.add_term(PolicyTerm(owner=ad.ad_id, dests=ADSet.of(cone)))
+    return PolicyScenario(
+        name="hierarchical",
+        policies=db,
+        description="transit ADs open; hybrid ADs limited to their customer cone",
+    )
+
+
+def _narrowed(
+    term: PolicyTerm, rng: random.Random, graph: InterADGraph
+) -> PolicyTerm:
+    """Apply one random restriction dimension to a term."""
+    from dataclasses import replace
+
+    choice = rng.randrange(5)
+    if choice == 0:
+        # Source blacklist: refuse a random sample of stub/multi-homed ADs.
+        stubs = [a.ad_id for a in graph.stub_ads() if a.ad_id != term.owner]
+        if stubs:
+            k = max(1, len(stubs) // 4)
+            banned = frozenset(rng.sample(stubs, min(k, len(stubs))))
+            return replace(term, sources=ADSet.excluding(banned))
+    elif choice == 1:
+        # Serve only a strict subset of QOS classes.
+        classes = list(QOS.all_classes())
+        kept = frozenset(rng.sample(classes, rng.randrange(1, len(classes))))
+        return replace(term, qos_classes=kept)
+    elif choice == 2:
+        # Serve only a strict subset of user classes.
+        classes = list(UCI.all_classes())
+        kept = frozenset(rng.sample(classes, rng.randrange(1, len(classes))))
+        return replace(term, ucis=kept)
+    elif choice == 3:
+        # Off-hours only: a time-of-day policy.
+        start = rng.randrange(24)
+        length = rng.randrange(6, 18)
+        return replace(term, window=TimeWindow(start, (start + length) % 24))
+    else:
+        # Exit constraint: only hand packets to a subset of neighbours.
+        nbrs = graph.neighbors(term.owner, include_down=True)
+        if len(nbrs) > 1:
+            k = rng.randrange(1, len(nbrs))
+            kept = frozenset(rng.sample(nbrs, k))
+            return replace(term, next_ads=ADSet.of(kept))
+    return term
+
+
+def restricted_policies(
+    graph: InterADGraph,
+    restrictiveness: float = 0.3,
+    seed: int = 0,
+) -> PolicyScenario:
+    """Hierarchical policies with random per-AD restrictions.
+
+    Each transit-capable AD's terms are independently narrowed with
+    probability ``restrictiveness``.  At 0 this equals
+    :func:`hierarchical_policies`; climbing toward 1 shrinks the set of
+    legal routes, which is the availability axis of experiment E3.
+    """
+    if not 0.0 <= restrictiveness <= 1.0:
+        raise ValueError(f"restrictiveness must be in [0,1], got {restrictiveness}")
+    rng = random.Random(seed)
+    base = hierarchical_policies(graph)
+    db = PolicyDatabase()
+    for term in base.policies.all_terms():
+        if rng.random() < restrictiveness:
+            term = _narrowed(term, rng, graph)
+        db.add_term(term)
+    return PolicyScenario(
+        name=f"restricted({restrictiveness:.2f})",
+        policies=db,
+        description="hierarchical policies with random per-AD restrictions",
+        params={"restrictiveness": restrictiveness, "seed": seed},
+    )
+
+
+def source_class_of(ad_id: ADId, num_classes: int) -> int:
+    """Deterministic class assignment for a source AD."""
+    if num_classes < 1:
+        raise ValueError("num_classes must be positive")
+    return ad_id % num_classes
+
+
+def source_class_members(
+    graph: InterADGraph, num_classes: int, cls: int
+) -> FrozenSet[ADId]:
+    """All ADs whose source class is ``cls``."""
+    return frozenset(
+        a for a in graph.ad_ids() if source_class_of(a, num_classes) == cls
+    )
+
+
+def source_class_policies(
+    graph: InterADGraph,
+    num_classes: int,
+    refusal_prob: float = 0.2,
+    seed: int = 0,
+) -> PolicyScenario:
+    """Source-specific transit policies at a controllable granularity.
+
+    ADs are partitioned into ``num_classes`` source classes.  Every
+    transit-capable AD advertises one PT per class it serves, and refuses
+    each class independently with probability ``refusal_prob`` (backbones
+    always serve everyone, so the internet stays usable).  Increasing
+    ``num_classes`` makes policies more source-specific without changing
+    the total fraction of refused traffic -- isolating the granularity
+    axis the paper's scaling arguments turn on (E5).
+    """
+    if num_classes < 1:
+        raise ValueError("num_classes must be positive")
+    if not 0.0 <= refusal_prob <= 1.0:
+        raise ValueError(f"refusal_prob must be in [0,1], got {refusal_prob}")
+    rng = random.Random(seed)
+    db = PolicyDatabase()
+    for ad in graph.transit_ads():
+        always_serve = ad.level is Level.BACKBONE
+        served = [
+            cls
+            for cls in range(num_classes)
+            if always_serve or rng.random() >= refusal_prob
+        ]
+        if not served:
+            # A transit AD exists to serve someone: guarantee one class,
+            # else its single-homed customers fall off the internet.
+            served = [source_class_of(ad.ad_id, num_classes)]
+        for cls in served:
+            members = source_class_members(graph, num_classes, cls)
+            db.add_term(PolicyTerm(owner=ad.ad_id, sources=ADSet.of(members)))
+    return PolicyScenario(
+        name=f"source_classes({num_classes})",
+        policies=db,
+        description="per-source-class transit policies",
+        params={
+            "num_classes": num_classes,
+            "refusal_prob": refusal_prob,
+            "seed": seed,
+        },
+    )

@@ -1,0 +1,28 @@
+"""User Class Identifiers.
+
+Section 2.3 lists the "User Class Identifier" (UCI) among the attributes
+policies may discriminate on -- e.g. a regional network that carries
+research traffic for anyone but commercial traffic only for its own
+members.  UCIs tag flows; Policy Terms may restrict the UCIs they admit.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+
+class UCI(enum.Enum):
+    """User class of a traffic flow."""
+
+    DEFAULT = "default"
+    RESEARCH = "research"
+    COMMERCIAL = "commercial"
+    GOVERNMENT = "government"
+
+    @classmethod
+    def all_classes(cls) -> Tuple["UCI", ...]:
+        return tuple(cls)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

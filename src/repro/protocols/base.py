@@ -1,0 +1,161 @@
+"""The common protocol interface.
+
+Every protocol exposes the same two planes:
+
+* a **control plane** -- :meth:`RoutingProtocol.build` constructs the
+  per-AD nodes on a :class:`~repro.simul.network.SimNetwork`;
+  :meth:`RoutingProtocol.converge` runs it to quiescence;
+* a **data plane** -- :meth:`RoutingProtocol.find_route` answers "what
+  route would traffic for this flow actually take?".  Source-routing
+  protocols answer from the source's computation; hop-by-hop protocols
+  answer by *walking* the per-hop :meth:`RoutingProtocol.next_hop`
+  decisions (with a loop guard), which is exactly how a packet would
+  experience the converged tables.
+
+This uniformity is what lets the scorecard (E1) and the availability
+experiment (E3) compare all eight design points on equal footing.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import ClassVar, List, Optional, Tuple
+
+from repro.adgraph.ad import ADId
+from repro.adgraph.graph import InterADGraph
+from repro.core.design_space import DesignPoint
+from repro.policy.database import PolicyDatabase
+from repro.policy.flows import FlowSpec
+from repro.policy.selection import OPEN_SELECTION, RouteSelectionPolicy
+from repro.simul.network import SimNetwork
+from repro.simul.runner import ConvergenceResult, converge
+
+
+class ForwardingMode(enum.Enum):
+    """Where the forwarding decision lives (Table 1's middle axis)."""
+
+    SOURCE = "source"
+    HOP_BY_HOP = "hop-by-hop"
+
+
+class RoutingProtocol:
+    """Base class for all inter-AD routing protocol drivers.
+
+    Subclasses set the class attributes and implement
+    :meth:`_make_nodes`, plus either :meth:`source_route` (source mode) or
+    :meth:`next_hop` (hop-by-hop mode).
+    """
+
+    #: Human-readable protocol name.
+    name: ClassVar[str] = "abstract"
+    #: The Table 1 cell this protocol occupies (None for baselines).
+    design_point: ClassVar[Optional[DesignPoint]] = None
+    #: Forwarding mode.
+    mode: ClassVar[ForwardingMode] = ForwardingMode.HOP_BY_HOP
+    #: Whether the protocol can take Policy Terms into account at all.
+    policy_aware: ClassVar[bool] = True
+
+    def __init__(self, graph: InterADGraph, policies: PolicyDatabase) -> None:
+        self.graph = graph
+        self.policies = policies
+        self.network: Optional[SimNetwork] = None
+        #: Forwarding loops observed while walking hop-by-hop decisions.
+        self.forwarding_loops = 0
+
+    # --------------------------------------------------------- control plane
+
+    def _make_nodes(self, network: SimNetwork) -> None:
+        """Create and register one protocol node per AD."""
+        raise NotImplementedError
+
+    def build(self) -> SimNetwork:
+        """Construct the simulation network (idempotent)."""
+        if self.network is None:
+            self.network = SimNetwork(self.graph)
+            self._make_nodes(self.network)
+        return self.network
+
+    def converge(self, max_events: int = 5_000_000) -> ConvergenceResult:
+        """Build if needed and run the control plane to quiescence."""
+        return converge(self.build(), max_events=max_events)
+
+    def apply_link_status(self, a: ADId, b: ADId, up: bool) -> None:
+        """Change a physical link's status and notify the protocol.
+
+        Protocols whose control plane runs on a derived topology (EGP's
+        spanning tree) override this to keep both views consistent.
+        """
+        self.network.set_link_status(a, b, up)
+
+    # ------------------------------------------------------------ data plane
+
+    def source_route(
+        self, flow: FlowSpec, selection: RouteSelectionPolicy = OPEN_SELECTION
+    ) -> Optional[Tuple[ADId, ...]]:
+        """The full route the source AD would place in packet headers.
+
+        Only meaningful for source-routing protocols.
+        """
+        raise NotImplementedError(f"{self.name} is not a source-routing protocol")
+
+    def next_hop(
+        self, ad_id: ADId, flow: FlowSpec, prev: Optional[ADId]
+    ) -> Optional[ADId]:
+        """The forwarding decision AD ``ad_id`` makes for ``flow``.
+
+        Only meaningful for hop-by-hop protocols.  ``prev`` is the AD the
+        packet arrived from (``None`` at the source).
+        """
+        raise NotImplementedError(f"{self.name} is not a hop-by-hop protocol")
+
+    def find_route(
+        self, flow: FlowSpec, selection: RouteSelectionPolicy = OPEN_SELECTION
+    ) -> Optional[Tuple[ADId, ...]]:
+        """The route traffic for ``flow`` would actually take, or ``None``.
+
+        Source mode: the source's computed route.  Hop-by-hop mode: the
+        walk of per-hop decisions; a forwarding loop or a hop with no
+        decision yields ``None`` (the packet would be dropped).
+        """
+        if flow.src == flow.dst:
+            return (flow.src,)
+        if self.mode is ForwardingMode.SOURCE:
+            return self.source_route(flow, selection)
+        return self._walk_next_hops(flow)
+
+    def _walk_next_hops(self, flow: FlowSpec) -> Optional[Tuple[ADId, ...]]:
+        path: List[ADId] = [flow.src]
+        seen = {flow.src}
+        prev: Optional[ADId] = None
+        current = flow.src
+        # Generous guard: no simple AD path is longer than the AD count.
+        for _ in range(self.graph.num_ads):
+            nxt = self.next_hop(current, flow, prev)
+            if nxt is None:
+                return None
+            if nxt in seen:
+                self.forwarding_loops += 1
+                return None  # forwarding loop
+            path.append(nxt)
+            seen.add(nxt)
+            if nxt == flow.dst:
+                return tuple(path)
+            prev, current = current, nxt
+        return None
+
+    # --------------------------------------------------------------- metrics
+
+    def rib_size(self, ad_id: ADId) -> int:
+        """Routing-information entries held at an AD (protocol-defined)."""
+        raise NotImplementedError
+
+    def total_rib_size(self) -> int:
+        """Sum of RIB entries across all ADs."""
+        return sum(self.rib_size(a) for a in self.graph.ad_ids())
+
+    def max_rib_size(self) -> int:
+        """Largest per-AD RIB (the hot-spot the scaling claims concern)."""
+        return max(self.rib_size(a) for a in self.graph.ad_ids())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(ads={self.graph.num_ads})"

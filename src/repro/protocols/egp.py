@@ -1,0 +1,191 @@
+"""EGP-style reachability exchange: the Section 3 exterior baseline.
+
+EGP (RFC 827) exchanges *reachability*, not metrics, and "places a severe
+topology restriction on interconnected regions -- there can be no cycles
+in the EGP graph" (Section 3).  The paper calls this unreasonable for a
+global internet whose ADs want multiple inter-AD connections.
+
+This implementation makes that restriction concrete:
+
+* in ``strict`` mode, building the protocol on a cyclic topology raises
+  :class:`TopologyViolationError`;
+* otherwise the topology is pruned to a spanning tree (hierarchical links
+  preferred) and the protocol runs on the tree -- every lateral and
+  bypass link is simply unusable, which is exactly the cost the paper
+  ascribes to EGP.  The pruned links are counted in
+  :attr:`EGPProtocol.excluded_links`.
+
+EGP has no QOS and no policy expression beyond "what I choose to
+advertise", so its routes are frequently illegal under restrictive policy
+scenarios; the availability evaluator quantifies this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Dict, Optional, Set, Tuple
+
+from repro.adgraph.ad import ADId, InterADLink
+from repro.adgraph.graph import InterADGraph
+from repro.policy.database import PolicyDatabase
+from repro.policy.flows import FlowSpec
+from repro.protocols.base import ForwardingMode, RoutingProtocol
+from repro.simul.messages import AD_ID_BYTES, Message
+from repro.simul.network import SimNetwork
+from repro.simul.node import ProtocolNode
+
+#: Delay before a triggered reachability batch is flushed.
+TRIGGER_DELAY = 1.0
+
+
+class TopologyViolationError(ValueError):
+    """The topology contains a cycle, which strict EGP cannot tolerate."""
+
+
+@dataclass(frozen=True)
+class NRUpdate(Message):
+    """A network-reachability advertisement: destinations only, no metric."""
+
+    dests: Tuple[ADId, ...]
+
+    def size_bytes(self) -> int:
+        return super().size_bytes() + len(self.dests) * AD_ID_BYTES
+
+
+class EGPNode(ProtocolNode):
+    """Per-AD reachability process over the (tree) topology."""
+
+    def __init__(self, ad_id: ADId) -> None:
+        super().__init__(ad_id)
+        self.table: Dict[ADId, ADId] = {ad_id: ad_id}
+        self._pending: Set[ADId] = set()
+        self._flush_scheduled = False
+
+    def start(self) -> None:
+        self._pending.add(self.ad_id)
+        self._schedule_flush()
+
+    def on_message(self, sender: ADId, msg: Message) -> None:
+        assert isinstance(msg, NRUpdate)
+        for dest in msg.dests:
+            if dest not in self.table:
+                self.table[dest] = sender
+                self._pending.add(dest)
+        if self._pending:
+            self._schedule_flush()
+
+    def on_link_change(self, link: InterADLink, up: bool) -> None:
+        nbr = link.other(self.ad_id)
+        if up:
+            # Re-advertise everything we know over the restored adjacency.
+            self._pending.update(self.table)
+            self._schedule_flush()
+            return
+        lost = [d for d, nh in self.table.items() if nh == nbr]
+        for dest in lost:
+            del self.table[dest]
+        # EGP has no unreachability propagation worth the name; downstream
+        # ADs learn of losses only through timeouts in the real protocol.
+        # We model the loss locally and let the tree remain silently stale,
+        # matching the paper's dim view of EGP adaptivity.
+
+    def _schedule_flush(self) -> None:
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            self.schedule(TRIGGER_DELAY, self._flush)
+
+    def _flush(self) -> None:
+        self._flush_scheduled = False
+        dests = tuple(sorted(self._pending))
+        self._pending.clear()
+        if not dests:
+            return
+        for nbr in self.neighbors():
+            advertise = tuple(d for d in dests if self.table.get(d) != nbr)
+            if advertise:
+                self.send(nbr, NRUpdate(advertise))
+
+    def route_to(self, dest: ADId) -> Optional[ADId]:
+        nxt = self.table.get(dest)
+        return None if nxt == self.ad_id and dest != self.ad_id else nxt
+
+
+def _spanning_tree(graph: InterADGraph) -> Tuple[InterADGraph, int]:
+    """Prune to a spanning tree preferring hierarchical links.
+
+    Returns the pruned graph and the number of excluded links; see
+    :func:`repro.adgraph.trees.spanning_tree_links` for the tree choice.
+    """
+    from repro.adgraph.trees import spanning_tree_links
+
+    kept = spanning_tree_links(graph)
+    pruned = InterADGraph()
+    for ad in graph.ads():
+        pruned.add_ad(ad)
+    excluded = 0
+    for link in graph.links():
+        if link.key in kept:
+            pruned.add_link(
+                InterADLink(link.a, link.b, link.kind, dict(link.metrics), link.up)
+            )
+        else:
+            excluded += 1
+    return pruned, excluded
+
+
+class EGPProtocol(RoutingProtocol):
+    """Driver for the EGP baseline."""
+
+    name: ClassVar[str] = "egp"
+    design_point = None
+    mode = ForwardingMode.HOP_BY_HOP
+    policy_aware: ClassVar[bool] = False
+
+    def __init__(
+        self,
+        graph: InterADGraph,
+        policies: PolicyDatabase,
+        strict: bool = False,
+    ) -> None:
+        super().__init__(graph, policies)
+        self.strict = strict
+        self.excluded_links = 0
+        self.tree_graph: Optional[InterADGraph] = None
+
+    def build(self) -> SimNetwork:
+        if self.network is not None:
+            return self.network
+        import networkx as nx
+
+        cyclic = bool(nx.cycle_basis(self.graph.nx_graph(live_only=True)))
+        if cyclic and self.strict:
+            raise TopologyViolationError(
+                "EGP requires a cycle-free inter-AD topology"
+            )
+        self.tree_graph, self.excluded_links = _spanning_tree(self.graph)
+        self.network = SimNetwork(self.tree_graph)
+        self._make_nodes(self.network)
+        return self.network
+
+    def _make_nodes(self, network: SimNetwork) -> None:
+        for ad_id in self.graph.ad_ids():
+            network.add_node(EGPNode(ad_id))
+
+    def apply_link_status(self, a: ADId, b: ADId, up: bool) -> None:
+        """Physical failures affect the real graph always, the EGP tree
+        only when the failed link survived pruning."""
+        self.graph.set_link_status(a, b, up)
+        if self.network.graph.has_link(a, b):
+            self.network.set_link_status(a, b, up)
+
+    def next_hop(
+        self, ad_id: ADId, flow: FlowSpec, prev: Optional[ADId]
+    ) -> Optional[ADId]:
+        node = self.network.node(ad_id)
+        assert isinstance(node, EGPNode)
+        return node.route_to(flow.dst)
+
+    def rib_size(self, ad_id: ADId) -> int:
+        node = self.network.node(ad_id)
+        assert isinstance(node, EGPNode)
+        return len(node.table)

@@ -1,0 +1,258 @@
+"""Link-state flooding substrate.
+
+Shared by every link-state protocol here (plain SPF, LS-hop-by-hop,
+ORWG, and the Section 5.5 variants): each AD originates a Link State
+Advertisement describing its incident inter-AD links (with metrics and
+status) and -- when the protocol expresses policy in terms -- its Policy
+Terms (Section 5.3: "link state updates can be augmented to include
+policy related attributes of the resources they advertise").
+
+LSAs carry sequence numbers; nodes flood newer LSAs to all neighbours
+except the sender, so after quiescence every node's LSDB is identical
+(tested as an invariant).  On a link status change both endpoints
+re-originate.  On link *up*, each endpoint additionally sends its whole
+LSDB across the new adjacency (database exchange), so partitioned
+knowledge heals.
+
+:meth:`LSNode.local_view` reconstructs an
+:class:`~repro.adgraph.graph.InterADGraph` + policy database from the
+LSDB -- the node's *believed* internet, on which all its route
+computations run.  A link is believed up only if **both** endpoint LSAs
+report it up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.adgraph.ad import AD, ADId, ADKind, InterADLink, Level, LinkKind
+from repro.adgraph.graph import InterADGraph
+from repro.policy.database import PolicyDatabase
+from repro.policy.terms import PolicyTerm
+from repro.simul.messages import AD_ID_BYTES, METRIC_BYTES, Message
+from repro.simul.node import ProtocolNode
+
+
+@dataclass(frozen=True)
+class LinkRecord:
+    """One incident link as described in an LSA."""
+
+    neighbor: ADId
+    delay: float
+    cost: float
+    up: bool
+    bandwidth: float = 1.0
+
+    def size_bytes(self) -> int:
+        return AD_ID_BYTES + 3 * METRIC_BYTES + 1
+
+
+@dataclass(frozen=True)
+class LinkStateAd(Message):
+    """A link state advertisement, optionally carrying Policy Terms.
+
+    ``origin_level`` carries the originating AD's hierarchy level so that
+    receivers can partition their view into regions (the hierarchical
+    route server of :mod:`repro.core.hierarchical`); one byte on the wire.
+    """
+
+    origin: ADId
+    seq: int
+    links: Tuple[LinkRecord, ...]
+    terms: Tuple[PolicyTerm, ...] = ()
+    origin_level: Level = Level.CAMPUS
+
+    def size_bytes(self) -> int:
+        return (
+            super().size_bytes()
+            + AD_ID_BYTES  # origin
+            + 4  # sequence number
+            + 1  # origin level
+            + sum(l.size_bytes() for l in self.links)
+            + sum(t.size_bytes() for t in self.terms)
+        )
+
+
+@dataclass(frozen=True)
+class LSDBExchange(Message):
+    """Full-database exchange sent across a newly-up adjacency."""
+
+    ads: Tuple[LinkStateAd, ...]
+
+    def size_bytes(self) -> int:
+        from repro.simul.messages import HEADER_BYTES
+
+        return HEADER_BYTES + sum(a.size_bytes() - HEADER_BYTES for a in self.ads)
+
+
+class LSNode(ProtocolNode):
+    """A flooding participant with a link-state database."""
+
+    def __init__(
+        self,
+        ad_id: ADId,
+        own_terms: Tuple[PolicyTerm, ...] = (),
+        include_terms: bool = True,
+        flood_links: Optional[frozenset] = None,
+        level: Level = Level.CAMPUS,
+    ) -> None:
+        super().__init__(ad_id)
+        self.own_terms = own_terms if include_terms else ()
+        self.include_terms = include_terms
+        #: Our hierarchy level, advertised in our LSA so receivers can
+        #: region-partition their views.
+        self.level = level
+        #: Database-distribution scope (Section 6, research issue 3):
+        #: ``None`` floods over every live link; a set of canonical link
+        #: keys restricts flooding to those links (e.g. a spanning tree),
+        #: which minimises duplicate deliveries but loses robustness when
+        #: a scoped link fails -- ablation A2 measures both sides.
+        self.flood_links = flood_links
+        self.lsdb: Dict[ADId, LinkStateAd] = {}
+        #: Bumped whenever the LSDB changes; caches key off it.
+        self.db_version = 0
+        self._seq = 0
+        self._view_cache: Optional[Tuple[int, InterADGraph, PolicyDatabase]] = None
+
+    def _flood(self, msg: Message, exclude: Optional[ADId] = None) -> None:
+        """Send to flooding-scope neighbours (all, or scoped links only)."""
+        for nbr in self.neighbors():
+            if nbr == exclude:
+                continue
+            if self.flood_links is not None:
+                key = (min(self.ad_id, nbr), max(self.ad_id, nbr))
+                if key not in self.flood_links:
+                    continue
+            self.send(nbr, msg)
+
+    # ---------------------------------------------------------------- origin
+
+    def _build_own_lsa(self) -> LinkStateAd:
+        self._seq += 1
+        records = []
+        for link in self.network.graph.links_of(self.ad_id, include_down=True):
+            records.append(
+                LinkRecord(
+                    neighbor=link.other(self.ad_id),
+                    delay=link.metric("delay"),
+                    cost=link.metric("cost"),
+                    up=link.up,
+                    bandwidth=link.metric("bandwidth"),
+                )
+            )
+        return LinkStateAd(
+            origin=self.ad_id,
+            seq=self._seq,
+            links=tuple(records),
+            terms=self.own_terms,
+            origin_level=self.level,
+        )
+
+    def originate(self) -> None:
+        """(Re)build our own LSA and flood it."""
+        lsa = self._build_own_lsa()
+        self._install(lsa)
+        self._flood(lsa)
+
+    # --------------------------------------------------------------- control
+
+    def start(self) -> None:
+        self.originate()
+
+    def _install(self, lsa: LinkStateAd) -> bool:
+        """Store an LSA if newer; returns whether the LSDB changed."""
+        current = self.lsdb.get(lsa.origin)
+        if current is not None and current.seq >= lsa.seq:
+            return False
+        self.lsdb[lsa.origin] = lsa
+        self.db_version += 1
+        return True
+
+    def on_message(self, sender: ADId, msg: Message) -> None:
+        if isinstance(msg, LinkStateAd):
+            if self._install(msg):
+                self._flood(msg, exclude=sender)
+                self.on_lsdb_change()
+        elif isinstance(msg, LSDBExchange):
+            changed = False
+            for lsa in msg.ads:
+                if self._install(lsa):
+                    self._flood(lsa, exclude=sender)
+                    changed = True
+            if changed:
+                self.on_lsdb_change()
+        else:
+            super().on_message(sender, msg)
+
+    def on_link_change(self, link: InterADLink, up: bool) -> None:
+        self.originate()
+        if up:
+            # Database exchange across the new adjacency.
+            nbr = link.other(self.ad_id)
+            ads = tuple(self.lsdb[o] for o in sorted(self.lsdb))
+            self.send(nbr, LSDBExchange(ads))
+        self.on_lsdb_change()
+
+    def on_lsdb_change(self) -> None:
+        """Hook for subclasses (cache invalidation etc.).  Default: none."""
+
+    # ------------------------------------------------------------ local view
+
+    def local_view(self) -> Tuple[InterADGraph, PolicyDatabase]:
+        """Reconstruct the believed internet from the LSDB (cached)."""
+        if self._view_cache is not None and self._view_cache[0] == self.db_version:
+            return self._view_cache[1], self._view_cache[2]
+        graph = InterADGraph()
+        for origin in sorted(self.lsdb):
+            # Kind is irrelevant to term-based computation (policy is in
+            # the terms); level comes from the LSA so views can be
+            # region-partitioned.
+            graph.add_ad(
+                AD(
+                    origin,
+                    f"ad{origin}",
+                    self.lsdb[origin].origin_level,
+                    ADKind.HYBRID,
+                )
+            )
+        for origin in sorted(self.lsdb):
+            for rec in self.lsdb[origin].links:
+                if rec.neighbor not in graph:
+                    continue
+                if graph.has_link(origin, rec.neighbor):
+                    continue
+                # Believe a link only if both endpoints advertise it up.
+                other = self.lsdb.get(rec.neighbor)
+                other_rec = None
+                if other is not None:
+                    for r in other.links:
+                        if r.neighbor == origin:
+                            other_rec = r
+                            break
+                if other_rec is None:
+                    continue
+                up = rec.up and other_rec.up
+                graph.add_link(
+                    InterADLink(
+                        origin,
+                        rec.neighbor,
+                        LinkKind.HIERARCHICAL,
+                        {
+                            "delay": rec.delay,
+                            "cost": rec.cost,
+                            "bandwidth": rec.bandwidth,
+                        },
+                        up=up,
+                    )
+                )
+        policies = PolicyDatabase()
+        for origin in sorted(self.lsdb):
+            for term in self.lsdb[origin].terms:
+                policies.add_term(term)
+        self._view_cache = (self.db_version, graph, policies)
+        return graph, policies
+
+    def lsdb_bytes(self) -> int:
+        """Total size of the stored LSDB (state-size experiments)."""
+        return sum(lsa.size_bytes() for lsa in self.lsdb.values())

@@ -1,0 +1,439 @@
+"""IDRP / BGP-2: path-vector + hop-by-hop + explicit policy attributes.
+
+Section 5.2's design point.  Routing updates carry:
+
+* the **full AD path** to the destination, so "routes that contain AD
+  loops can be avoided" without a partial ordering;
+* an **allowed-sources scope** (IDRP): the set of source ADs the
+  downstream path's policies admit, narrowed at every hop by the
+  advertiser's own Policy Terms.  BGP version 2 "does not allow for the
+  expression of such source specific policies" (paper footnote 6), so
+  :class:`BGP2Protocol` propagates no scopes.
+
+The architecture's structural limit, which the availability experiment
+(E3) and the granularity experiment (E5) quantify: **one route per
+(destination, QOS) is advertised**, so as policies become source-specific
+the single chosen route serves ever fewer sources, and "source ADs may be
+unable to use the routes they prefer" even when legal routes exist.
+
+Scope computation uses the finite/cofinite :class:`~repro.policy.sets.ADSet`
+algebra, with a representative (default-UCI, midday) flow template for
+the non-source policy dimensions; UCI- and time-restricted terms
+therefore export conservatively, mirroring how coarsely a real
+path-vector attribute set captures fine-grained policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Dict, List, Optional, Tuple
+
+from repro.adgraph.ad import ADId, InterADLink
+from repro.adgraph.graph import InterADGraph
+from repro.core.design_space import DV_HBH_TERMS
+from repro.policy.database import PolicyDatabase
+from repro.policy.flows import FlowSpec
+from repro.policy.qos import QOS
+from repro.policy.sets import ADSet
+from repro.policy.terms import PolicyTerm
+from repro.policy.uci import UCI
+from repro.protocols.base import ForwardingMode, RoutingProtocol
+from repro.simul.messages import AD_ID_BYTES, METRIC_BYTES, Message
+from repro.simul.network import SimNetwork
+from repro.simul.node import ProtocolNode
+
+#: Delay before a triggered update batch is flushed.
+TRIGGER_DELAY = 1.0
+
+#: Representative user class / hour used when evaluating PTs in the
+#: control plane (updates are not replicated per UCI or per hour).
+TEMPLATE_UCI = UCI.DEFAULT
+TEMPLATE_HOUR = 12
+
+
+@dataclass(frozen=True)
+class RouteAd:
+    """One advertised route: destination, class, path, metric, scope.
+
+    ``path`` starts at the advertising AD and ends at ``dest``.  An empty
+    path is a withdrawal.  ``allowed`` is the source scope (IDRP's policy
+    attribute); BGP-2 always sends the universal set.
+
+    ``cls`` is the route's *policy-class tag*: Section 5.2 observes that
+    "it is possible to advertise multiple routes, and still avoid
+    looping, so long as each route and each packet can be identified with
+    a unique set of policy attributes".  With a single class (tag 0) the
+    protocol is classic IDRP; with more, one route is selected and
+    advertised per (destination, QOS, class) -- availability recovers at
+    the cost of a class-fold routing-table replication (ablation A4).
+    """
+
+    dest: ADId
+    qos: QOS
+    path: Tuple[ADId, ...]
+    metric: float
+    allowed: ADSet
+    cls: int = 0
+
+    @property
+    def is_withdrawal(self) -> bool:
+        return not self.path
+
+    def size_bytes(self) -> int:
+        return (
+            AD_ID_BYTES  # dest
+            + 1  # qos tag
+            + 1  # class tag
+            + METRIC_BYTES
+            + AD_ID_BYTES * len(self.path)
+            + self.allowed.size_bytes()
+        )
+
+
+@dataclass(frozen=True)
+class IDRPUpdate(Message):
+    """A batch of route advertisements/withdrawals."""
+
+    routes: Tuple[RouteAd, ...]
+
+    def size_bytes(self) -> int:
+        return super().size_bytes() + sum(r.size_bytes() for r in self.routes)
+
+
+@dataclass
+class _LocEntry:
+    """The selected route at an AD: the neighbour it came from, the full
+    path from this AD, the metric at this AD, and the source scope."""
+
+    via: ADId
+    path: Tuple[ADId, ...]
+    metric: float
+    allowed: ADSet
+
+
+#: Loc-RIB / Adj-RIB key: (destination, QOS class, policy-class tag).
+_Key = Tuple[ADId, QOS, int]
+
+
+class IDRPNode(ProtocolNode):
+    """Per-AD path-vector process."""
+
+    def __init__(
+        self,
+        ad_id: ADId,
+        own_terms: Tuple[PolicyTerm, ...],
+        qos_classes: Tuple[QOS, ...],
+        source_scope: bool = True,
+        class_sets: Tuple[ADSet, ...] = (ADSet.everyone(),),
+    ) -> None:
+        super().__init__(ad_id)
+        self.own_terms = own_terms
+        self.qos_classes = qos_classes
+        self.source_scope = source_scope
+        #: Source-class partition for multi-route advertisement; one
+        #: route is selected per (dest, qos, class).  The default single
+        #: universal class is classic IDRP.
+        self.class_sets = class_sets
+        # Adj-RIB-In: per (dest, qos), the latest usable ad per neighbour.
+        self.rib_in: Dict[_Key, Dict[ADId, RouteAd]] = {}
+        # Loc-RIB: the single selected route per (dest, qos).
+        self.loc: Dict[_Key, _LocEntry] = {}
+        # What we last advertised to each neighbour (withdrawals are only
+        # sent for keys actually advertised there).
+        self._advertised: Dict[ADId, set] = {}
+        self._pending: set = set()
+        self._flush_scheduled = False
+
+    # --------------------------------------------------------------- control
+
+    def start(self) -> None:
+        for qos in self.qos_classes:
+            for cls in range(len(self.class_sets)):
+                self.loc[(self.ad_id, qos, cls)] = _LocEntry(
+                    via=self.ad_id,
+                    path=(self.ad_id,),
+                    metric=0.0,
+                    allowed=ADSet.everyone(),
+                )
+                self._pending.add((self.ad_id, qos, cls))
+        self._schedule_flush()
+
+    def on_message(self, sender: ADId, msg: Message) -> None:
+        assert isinstance(msg, IDRPUpdate)
+        if not self.network.graph.has_link(self.ad_id, sender):
+            return
+        changed_keys = []
+        for ad in msg.routes:
+            if not 0 <= ad.cls < len(self.class_sets):
+                continue
+            key = (ad.dest, ad.qos, ad.cls)
+            per_nbr = self.rib_in.setdefault(key, {})
+            if ad.is_withdrawal:
+                if sender in per_nbr:
+                    del per_nbr[sender]
+                else:
+                    continue
+            else:
+                per_nbr[sender] = ad
+            if self._reselect(key):
+                changed_keys.append(key)
+        if changed_keys:
+            self.note_computation("route_selection", len(changed_keys))
+            self._pending.update(changed_keys)
+            self._schedule_flush()
+
+    def on_link_change(self, link: InterADLink, up: bool) -> None:
+        nbr = link.other(self.ad_id)
+        if up:
+            # Session restart: everything we select is news to them, and
+            # theirs to us arrives when they do the same.
+            self._pending.update(self.loc)
+            self._schedule_flush()
+            return
+        changed = []
+        for key, per_nbr in self.rib_in.items():
+            if nbr in per_nbr:
+                del per_nbr[nbr]
+                if self._reselect(key):
+                    changed.append(key)
+        # Even unselected candidate loss is fine; only selection changes
+        # need advertising.
+        if changed:
+            self._pending.update(changed)
+            self._schedule_flush()
+
+    # -------------------------------------------------------------- decision
+
+    def _candidate_rank(self, ad: RouteAd, link_metric: float):
+        metric = ad.metric + link_metric
+        return (metric, len(ad.path), -ad.allowed.plausible_size(), ad.path)
+
+    def _candidate_usable(self, ad: RouteAd) -> bool:
+        """Extra per-candidate acceptance hook (variants override)."""
+        return True
+
+    def _reselect(self, key: _Key) -> bool:
+        """Recompute the Loc-RIB entry for a key; True if it changed."""
+        if key[0] == self.ad_id:
+            return False
+        cls_set = self.class_sets[key[2]]
+        best: Optional[_LocEntry] = None
+        best_rank = None
+        graph = self.network.graph
+        for nbr, ad in sorted(self.rib_in.get(key, {}).items()):
+            if self.ad_id in ad.path:
+                continue  # loop suppression via full AD path
+            if ad.allowed.intersect(cls_set).is_empty:
+                continue  # serves no source of this route's class
+            if not self._candidate_usable(ad):
+                continue
+            if not graph.has_link(self.ad_id, nbr) or not graph.link(self.ad_id, nbr).up:
+                continue
+            link_metric = graph.link(self.ad_id, nbr).metric(key[1].metric)
+            rank = self._candidate_rank(ad, link_metric)
+            if best_rank is None or rank < best_rank:
+                best_rank = rank
+                best = _LocEntry(
+                    via=nbr,
+                    path=(self.ad_id,) + ad.path,
+                    metric=ad.metric + link_metric,
+                    allowed=ad.allowed,
+                )
+        old = self.loc.get(key)
+        if best is None:
+            if old is not None:
+                del self.loc[key]
+                return True
+            return False
+        if old is None or (old.via, old.path, old.metric) != (
+            best.via,
+            best.path,
+            best.metric,
+        ) or old.allowed != best.allowed:
+            self.loc[key] = best
+            return True
+        return False
+
+    # --------------------------------------------------------------- export
+
+    def _export_scope(
+        self, entry: _LocEntry, dest: ADId, qos: QOS, to_nbr: ADId, cls: int = 0
+    ) -> ADSet:
+        """Narrow the source scope by our own transit policy toward ``to_nbr``.
+
+        We are offering ``to_nbr`` transit through us: traffic would
+        arrive from ``to_nbr`` (prev) and leave toward ``entry.via``
+        (next).  The admitted sources are the union over our PTs matching
+        that traversal of their source sets, intersected with the
+        downstream scope and the route's class partition.
+        """
+        if dest == self.ad_id:
+            return self.class_sets[cls]
+        if not self.source_scope:
+            # BGP-2: scopes are not expressible; export is all-or-nothing
+            # on whether *any* matching term exists.
+            for term in self.own_terms:
+                if term.matches_except_source(
+                    dest, to_nbr, entry.via, qos, TEMPLATE_UCI, TEMPLATE_HOUR
+                ):
+                    return ADSet.everyone()
+            return ADSet.none()
+        permitted = ADSet.none()
+        for term in self.own_terms:
+            if term.matches_except_source(
+                dest, to_nbr, entry.via, qos, TEMPLATE_UCI, TEMPLATE_HOUR
+            ):
+                permitted = permitted.union(term.sources)
+        return entry.allowed.intersect(permitted).intersect(self.class_sets[cls])
+
+    def _schedule_flush(self) -> None:
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            self.schedule(TRIGGER_DELAY, self._flush)
+
+    def _flush(self) -> None:
+        self._flush_scheduled = False
+        keys = sorted(self._pending, key=lambda k: (k[0], k[1].value, k[2]))
+        self._pending.clear()
+        if not keys:
+            return
+        for nbr in self.neighbors():
+            advertised = self._advertised.setdefault(nbr, set())
+            routes: List[RouteAd] = []
+            for key in keys:
+                dest, qos, cls = key
+                entry = self.loc.get(key)
+                exportable = (
+                    entry is not None
+                    and entry.via != nbr  # split horizon on the path-vector
+                    and nbr not in entry.path  # receiver would reject anyway
+                )
+                scope = (
+                    self._export_scope(entry, dest, qos, nbr, cls)
+                    if exportable
+                    else None
+                )
+                if scope is None or scope.is_empty:
+                    if key in advertised:
+                        advertised.discard(key)
+                        routes.append(
+                            RouteAd(dest, qos, (), 0.0, ADSet.none(), cls)
+                        )
+                    continue
+                advertised.add(key)
+                routes.append(
+                    RouteAd(dest, qos, entry.path, entry.metric, scope, cls)
+                )
+            if routes:
+                self.send(nbr, IDRPUpdate(tuple(routes)))
+
+    # ------------------------------------------------------------ forwarding
+
+    def class_of(self, src: ADId) -> int:
+        """The policy-class tag a packet from ``src`` carries."""
+        for cls, members in enumerate(self.class_sets):
+            if members.matches(src):
+                return cls
+        return 0
+
+    def entry_for(
+        self, dest: ADId, qos: QOS, cls: int = 0
+    ) -> Optional[_LocEntry]:
+        return self.loc.get((dest, qos, cls))
+
+
+class IDRPProtocol(RoutingProtocol):
+    """Driver for the IDRP design point (DV / hop-by-hop / policy terms).
+
+    ``route_classes`` enables Section 5.2's multiple-routes extension:
+    sources are partitioned into that many classes (by AD id, matching
+    :func:`repro.policy.generators.source_class_of`) and one route is
+    advertised per (destination, QOS, class).  The default 1 is classic
+    IDRP -- a single route per destination per QOS.
+    """
+
+    name: ClassVar[str] = "idrp"
+    design_point = DV_HBH_TERMS
+    mode = ForwardingMode.HOP_BY_HOP
+    source_scope: ClassVar[bool] = True
+
+    def __init__(
+        self,
+        graph: InterADGraph,
+        policies: PolicyDatabase,
+        qos_classes: Tuple[QOS, ...] = (QOS.DEFAULT,),
+        route_classes: int = 1,
+    ) -> None:
+        super().__init__(graph, policies)
+        if route_classes < 1:
+            raise ValueError("route_classes must be positive")
+        self.qos_classes = qos_classes
+        self.route_classes = route_classes
+
+    def _class_sets(self) -> Tuple[ADSet, ...]:
+        if self.route_classes == 1:
+            return (ADSet.everyone(),)
+        from repro.policy.generators import source_class_members
+
+        return tuple(
+            ADSet.of(source_class_members(self.graph, self.route_classes, cls))
+            for cls in range(self.route_classes)
+        )
+
+    def _make_nodes(self, network: SimNetwork) -> None:
+        class_sets = self._class_sets()
+        for ad in self.graph.ads():
+            network.add_node(
+                IDRPNode(
+                    ad.ad_id,
+                    own_terms=self.policies.terms_of(ad.ad_id),
+                    qos_classes=self.qos_classes,
+                    source_scope=self.source_scope,
+                    class_sets=class_sets,
+                )
+            )
+
+    def _qos_for(self, flow: FlowSpec) -> QOS:
+        """The routing class used for a flow (fall back to first table)."""
+        return flow.qos if flow.qos in self.qos_classes else self.qos_classes[0]
+
+    def next_hop(
+        self, ad_id: ADId, flow: FlowSpec, prev: Optional[ADId]
+    ) -> Optional[ADId]:
+        node = self.network.node(ad_id)
+        assert isinstance(node, IDRPNode)
+        entry = node.entry_for(
+            flow.dst, self._qos_for(flow), node.class_of(flow.src)
+        )
+        if entry is None:
+            return None
+        if prev is None and not entry.allowed.matches(flow.src):
+            # The single advertised route does not admit this source --
+            # the Section 5.2 starvation case.
+            return None
+        if prev is not None:
+            # Transit ADs enforce their own policy on the actual hops.
+            permitted = any(
+                t.permits(flow, prev, entry.via) for t in node.own_terms
+            )
+            if not permitted:
+                return None
+        return entry.via
+
+    def rib_size(self, ad_id: ADId) -> int:
+        node = self.network.node(ad_id)
+        assert isinstance(node, IDRPNode)
+        return len(node.loc)
+
+    def adj_rib_size(self, ad_id: ADId) -> int:
+        """Adj-RIB-In entries (candidate routes held, all neighbours)."""
+        node = self.network.node(ad_id)
+        assert isinstance(node, IDRPNode)
+        return sum(len(per) for per in node.rib_in.values())
+
+
+class BGP2Protocol(IDRPProtocol):
+    """BGP version 2: IDRP without source-specific policy attributes."""
+
+    name: ClassVar[str] = "bgp2"
+    source_scope: ClassVar[bool] = False

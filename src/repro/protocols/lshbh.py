@@ -1,0 +1,95 @@
+"""Link state + hop-by-hop + policy terms: Section 5.3's design point.
+
+Link state updates carry Policy Terms, so "each AD [has] global knowledge
+of all links and their associated policy restrictions" and "can compute
+routes satisfying any set of policy restrictions to all other ADs" --
+availability is as good as source routing.
+
+The structural cost, which this implementation makes measurable: to
+forward a packet, *every AD along the route* must compute (or cache) the
+same source-rooted legal route for the packet's (source, destination,
+class).  "Because we allow for the possibility of source specific
+policies, an AD potentially must compute a separate spanning tree for
+each potential source of traffic ... the replicated nature of this
+computation may become an excessive burden for transit ADs."
+
+Consistency (and hence loop freedom) relies on deterministic synthesis
+over identical LSDBs; each node literally recomputes the *source's* best
+route and forwards to its own successor on it.  Per-node computation
+counts and cache sizes are experiment E5's hop-by-hop burden curve.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Dict, Optional, Tuple
+
+from repro.adgraph.ad import ADId
+from repro.core.design_space import LS_HBH_TERMS
+from repro.core.synthesis import synthesize_route
+from repro.policy.flows import FlowSpec
+from repro.protocols.base import ForwardingMode, RoutingProtocol
+from repro.protocols.flooding import LSNode
+from repro.simul.network import SimNetwork
+
+
+class LSHbHNode(LSNode):
+    """LS node that recomputes each flow's source-rooted policy route."""
+
+    def __init__(self, ad_id, own_terms) -> None:
+        super().__init__(ad_id, own_terms=own_terms, include_terms=True)
+        self._route_cache: Dict[FlowSpec, Tuple[int, Optional[Tuple[ADId, ...]]]] = {}
+
+    def flow_route(self, flow: FlowSpec) -> Optional[Tuple[ADId, ...]]:
+        """The canonical route for ``flow``, from this node's view."""
+        cached = self._route_cache.get(flow)
+        if cached is not None and cached[0] == self.db_version:
+            return cached[1]
+        graph, policies = self.local_view()
+        if flow.src not in graph or flow.dst not in graph:
+            path = None
+        else:
+            route = synthesize_route(graph, policies, flow)
+            path = None if route is None else route.path
+        self._route_cache[flow] = (self.db_version, path)
+        self.note_computation("policy_route")
+        return path
+
+    def cache_entries(self) -> int:
+        """Cached per-flow routes (the replicated-table burden metric)."""
+        return len(self._route_cache)
+
+
+class LinkStateHopByHopProtocol(RoutingProtocol):
+    """Driver for the LS / hop-by-hop / policy-terms design point."""
+
+    name: ClassVar[str] = "ls-hbh"
+    design_point = LS_HBH_TERMS
+    mode = ForwardingMode.HOP_BY_HOP
+
+    def _make_nodes(self, network: SimNetwork) -> None:
+        for ad in self.graph.ads():
+            network.add_node(
+                LSHbHNode(ad.ad_id, own_terms=self.policies.terms_of(ad.ad_id))
+            )
+
+    def next_hop(
+        self, ad_id: ADId, flow: FlowSpec, prev: Optional[ADId]
+    ) -> Optional[ADId]:
+        node = self.network.node(ad_id)
+        assert isinstance(node, LSHbHNode)
+        path = node.flow_route(flow)
+        if path is None or ad_id not in path:
+            return None
+        idx = path.index(ad_id)
+        if idx == len(path) - 1:
+            return None
+        return path[idx + 1]
+
+    def rib_size(self, ad_id: ADId) -> int:
+        node = self.network.node(ad_id)
+        assert isinstance(node, LSHbHNode)
+        return len(node.lsdb) + node.cache_entries()
+
+    def computation_burden(self, ad_id: ADId) -> int:
+        """Route computations this AD has performed (E5 metric)."""
+        return self.network.metrics.computations.get((ad_id, "policy_route"), 0)

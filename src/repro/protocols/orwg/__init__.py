@@ -1,0 +1,38 @@
+"""ORWG / IDPR: link state + source routing + explicit Policy Terms.
+
+The paper's recommended architecture (Section 5.4), implemented with all
+the moving parts of Section 5.4.1:
+
+* :mod:`~repro.protocols.orwg.messages` — setup packets (full policy
+  route + cited Policy Terms), acks/naks, handle-bearing data packets;
+* :mod:`~repro.protocols.orwg.gateway` — the Policy Gateway function:
+  setup validation against the AD's *own* terms, the handle cache, and
+  per-packet validation with staleness revalidation;
+* :mod:`~repro.protocols.orwg.protocol` — the node (Route Server +
+  Policy Gateway on the flooding substrate) and the protocol driver.
+"""
+
+from repro.protocols.orwg.gateway import PGCacheEntry, PolicyGatewayCache
+from repro.protocols.orwg.messages import (
+    DataPacket,
+    Handle,
+    SetupAck,
+    SetupNak,
+    SetupPacket,
+    TeardownPacket,
+)
+from repro.protocols.orwg.protocol import ORWGNode, ORWGProtocol, SetupAttempt
+
+__all__ = [
+    "DataPacket",
+    "Handle",
+    "ORWGNode",
+    "ORWGProtocol",
+    "PGCacheEntry",
+    "PolicyGatewayCache",
+    "SetupAck",
+    "SetupAttempt",
+    "SetupNak",
+    "SetupPacket",
+    "TeardownPacket",
+]

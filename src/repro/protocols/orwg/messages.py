@@ -1,0 +1,153 @@
+"""ORWG data-plane messages.
+
+Section 5.4.1's packet taxonomy:
+
+* the **setup packet** "carries the full policy route (list of ADs) and a
+  Policy Term from each AD that the source AD believes will allow it to
+  use this route" -- :class:`SetupPacket`;
+* "successive data packets use that handle" -- :class:`DataPacket`, whose
+  4-byte handle replaces the source route, the header-length saving E6
+  measures;
+* acks/naks close the setup loop so the source learns latency and
+  failures; teardown reclaims gateway state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.adgraph.ad import ADId
+from repro.policy.flows import FlowSpec
+from repro.policy.terms import TermRef
+from repro.simul.messages import AD_ID_BYTES, Message
+
+#: Modelled size of an encoded flow spec (src, dst, qos, uci, hour).
+FLOW_SPEC_BYTES = 2 * AD_ID_BYTES + 3
+
+#: Modelled size of a handle on the wire.
+HANDLE_BYTES = 4
+
+
+@dataclass(frozen=True)
+class Handle:
+    """A policy-route handle: (source AD, source-local id)."""
+
+    src: ADId
+    local_id: int
+
+    def size_bytes(self) -> int:
+        return HANDLE_BYTES
+
+
+@dataclass(frozen=True)
+class SetupPacket(Message):
+    """First packet of a policy route: full route + cited terms.
+
+    ``hop`` is the index of the AD currently holding the packet within
+    ``route``; ``term_refs[i]`` cites the Policy Term the source believes
+    authorises transit AD ``route[i+1]`` (one ref per transit AD).
+    """
+
+    handle: Handle
+    flow: FlowSpec
+    route: Tuple[ADId, ...]
+    term_refs: Tuple[TermRef, ...]
+    hop: int
+
+    def size_bytes(self) -> int:
+        return (
+            super().size_bytes()
+            + self.handle.size_bytes()
+            + FLOW_SPEC_BYTES
+            + AD_ID_BYTES * len(self.route)
+            + sum(ref.size_bytes() for ref in self.term_refs)
+            + 1  # hop index
+        )
+
+
+@dataclass(frozen=True)
+class SetupAck(Message):
+    """Setup succeeded; travels the reverse route back to the source."""
+
+    handle: Handle
+    route: Tuple[ADId, ...]
+    hop: int  # index within route, moving toward 0
+
+    def size_bytes(self) -> int:
+        return (
+            super().size_bytes()
+            + self.handle.size_bytes()
+            + AD_ID_BYTES * len(self.route)
+            + 1
+        )
+
+
+@dataclass(frozen=True)
+class SetupNak(Message):
+    """Setup (or a data packet) rejected at ``rejected_by``.
+
+    Travels the reverse prefix back to the source, tearing down any
+    cache entries installed for the handle on the way.
+    """
+
+    handle: Handle
+    route: Tuple[ADId, ...]
+    hop: int
+    rejected_by: ADId
+    reason: str
+
+    def size_bytes(self) -> int:
+        return (
+            super().size_bytes()
+            + self.handle.size_bytes()
+            + AD_ID_BYTES * (len(self.route) + 1)
+            + 1
+            + len(self.reason.encode("ascii", "replace"))
+        )
+
+
+@dataclass(frozen=True)
+class DataPacket(Message):
+    """A data packet riding an established policy route.
+
+    Normally it carries only the handle; with ``route`` set it is a
+    *datagram-mode* packet carrying the full source route in its header
+    (the alternative E6 compares against).  ``payload_bytes`` is modelled
+    payload, counted so header overhead can be expressed as a fraction.
+    """
+
+    handle: Handle
+    flow: FlowSpec
+    route: Optional[Tuple[ADId, ...]] = None
+    hop: int = 0
+    payload_bytes: int = 512
+
+    def header_bytes(self) -> int:
+        route_bytes = 0 if self.route is None else AD_ID_BYTES * len(self.route) + 1
+        return (
+            Message.size_bytes(self)
+            + self.handle.size_bytes()
+            + FLOW_SPEC_BYTES
+            + route_bytes
+        )
+
+    def size_bytes(self) -> int:
+        return self.header_bytes() + self.payload_bytes
+
+
+@dataclass(frozen=True)
+class TeardownPacket(Message):
+    """Explicit teardown of a policy route, reclaiming gateway state."""
+
+    handle: Handle
+    route: Tuple[ADId, ...]
+    hop: int
+
+    def size_bytes(self) -> int:
+        return (
+            super().size_bytes()
+            + self.handle.size_bytes()
+            + AD_ID_BYTES * len(self.route)
+            + 1
+        )

@@ -1,0 +1,107 @@
+"""Plain link-state shortest path first: the policy-blind LS baseline.
+
+The "new generation IGP" of Section 3 (OSPF/IS-IS style) lifted to the
+AD level: flood link state, compute shortest paths, forward hop by hop
+along each node's own SPF tree.  Loop freedom relies on all nodes
+computing over identical LSDBs with identical tie-breaking.
+
+Like the DV baseline it ignores policy entirely; under restrictive
+scenarios its routes are fast, consistent -- and illegal.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import ClassVar, Dict, Optional, Tuple
+
+from repro.adgraph.ad import ADId
+from repro.adgraph.graph import InterADGraph
+from repro.policy.flows import FlowSpec
+from repro.policy.qos import QOS
+from repro.protocols.base import ForwardingMode, RoutingProtocol
+from repro.protocols.flooding import LSNode
+from repro.simul.network import SimNetwork
+
+
+def spf_next_hops(
+    graph: InterADGraph, root: ADId, metric: str
+) -> Dict[ADId, ADId]:
+    """Dijkstra from ``root``: destination -> first hop, deterministic.
+
+    Ties break toward the lexicographically smaller (cost, dest, parent)
+    labels, so every node with the same view produces the same trees.
+    """
+    dist: Dict[ADId, float] = {root: 0.0}
+    first: Dict[ADId, ADId] = {}
+    heap = [(0.0, root, root)]
+    done = set()
+    while heap:
+        d, u, via = heapq.heappop(heap)
+        if u in done:
+            continue
+        done.add(u)
+        if u != root:
+            first[u] = via
+        for link in graph.links_of(u):
+            v = link.other(u)
+            if v in done:
+                continue
+            nd = d + link.metric(metric)
+            if nd < dist.get(v, float("inf")):
+                dist[v] = nd
+                nxt_via = v if u == root else via
+                heapq.heappush(heap, (nd, v, nxt_via))
+    return first
+
+
+class SPFNode(LSNode):
+    """LS node with per-QOS SPF next-hop tables."""
+
+    def __init__(self, ad_id: ADId) -> None:
+        super().__init__(ad_id, own_terms=(), include_terms=False)
+        self._tables: Dict[QOS, Tuple[int, Dict[ADId, ADId]]] = {}
+
+    def next_hop_to(self, dest: ADId, qos: QOS) -> Optional[ADId]:
+        if qos.is_bottleneck:
+            # The 1990 LS baseline repeats additive SPF per metric; it has
+            # no widest-path mode, so bandwidth traffic rides the default
+            # table (honest era behaviour).
+            qos = QOS.DEFAULT
+        cached = self._tables.get(qos)
+        if cached is None or cached[0] != self.db_version:
+            graph, _ = self.local_view()
+            table = spf_next_hops(graph, self.ad_id, qos.metric)
+            self._tables[qos] = (self.db_version, table)
+            self.note_computation("spf")
+        else:
+            table = cached[1]
+        return self._tables[qos][1].get(dest)
+
+    def table_size(self) -> int:
+        return sum(len(t[1]) for t in self._tables.values())
+
+
+class PlainLinkStateProtocol(RoutingProtocol):
+    """Driver for the plain LS baseline."""
+
+    name: ClassVar[str] = "plain-ls"
+    design_point = None
+    mode = ForwardingMode.HOP_BY_HOP
+    policy_aware: ClassVar[bool] = False
+
+    def _make_nodes(self, network: SimNetwork) -> None:
+        for ad_id in self.graph.ad_ids():
+            network.add_node(SPFNode(ad_id))
+
+    def next_hop(
+        self, ad_id: ADId, flow: FlowSpec, prev: Optional[ADId]
+    ) -> Optional[ADId]:
+        node = self.network.node(ad_id)
+        assert isinstance(node, SPFNode)
+        return node.next_hop_to(flow.dst, flow.qos)
+
+    def rib_size(self, ad_id: ADId) -> int:
+        node = self.network.node(ad_id)
+        assert isinstance(node, SPFNode)
+        # LSDB entries are the protocol's routing information state.
+        return len(node.lsdb)

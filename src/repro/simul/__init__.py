@@ -1,0 +1,33 @@
+"""Discrete-event message-passing simulation substrate.
+
+All routing protocols in this reproduction run as message-passing node
+processes over a deterministic discrete-event engine:
+
+* :class:`~repro.simul.engine.Simulator` — the event queue (time-ordered,
+  ties broken by insertion sequence, so runs are bit-reproducible).
+* :class:`~repro.simul.network.SimNetwork` — binds a topology to protocol
+  nodes; delivers messages with per-link delay, accounts for every byte,
+  and delivers link up/down notifications to the endpoints.
+* :class:`~repro.simul.node.ProtocolNode` — base class protocol nodes
+  extend.
+* :mod:`~repro.simul.runner` — convergence helpers and failure injection.
+"""
+
+from repro.simul.engine import Simulator
+from repro.simul.messages import Message
+from repro.simul.metrics import MetricsCollector, MetricsSnapshot
+from repro.simul.network import SimNetwork
+from repro.simul.node import ProtocolNode
+from repro.simul.runner import ConvergenceResult, converge, run_with_failures
+
+__all__ = [
+    "ConvergenceResult",
+    "Message",
+    "MetricsCollector",
+    "MetricsSnapshot",
+    "ProtocolNode",
+    "SimNetwork",
+    "Simulator",
+    "converge",
+    "run_with_failures",
+]

@@ -1,0 +1,37 @@
+"""Base message types for protocol exchanges.
+
+Concrete protocols define their own dataclass messages; they all derive
+from :class:`Message` so the network can account for their size.  Sizes
+are modelled, not serialised: each message type computes an estimated wire
+size from a small fixed header plus its payload fields, which is enough
+to compare control-traffic volume across architectures (experiments E4,
+E7) the way the paper compares them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Modelled size of the fixed per-message header (type, version, checksum,
+#: source/destination AD ids).
+HEADER_BYTES = 12
+
+#: Modelled size of one AD identifier on the wire.
+AD_ID_BYTES = 2
+
+#: Modelled size of one metric value on the wire.
+METRIC_BYTES = 4
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class for inter-AD protocol messages."""
+
+    def size_bytes(self) -> int:
+        """Estimated wire size; subclasses add their payload."""
+        return HEADER_BYTES
+
+    @property
+    def type_name(self) -> str:
+        """Short name used in per-type message accounting."""
+        return type(self).__name__

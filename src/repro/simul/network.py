@@ -1,0 +1,104 @@
+"""The simulated inter-AD network.
+
+:class:`SimNetwork` owns the topology, the event engine, the metrics
+collector, and the protocol nodes.  It is the only place control messages
+cross between nodes, so every byte is accounted here.
+
+Message delivery models the link's ``delay`` metric; messages sent over a
+link that is down (or that dies while unchecked, since we check at send
+time) are dropped and counted.  Link status changes notify both endpoint
+nodes synchronously at the scheduled time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.adgraph.ad import ADId
+from repro.adgraph.failures import FailurePlan
+from repro.adgraph.graph import InterADGraph
+from repro.simul.engine import Simulator
+from repro.simul.messages import Message
+from repro.simul.metrics import MetricsCollector
+from repro.simul.node import ProtocolNode
+
+
+class SimNetwork:
+    """Binds a topology to protocol nodes over a discrete-event engine."""
+
+    def __init__(self, graph: InterADGraph, sim: Optional[Simulator] = None) -> None:
+        self.graph = graph
+        self.sim = sim or Simulator()
+        self.metrics = MetricsCollector()
+        self.nodes: Dict[ADId, ProtocolNode] = {}
+
+    # ----------------------------------------------------------- node mgmt
+
+    def add_node(self, node: ProtocolNode) -> ProtocolNode:
+        """Register a protocol node for an AD in the graph."""
+        if node.ad_id not in self.graph:
+            raise ValueError(f"AD {node.ad_id} is not in the topology")
+        if node.ad_id in self.nodes:
+            raise ValueError(f"AD {node.ad_id} already has a node")
+        self.nodes[node.ad_id] = node
+        node.attach(self)
+        return node
+
+    def add_nodes(self, nodes: Iterable[ProtocolNode]) -> None:
+        for node in nodes:
+            self.add_node(node)
+
+    def node(self, ad_id: ADId) -> ProtocolNode:
+        return self.nodes[ad_id]
+
+    def start(self) -> None:
+        """Schedule every node's start hook at t=0 (in AD id order)."""
+        for ad_id in sorted(self.nodes):
+            self.sim.schedule(0.0, self.nodes[ad_id].start)
+
+    # ------------------------------------------------------------ messages
+
+    def send(self, src: ADId, dst: ADId, msg: Message) -> None:
+        """Transmit a control message from ``src`` to neighbour ``dst``.
+
+        The message is dropped (and counted) if no live link exists at send
+        time.  Otherwise it is delivered after the link's delay.
+        """
+        if not self.graph.has_link(src, dst):
+            raise ValueError(f"AD {src} and AD {dst} are not neighbours")
+        link = self.graph.link(src, dst)
+        if not link.up:
+            self.metrics.count_drop()
+            return
+        delay = link.metric("delay")
+        self.sim.schedule(delay, self._deliver, src, dst, msg)
+
+    def _deliver(self, src: ADId, dst: ADId, msg: Message) -> None:
+        # A link that died in flight still delivers what was already sent;
+        # the failure notification races the last messages, as in reality.
+        self.metrics.count_message(msg.type_name, msg.size_bytes(), self.sim.now)
+        self.nodes[dst].on_message(src, msg)
+
+    # ------------------------------------------------------------ failures
+
+    def set_link_status(self, a: ADId, b: ADId, up: bool) -> None:
+        """Change a link's status now and notify both endpoint nodes."""
+        link = self.graph.set_link_status(a, b, up)
+        for end in (a, b):
+            node = self.nodes.get(end)
+            if node is not None:
+                node.on_link_change(link, up)
+
+    def schedule_failure_plan(self, plan: FailurePlan) -> None:
+        """Schedule every status change of a failure plan on the engine."""
+        for ev in plan:
+            self.sim.schedule_at(ev.time, self.set_link_status, ev.a, ev.b, ev.up)
+
+    # -------------------------------------------------------------- helpers
+
+    def run(self, until: Optional[float] = None, max_events: int = 5_000_000) -> int:
+        """Run the engine (see :meth:`Simulator.run`)."""
+        return self.sim.run(until=until, max_events=max_events)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SimNetwork(ads={self.graph.num_ads}, nodes={len(self.nodes)})"

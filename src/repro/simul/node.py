@@ -1,0 +1,88 @@
+"""Protocol node base class.
+
+Each AD is represented by one :class:`ProtocolNode` (the paper's Section
+4.1 abstraction: inter-AD routing happens at AD granularity, so one
+routing entity per AD suffices; intra-AD detail is invisible).
+
+Subclasses implement three hooks:
+
+* :meth:`ProtocolNode.start` — fires once at simulation start; typically
+  sends initial advertisements to neighbours.
+* :meth:`ProtocolNode.on_message` — a control message arrived.
+* :meth:`ProtocolNode.on_link_change` — an incident link went up or down.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.adgraph.ad import ADId, InterADLink
+from repro.simul.messages import Message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simul.network import SimNetwork
+
+
+class ProtocolNode:
+    """Base class for the per-AD routing process."""
+
+    def __init__(self, ad_id: ADId) -> None:
+        self.ad_id = ad_id
+        self._network: Optional["SimNetwork"] = None
+
+    # ----------------------------------------------------------- plumbing
+
+    def attach(self, network: "SimNetwork") -> None:
+        """Called by the network when the node is registered."""
+        self._network = network
+
+    @property
+    def network(self) -> "SimNetwork":
+        if self._network is None:
+            raise RuntimeError(f"node {self.ad_id} is not attached to a network")
+        return self._network
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.network.sim.now
+
+    def neighbors(self) -> List[ADId]:
+        """Currently reachable neighbour ADs (live links only)."""
+        return self.network.graph.neighbors(self.ad_id)
+
+    def send(self, dst: ADId, msg: Message) -> None:
+        """Send a control message to a neighbour AD."""
+        self.network.send(self.ad_id, dst, msg)
+
+    def broadcast(self, msg: Message, exclude: Optional[ADId] = None) -> None:
+        """Send a message to every live neighbour (optionally minus one)."""
+        for nbr in self.neighbors():
+            if nbr != exclude:
+                self.send(nbr, msg)
+
+    def note_computation(self, kind: str, count: int = 1) -> None:
+        """Record local computation work in the run's metrics."""
+        self.network.metrics.note_computation(self.ad_id, kind, count)
+
+    def schedule(self, delay: float, fn, *args) -> "object":
+        """Schedule a local timer on the simulation engine."""
+        return self.network.sim.schedule(delay, fn, *args)
+
+    # --------------------------------------------------------------- hooks
+
+    def start(self) -> None:
+        """Simulation-start hook.  Default: do nothing."""
+
+    def on_message(self, sender: ADId, msg: Message) -> None:
+        """A control message from a neighbour arrived.  Must be overridden
+        by protocols that ever receive messages."""
+        raise NotImplementedError(
+            f"{type(self).__name__} received unexpected {msg.type_name}"
+        )
+
+    def on_link_change(self, link: InterADLink, up: bool) -> None:
+        """An incident link changed status.  Default: do nothing."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(AD{self.ad_id})"

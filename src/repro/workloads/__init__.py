@@ -1,0 +1,19 @@
+"""Workload generators: traffic matrices and bundled scenarios."""
+
+from repro.workloads.scenarios import Scenario, reference_scenario, scaled_scenario
+from repro.workloads.traffic import (
+    TrafficMatrix,
+    gravity_traffic,
+    request_sequence,
+    uniform_traffic,
+)
+
+__all__ = [
+    "Scenario",
+    "TrafficMatrix",
+    "gravity_traffic",
+    "reference_scenario",
+    "request_sequence",
+    "scaled_scenario",
+    "uniform_traffic",
+]

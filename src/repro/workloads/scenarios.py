@@ -1,0 +1,94 @@
+"""Bundled experiment scenarios: topology + policies + flows.
+
+Benchmarks and examples share these so that "the reference internet" is
+one definition, not ten slightly different ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.adgraph.generator import TopologyConfig, generate_internet, scaled_config
+from repro.adgraph.graph import InterADGraph
+from repro.core.evaluation import sample_flows
+from repro.policy.database import PolicyDatabase
+from repro.policy.flows import FlowSpec
+from repro.policy.generators import (
+    PolicyScenario,
+    hierarchical_policies,
+    restricted_policies,
+)
+
+
+@dataclass(frozen=True, eq=False)
+class Scenario:
+    """A ready-to-run experiment setting."""
+
+    name: str
+    graph: InterADGraph
+    policy_scenario: PolicyScenario
+    flows: List[FlowSpec]
+
+    @property
+    def policies(self) -> PolicyDatabase:
+        return self.policy_scenario.policies
+
+
+def reference_scenario(
+    seed: int = 0,
+    num_flows: int = 60,
+    restrictiveness: float = 0.3,
+) -> Scenario:
+    """The default mid-size internet (~60 ADs) with mixed policies.
+
+    Shape: 3 backbones, 4 regionals each, 4 campuses per regional, the
+    default lateral/bypass/multi-homing densities of Figure 1, and
+    hierarchical policies with moderate random restrictions.
+    """
+    config = TopologyConfig(
+        num_backbones=3,
+        regionals_per_backbone=4,
+        campuses_per_parent=4,
+        seed=seed,
+    )
+    graph = generate_internet(config)
+    policy = restricted_policies(graph, restrictiveness, seed=seed)
+    flows = sample_flows(graph, num_flows, seed=seed + 1)
+    return Scenario(
+        name=f"reference(seed={seed})",
+        graph=graph,
+        policy_scenario=policy,
+        flows=flows,
+    )
+
+
+def small_scenario(seed: int = 0, num_flows: int = 30) -> Scenario:
+    """A ~25-AD internet for fast tests and examples."""
+    graph = generate_internet(TopologyConfig(seed=seed))
+    policy = hierarchical_policies(graph)
+    flows = sample_flows(graph, num_flows, seed=seed + 1)
+    return Scenario(
+        name=f"small(seed={seed})",
+        graph=graph,
+        policy_scenario=policy,
+        flows=flows,
+    )
+
+
+def scaled_scenario(
+    target_ads: int,
+    seed: int = 0,
+    num_flows: int = 40,
+    restrictiveness: float = 0.2,
+) -> Scenario:
+    """A shape-preserving internet of roughly ``target_ads`` ADs (E7)."""
+    graph = generate_internet(scaled_config(target_ads, seed=seed))
+    policy = restricted_policies(graph, restrictiveness, seed=seed)
+    flows = sample_flows(graph, num_flows, seed=seed + 1)
+    return Scenario(
+        name=f"scaled({target_ads}, seed={seed})",
+        graph=graph,
+        policy_scenario=policy,
+        flows=flows,
+    )

@@ -1,0 +1,136 @@
+"""Traffic matrix and request-sequence generators.
+
+The paper contains no traffic traces; its data-plane arguments are about
+*locality* (route setup amortises when flows are reused -- Section 5.4.1's
+long-lived policy routes) and *popularity* (precomputing "commonly used
+routes" -- Section 6).  These generators expose both axes:
+
+* :func:`uniform_traffic` / :func:`gravity_traffic` — weighted flow
+  populations over edge ADs;
+* :func:`request_sequence` — a Zipf-popularity stream of route requests
+  drawn from a flow population, the workload for the setup-cache (E6)
+  and synthesis-strategy (E10) experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.adgraph.ad import ADId
+from repro.adgraph.graph import InterADGraph
+from repro.policy.flows import FlowSpec
+from repro.policy.qos import QOS
+from repro.policy.uci import UCI
+
+
+@dataclass(frozen=True)
+class TrafficMatrix:
+    """A weighted population of flows."""
+
+    entries: Tuple[Tuple[FlowSpec, float], ...]
+
+    def __post_init__(self) -> None:
+        for _flow, weight in self.entries:
+            if weight <= 0:
+                raise ValueError(f"non-positive weight {weight}")
+
+    @property
+    def flows(self) -> List[FlowSpec]:
+        return [f for f, _ in self.entries]
+
+    @property
+    def total_weight(self) -> float:
+        return sum(w for _, w in self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def _edge_ads(graph: InterADGraph) -> List[ADId]:
+    """ADs where traffic originates/terminates (leaf level)."""
+    leaves = [a.ad_id for a in graph.ads() if a.level.rank == 0]
+    return leaves if len(leaves) >= 2 else graph.ad_ids()
+
+
+def uniform_traffic(
+    graph: InterADGraph,
+    n_flows: int,
+    seed: int = 0,
+    qos_choices: Sequence[QOS] = (QOS.DEFAULT,),
+    uci_choices: Sequence[UCI] = (UCI.DEFAULT,),
+    fixed_hour: int = None,
+) -> TrafficMatrix:
+    """Uniformly random edge-to-edge flows with unit weights.
+
+    ``fixed_hour`` pins every flow to one hour of day; by default each
+    flow gets a random hour (time-of-day policies then fragment the flow
+    population, which is realistic but makes cross-strategy comparisons
+    of identical flow universes harder).
+    """
+    rng = random.Random(seed)
+    pool = _edge_ads(graph)
+    entries = []
+    for _ in range(n_flows):
+        src, dst = rng.sample(pool, 2)
+        flow = FlowSpec(
+            src,
+            dst,
+            qos=rng.choice(list(qos_choices)),
+            uci=rng.choice(list(uci_choices)),
+            hour=rng.randrange(24) if fixed_hour is None else fixed_hour,
+        )
+        entries.append((flow, 1.0))
+    return TrafficMatrix(tuple(entries))
+
+
+def gravity_traffic(
+    graph: InterADGraph,
+    n_flows: int,
+    seed: int = 0,
+) -> TrafficMatrix:
+    """Gravity-model flows: endpoint choice and weight scale with degree.
+
+    Better-connected ADs attract proportionally more traffic, which
+    concentrates load on popular routes (the amortisation-friendly case).
+    """
+    rng = random.Random(seed)
+    pool = _edge_ads(graph)
+    masses = [max(1, graph.degree(a)) for a in pool]
+    entries = []
+    for _ in range(n_flows):
+        src = rng.choices(pool, weights=masses, k=1)[0]
+        dst = src
+        while dst == src:
+            dst = rng.choices(pool, weights=masses, k=1)[0]
+        weight = float(
+            max(1, graph.degree(src)) * max(1, graph.degree(dst))
+        )
+        entries.append((FlowSpec(src, dst), weight))
+    return TrafficMatrix(tuple(entries))
+
+
+def request_sequence(
+    matrix: TrafficMatrix,
+    n_requests: int,
+    zipf_s: float = 1.0,
+    seed: int = 0,
+) -> List[FlowSpec]:
+    """A stream of route requests with Zipf-ranked flow popularity.
+
+    Flows are ranked by their matrix weight (heaviest first) and then
+    drawn with probability proportional to ``1 / rank**zipf_s``; ``s=0``
+    is uniform, larger ``s`` concentrates requests on few flows (high
+    locality, high cache hit rates).
+    """
+    if n_requests < 0:
+        raise ValueError("n_requests must be non-negative")
+    if zipf_s < 0:
+        raise ValueError("zipf_s must be non-negative")
+    ranked = [f for f, _ in sorted(matrix.entries, key=lambda e: -e[1])]
+    if not ranked:
+        return []
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) ** zipf_s for rank in range(len(ranked))]
+    return rng.choices(ranked, weights=weights, k=n_requests)

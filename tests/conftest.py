@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adgraph.generator import TopologyConfig, generate_internet
+from repro.policy.generators import hierarchical_policies, restricted_policies
+from tests.helpers import diamond_graph, line_graph, open_db, small_hierarchy
+
+
+@pytest.fixture
+def diamond():
+    return diamond_graph()
+
+
+@pytest.fixture
+def line5():
+    return line_graph(5)
+
+
+@pytest.fixture
+def hierarchy():
+    return small_hierarchy()
+
+
+@pytest.fixture
+def gen_graph():
+    """A generated ~26-AD Figure-1 internet (seeded)."""
+    return generate_internet(TopologyConfig(seed=42))
+
+
+@pytest.fixture
+def gen_policies(gen_graph):
+    return hierarchical_policies(gen_graph).policies
+
+
+@pytest.fixture
+def gen_restricted(gen_graph):
+    return restricted_policies(gen_graph, 0.4, seed=7).policies

@@ -1,0 +1,72 @@
+"""Unit tests for the AD and link value types."""
+
+import pytest
+
+from repro.adgraph.ad import (
+    AD,
+    ADKind,
+    InterADLink,
+    Level,
+    LinkKind,
+    canonical_link_key,
+)
+
+
+class TestLevel:
+    def test_rank_inverts_level(self):
+        assert Level.BACKBONE.rank == 3
+        assert Level.REGIONAL.rank == 2
+        assert Level.METRO.rank == 1
+        assert Level.CAMPUS.rank == 0
+
+    def test_backbone_is_numerically_highest(self):
+        assert Level.BACKBONE < Level.CAMPUS
+
+
+class TestADKind:
+    def test_transit_kinds(self):
+        assert ADKind.TRANSIT.may_transit
+        assert ADKind.HYBRID.may_transit
+
+    def test_non_transit_kinds(self):
+        assert not ADKind.STUB.may_transit
+        assert not ADKind.MULTIHOMED.may_transit
+
+
+class TestInterADLink:
+    def test_endpoints_are_canonicalised(self):
+        link = InterADLink(5, 2, LinkKind.LATERAL)
+        assert (link.a, link.b) == (2, 5)
+        assert link.key == (2, 5)
+
+    def test_self_link_rejected(self):
+        with pytest.raises(ValueError):
+            InterADLink(3, 3, LinkKind.LATERAL)
+
+    def test_negative_metric_rejected(self):
+        with pytest.raises(ValueError):
+            InterADLink(1, 2, LinkKind.LATERAL, {"delay": -1.0})
+
+    def test_other_endpoint(self):
+        link = InterADLink(1, 2, LinkKind.BYPASS)
+        assert link.other(1) == 2
+        assert link.other(2) == 1
+
+    def test_other_rejects_non_endpoint(self):
+        link = InterADLink(1, 2, LinkKind.BYPASS)
+        with pytest.raises(ValueError):
+            link.other(3)
+
+    def test_metric_defaults_to_unit(self):
+        link = InterADLink(1, 2, LinkKind.LATERAL, {"delay": 7.0})
+        assert link.metric("delay") == 7.0
+        assert link.metric("cost") == 1.0
+        assert link.metric("cost", default=3.0) == 3.0
+
+    def test_links_default_up(self):
+        assert InterADLink(1, 2, LinkKind.LATERAL).up
+
+
+def test_canonical_link_key():
+    assert canonical_link_key(4, 1) == (1, 4)
+    assert canonical_link_key(1, 4) == (1, 4)

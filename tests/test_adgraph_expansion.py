@@ -1,0 +1,129 @@
+"""Tests for the router-level expansion (E9's substrate)."""
+
+import networkx as nx
+import pytest
+
+from repro.adgraph.ad import Level
+from repro.adgraph.expansion import (
+    DEFAULT_ROUTERS_PER_LEVEL,
+    ExpansionConfig,
+    RouterExpansion,
+)
+from repro.adgraph.generator import TopologyConfig, generate_internet
+from tests.helpers import diamond_graph, small_hierarchy
+
+
+@pytest.fixture
+def expansion(hierarchy):
+    return RouterExpansion(hierarchy)
+
+
+class TestConfig:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            ExpansionConfig(internal_hop_delay=-1.0)
+        with pytest.raises(ValueError):
+            ExpansionConfig(routers_per_level={Level.CAMPUS: 0})
+
+
+class TestStructure:
+    def test_router_counts_by_level(self, hierarchy, expansion):
+        assert expansion.router_count(0) == DEFAULT_ROUTERS_PER_LEVEL[Level.BACKBONE]
+        assert expansion.router_count(3) == DEFAULT_ROUTERS_PER_LEVEL[Level.CAMPUS]
+        total = expansion.total_routers()
+        assert expansion.router_graph.number_of_nodes() == total
+
+    def test_internal_rings_connected(self, expansion):
+        for ad_id in expansion.ad_graph.ad_ids():
+            routers = [
+                n for n in expansion.router_graph.nodes if n[0] == ad_id
+            ]
+            sub = expansion.router_graph.subgraph(routers)
+            assert nx.is_connected(sub)
+
+    def test_expanded_graph_connected(self, expansion):
+        assert nx.is_connected(expansion.router_graph)
+
+    def test_border_routers_deterministic_and_distinct(self, expansion):
+        # Backbone 0 has several neighbours; they should not all share
+        # one border router.
+        nbrs = expansion.ad_graph.neighbors(0)
+        borders = {expansion.border_router(0, n) for n in nbrs}
+        assert len(borders) > 1
+        assert expansion.border_router(0, nbrs[0]) == expansion.border_router(
+            0, nbrs[0]
+        )
+
+    def test_inter_ad_links_present(self, expansion):
+        for link in expansion.ad_graph.links():
+            u = expansion.border_router(link.a, link.b)
+            v = expansion.border_router(link.b, link.a)
+            assert expansion.router_graph.has_edge(u, v)
+            assert expansion.router_graph[u][v]["delay"] == link.metric("delay")
+
+    def test_down_links_excluded(self, hierarchy):
+        hierarchy.set_link_status(0, 1, up=False)
+        expansion = RouterExpansion(hierarchy)
+        u = expansion.border_router(0, 1)
+        v = expansion.border_router(1, 0)
+        assert not expansion.router_graph.has_edge(u, v)
+
+
+class TestCosts:
+    def test_stretch_at_least_one(self, expansion):
+        stretch = expansion.stretch((3, 1, 0, 2, 5))
+        assert stretch is not None and stretch >= 1.0
+
+    def test_trivial_paths(self, expansion):
+        assert expansion.stretch((3,)) == 1.0
+        assert expansion.realized_cost((3,)) == 0.0
+        assert expansion.realized_cost(()) is None
+
+    def test_corridor_enforces_ad_sequence(self, expansion):
+        # The corridor for 3->1->4 must not contain backbone routers.
+        corridor = expansion.corridor((3, 1, 4))
+        assert all(node[0] in {3, 1, 4} for node in corridor.nodes)
+
+    def test_detour_route_costs_more(self):
+        g = diamond_graph()
+        exp = RouterExpansion(g)
+        direct = exp.realized_cost((0, 1, 3))
+        detour = exp.realized_cost((0, 2, 3))
+        assert detour > direct
+
+    def test_optimal_cost_none_when_partitioned(self, hierarchy):
+        for link in list(hierarchy.links_of(3)):
+            hierarchy.set_link_status(link.a, link.b, up=False)
+        exp = RouterExpansion(hierarchy)
+        assert exp.optimal_cost(3, 5) is None
+        assert exp.stretch((3, 1, 0, 2, 5)) is None
+
+    def test_information_volume(self, expansion):
+        ad_level, router_level = expansion.information_volume()
+        assert ad_level == expansion.ad_graph.num_ads + 2 * expansion.ad_graph.num_links
+        assert router_level > ad_level
+
+
+class TestOnGeneratedInternet:
+    def test_stretch_reasonable_across_flows(self):
+        import random
+
+        g = generate_internet(TopologyConfig(seed=33))
+        exp = RouterExpansion(g)
+        from repro.core.synthesis import synthesize_route
+        from repro.policy.flows import FlowSpec
+        from repro.policy.generators import open_policies
+
+        db = open_policies(g).policies
+        rng = random.Random(33)
+        stubs = [a.ad_id for a in g.stub_ads()]
+        checked = 0
+        for _ in range(20):
+            src, dst = rng.sample(stubs, 2)
+            route = synthesize_route(g, db, FlowSpec(src, dst))
+            if route is None:
+                continue
+            stretch = exp.stretch(route.path)
+            assert stretch is not None and 1.0 <= stretch < 3.0
+            checked += 1
+        assert checked > 5

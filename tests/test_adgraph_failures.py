@@ -1,0 +1,80 @@
+"""Tests for failure plans."""
+
+import pytest
+
+from repro.adgraph.ad import LinkKind
+from repro.adgraph.failures import (
+    FailurePlan,
+    LinkFailure,
+    random_failure_plan,
+    safe_failure_candidates,
+)
+from repro.adgraph.generator import TopologyConfig, generate_internet
+from tests.helpers import line_graph, mk_graph
+
+
+class TestFailurePlan:
+    def test_events_must_be_time_ordered(self):
+        with pytest.raises(ValueError):
+            FailurePlan((LinkFailure(10, 1, 2), LinkFailure(5, 2, 3)))
+
+    def test_iteration_and_len(self):
+        plan = FailurePlan((LinkFailure(1, 1, 2), LinkFailure(2, 2, 3)))
+        assert len(plan) == 2
+        assert [e.time for e in plan] == [1, 2]
+
+
+class TestSafeCandidates:
+    def test_line_has_no_safe_candidates(self):
+        g = line_graph(4)
+        assert safe_failure_candidates(g) == []
+
+    def test_cycle_links_are_safe(self):
+        g = mk_graph(
+            [(0, "Rt"), (1, "Rt"), (2, "Rt")], [(0, 1), (1, 2), (0, 2)]
+        )
+        assert len(safe_failure_candidates(g)) == 3
+
+    def test_bridge_excluded_from_cycle_graph(self):
+        g = mk_graph(
+            [(0, "Rt"), (1, "Rt"), (2, "Rt"), (3, "Cs")],
+            [(0, 1), (1, 2), (0, 2), (2, 3)],
+        )
+        safe = safe_failure_candidates(g)
+        assert (2, 3) not in safe
+        assert len(safe) == 3
+
+
+class TestRandomPlan:
+    def test_failing_planned_links_keeps_connectivity(self):
+        g = generate_internet(TopologyConfig(seed=1, lateral_prob=0.6))
+        plan = random_failure_plan(g, count=3, seed=2)
+        for ev in plan:
+            g.set_link_status(ev.a, ev.b, ev.up)
+            assert g.is_connected()
+
+    def test_spacing_and_repair(self):
+        g = generate_internet(TopologyConfig(seed=1, lateral_prob=0.6))
+        plan = random_failure_plan(
+            g, count=2, start_time=100, spacing=50, repair=True, seed=0
+        )
+        times = [e.time for e in plan]
+        assert times == [100, 125, 150, 175]
+        assert [e.up for e in plan] == [False, True, False, True]
+
+    def test_kind_filter(self):
+        g = generate_internet(TopologyConfig(seed=3, lateral_prob=0.8))
+        plan = random_failure_plan(g, count=1, kinds=[LinkKind.LATERAL], seed=1)
+        ev = list(plan)[0]
+        assert g.link(ev.a, ev.b).kind is LinkKind.LATERAL
+
+    def test_raises_when_not_enough_candidates(self):
+        g = line_graph(4)
+        with pytest.raises(ValueError):
+            random_failure_plan(g, count=1)
+
+    def test_deterministic(self):
+        g = generate_internet(TopologyConfig(seed=1, lateral_prob=0.6))
+        p1 = random_failure_plan(g, count=3, seed=9)
+        p2 = random_failure_plan(g, count=3, seed=9)
+        assert list(p1) == list(p2)

@@ -1,0 +1,67 @@
+"""Tests for tables and statistics helpers."""
+
+import pytest
+
+from repro.analysis.stats import percentile, summarize
+from repro.analysis.tables import Table
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table("name", "value", title="demo")
+        t.add("alpha", 1)
+        t.add("b", 22)
+        text = t.render()
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        # Columns align: every row has the same prefix width.
+        assert lines[3].index("1") == lines[4].index("2")
+
+    def test_row_arity_checked(self):
+        t = Table("a", "b")
+        with pytest.raises(ValueError):
+            t.add(1)
+
+    def test_needs_columns(self):
+        with pytest.raises(ValueError):
+            Table()
+
+    def test_values_stringified(self):
+        t = Table("x")
+        t.add(3.14159)
+        assert "3.14159" in t.render()
+
+
+class TestStats:
+    def test_summary_of_constant(self):
+        s = summarize([5, 5, 5])
+        assert s.mean == 5 and s.stdev == 0
+        assert s.minimum == s.maximum == s.p50 == 5
+
+    def test_summary_basic(self):
+        s = summarize(range(1, 101))
+        assert s.n == 100
+        assert s.mean == pytest.approx(50.5)
+        assert s.p50 == pytest.approx(50.5)
+        assert s.p95 == pytest.approx(95.05)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_percentile_bounds(self):
+        data = [1.0, 2.0, 3.0]
+        assert percentile(data, 0.0) == 1.0
+        assert percentile(data, 1.0) == 3.0
+        assert percentile(data, 0.5) == 2.0
+        with pytest.raises(ValueError):
+            percentile(data, 1.5)
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_single_value(self):
+        assert percentile([7.0], 0.3) == 7.0
+        s = summarize([7.0])
+        assert s.stdev == 0.0

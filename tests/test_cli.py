@@ -1,0 +1,105 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTopology:
+    def test_shape_flags(self, capsys):
+        assert main(["topology", "--seed", "3", "--backbones", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "ADs" in out and "connected" in out and "yes" in out
+
+    def test_target_size(self, capsys):
+        assert main(["topology", "--target", "80"]) == 0
+        out = capsys.readouterr().out
+        assert "ADs" in out
+
+
+class TestRoute:
+    def test_known_flow(self, capsys):
+        code = main(
+            ["route", "--seed", "0", "--src", "15", "--dst", "62", "-k", "2"]
+        )
+        out = capsys.readouterr().out
+        if code == 0:
+            assert "Policy routes" in out
+            assert "->" in out
+        else:
+            assert "no legal route" in out
+
+    def test_unknown_ad_rejected(self, capsys):
+        assert main(["route", "--src", "0", "--dst", "9999"]) == 2
+        assert "not in topology" in capsys.readouterr().err
+
+    def test_qos_flag(self, capsys):
+        code = main(
+            ["route", "--src", "15", "--dst", "62", "--qos", "low_cost"]
+        )
+        assert code in (0, 1)
+
+
+class TestAudit:
+    def test_summary(self, capsys):
+        assert main(["audit", "--restrictiveness", "0.4"]) == 0
+        out = capsys.readouterr().out
+        assert "Connectivity audit" in out
+
+    def test_verbose_lists_findings(self, capsys):
+        assert main(["audit", "--restrictiveness", "0.6", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "blocked" in out
+
+
+class TestImpact:
+    def test_withdrawal(self, capsys):
+        assert main(["impact", "--owner", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "Impact of policy change at AD 0" in out
+
+    def test_rank(self, capsys):
+        assert main(["impact", "--rank", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "critical transit" in out
+
+    def test_unknown_owner(self, capsys):
+        assert main(["impact", "--owner", "9999"]) == 2
+
+
+class TestExperiments:
+    def test_lists_all(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        for exp in ("E1", "E5", "E10", "A1-A4"):
+            assert exp in out
+        assert "pytest benchmarks/" in out
+
+
+def test_scorecard_runs(capsys):
+    assert main(["scorecard", "--flows", "8", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1 (measured)" in out
+    assert "LS/Src/PT" in out
+
+
+class TestConverge:
+    def test_initial_only(self, capsys):
+        assert main(["converge", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Convergence" in out and "orwg" in out
+
+    def test_with_failures(self, capsys):
+        assert main(["converge", "--seed", "2", "--failures", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "mean msgs/event" in out
+
+
+class TestReport:
+    def test_collates_existing_artifacts(self, tmp_path, capsys):
+        out = tmp_path / "REPORT.txt"
+        code = main(["report", "--skip-run", "--output", str(out)])
+        assert code == 0
+        text = out.read_text()
+        assert "REPRODUCTION REPORT" in text
+        assert "experiment tables" in capsys.readouterr().out

@@ -1,0 +1,70 @@
+"""Tests for the design-space enumeration (Table 1 structure)."""
+
+from repro.core.design_space import (
+    Algorithm,
+    DecisionLocation,
+    DesignPoint,
+    LS_SRC_TERMS,
+    PAPER_VERDICTS,
+    PolicyExpression,
+    enumerate_design_space,
+    verdict_for,
+)
+
+
+class TestEnumeration:
+    def test_eight_distinct_points(self):
+        points = enumerate_design_space()
+        assert len(points) == 8
+        assert len(set(points)) == 8
+
+    def test_covers_full_cross_product(self):
+        points = set(enumerate_design_space())
+        expected = {
+            DesignPoint(a, l, e)
+            for a in Algorithm
+            for l in DecisionLocation
+            for e in PolicyExpression
+        }
+        assert points == expected
+
+    def test_section5_walk_order(self):
+        """Section 5 changes one axis at a time; the first four points
+        must follow that walk."""
+        first_four = enumerate_design_space()[:4]
+        labels = [p.label for p in first_four]
+        assert labels == ["DV/HbH/Topo", "DV/HbH/PT", "LS/HbH/PT", "LS/Src/PT"]
+        for a, b in zip(first_four, first_four[1:]):
+            differing = sum(
+                [
+                    a.algorithm != b.algorithm,
+                    a.location != b.location,
+                    a.expression != b.expression,
+                ]
+            )
+            assert differing == 1
+
+
+class TestVerdicts:
+    def test_every_point_has_a_verdict(self):
+        for point in enumerate_design_space():
+            verdict = verdict_for(point)
+            assert verdict.summary
+            assert verdict.section.startswith("5")
+
+    def test_exactly_one_recommended(self):
+        recommended = [p for p in PAPER_VERDICTS if PAPER_VERDICTS[p].recommended]
+        assert recommended == [LS_SRC_TERMS]
+
+    def test_four_dismissed(self):
+        dismissed = [p for p in PAPER_VERDICTS if PAPER_VERDICTS[p].dismissed]
+        assert len(dismissed) == 4
+        for p in dismissed:
+            assert not PAPER_VERDICTS[p].recommended
+
+    def test_labels_stable(self):
+        p = DesignPoint(
+            Algorithm.LINK_STATE, DecisionLocation.SOURCE, PolicyExpression.TERMS
+        )
+        assert p.label == "LS/Src/PT"
+        assert p == LS_SRC_TERMS

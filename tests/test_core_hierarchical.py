@@ -1,0 +1,201 @@
+"""Tests for hierarchical (corridor-pruned) route synthesis."""
+
+import pytest
+
+from repro.adgraph.generator import TopologyConfig, generate_internet
+from repro.core.evaluation import legal_route_exists, sample_flows
+from repro.core.hierarchical import (
+    CORE_REGION,
+    HierarchicalSynthesizer,
+    build_super_graph,
+    partition_by_region,
+)
+from repro.core.synthesis import synthesize_route
+from repro.policy.generators import hierarchical_policies, restricted_policies
+from repro.policy.legality import is_legal_path
+from repro.policy.selection import RouteSelectionPolicy
+from tests.helpers import small_hierarchy
+
+
+class TestPartition:
+    def test_small_hierarchy_regions(self, hierarchy):
+        region = partition_by_region(hierarchy)
+        assert region[0] == CORE_REGION
+        # Each regional founds its own region with its campuses.
+        assert region[1] == region[3] == region[4]
+        assert region[2] == region[5] == region[6]
+        assert region[1] != region[2]
+        assert region[1] != CORE_REGION
+
+    def test_total_coverage(self, gen_graph):
+        region = partition_by_region(gen_graph)
+        assert set(region) == set(gen_graph.ad_ids())
+
+    def test_multihomed_claimed_once(self, gen_graph):
+        region = partition_by_region(gen_graph)
+        # A partition: every AD has exactly one region (dict guarantees),
+        # and regions are non-empty.
+        from collections import Counter
+
+        counts = Counter(region.values())
+        assert all(v >= 1 for v in counts.values())
+
+
+class TestSuperGraph:
+    def test_edges_cross_regions(self, hierarchy):
+        region = partition_by_region(hierarchy)
+        sg = build_super_graph(hierarchy, region)
+        assert sg.has_edge(CORE_REGION, region[1])
+        assert sg.has_edge(CORE_REGION, region[2])
+        # The 1-2 regional lateral links the two regions directly.
+        assert sg.has_edge(region[1], region[2])
+
+    def test_down_links_ignored(self, hierarchy):
+        hierarchy.set_link_status(1, 2, up=False)
+        region = partition_by_region(hierarchy)
+        sg = build_super_graph(hierarchy, region)
+        assert not sg.has_edge(region[1], region[2])
+
+
+class TestHierarchicalSynthesis:
+    @pytest.fixture
+    def setting(self):
+        graph = generate_internet(
+            TopologyConfig(
+                num_backbones=2,
+                regionals_per_backbone=3,
+                campuses_per_parent=4,
+                seed=77,
+            )
+        )
+        policies = restricted_policies(graph, 0.3, seed=77).policies
+        flows = sample_flows(graph, 30, seed=78)
+        return graph, policies, flows
+
+    def test_routes_are_legal(self, setting):
+        graph, policies, flows = setting
+        hs = HierarchicalSynthesizer(graph, policies)
+        for flow in flows:
+            route = hs.route(flow)
+            if route is not None:
+                assert is_legal_path(graph, policies, route.path, flow)
+
+    def test_complete_with_fallback(self, setting):
+        """With the fallback on, hierarchical synthesis finds a route
+        exactly when one exists."""
+        graph, policies, flows = setting
+        hs = HierarchicalSynthesizer(graph, policies, fallback=True)
+        for flow in flows:
+            exists = legal_route_exists(graph, policies, flow)
+            assert (hs.route(flow) is not None) == bool(exists)
+
+    def test_prunes_search_work(self, setting):
+        graph, policies, flows = setting
+        from repro.core.synthesis import SynthesisStats
+
+        flat = SynthesisStats()
+        for flow in flows:
+            synthesize_route(graph, policies, flow, stats=flat)
+        hs = HierarchicalSynthesizer(graph, policies)
+        for flow in flows:
+            hs.route(flow)
+        assert hs.stats.hit_ratio > 0.5
+        # Corridor searches expand fewer states per hit than flat search
+        # overall (fallbacks may erode but not erase the saving).
+        assert hs.stats.synthesis.states_expanded < flat.states_expanded * 1.5
+
+    def test_no_fallback_may_lose_routes_but_never_invents(self, setting):
+        graph, policies, flows = setting
+        hs = HierarchicalSynthesizer(graph, policies, fallback=False)
+        for flow in flows:
+            route = hs.route(flow)
+            if route is not None:
+                assert is_legal_path(graph, policies, route.path, flow)
+            else:
+                # Might be a corridor miss -- but never a false positive.
+                pass
+
+    def test_same_region_flow(self, hierarchy):
+        from repro.policy.flows import FlowSpec
+
+        policies = hierarchical_policies(hierarchy).policies
+        hs = HierarchicalSynthesizer(hierarchy, policies)
+        route = hs.route(FlowSpec(3, 4))
+        assert route is not None
+        assert route.path == (3, 1, 4)
+        assert hs.stats.corridor_hits == 1
+
+    def test_selection_criteria_respected(self, setting):
+        graph, policies, flows = setting
+        hs = HierarchicalSynthesizer(graph, policies)
+        flow = next(
+            f for f in flows if (r := hs.route(f)) is not None and r.hops >= 2
+        )
+        baseline = hs.route(flow)
+        sel = RouteSelectionPolicy(avoid_ads=frozenset({baseline.path[1]}))
+        alt = hs.route(flow, sel)
+        if alt is not None:
+            assert baseline.path[1] not in alt.path
+
+    def test_invalid_args(self, hierarchy):
+        policies = hierarchical_policies(hierarchy).policies
+        with pytest.raises(ValueError):
+            HierarchicalSynthesizer(hierarchy, policies, max_region_paths=0)
+
+
+class TestRegionPathCandidates:
+    @pytest.fixture
+    def synth(self, hierarchy):
+        return HierarchicalSynthesizer(
+            hierarchy, hierarchical_policies(hierarchy).policies
+        )
+
+    def test_same_region_includes_core_hairpin(self, synth, hierarchy):
+        region = synth.region
+        candidates = synth._region_paths(region[3], region[4])
+        assert (region[3],) in candidates
+        # Hairpin through the core offered when adjacent.
+        assert any(CORE_REGION in c for c in candidates)
+
+    def test_cross_region_includes_via_core(self, synth):
+        src_r = synth.region[3]
+        dst_r = synth.region[5]
+        candidates = synth._region_paths(src_r, dst_r)
+        assert (src_r, CORE_REGION, dst_r) in candidates
+
+    def test_union_candidate_last_and_superset(self, synth):
+        src_r = synth.region[3]
+        dst_r = synth.region[5]
+        candidates = synth._region_paths(src_r, dst_r)
+        union = candidates[-1]
+        for c in candidates[:-1]:
+            assert set(c) <= set(union)
+
+    def test_disconnected_regions_no_candidates(self, hierarchy):
+        # Cut both regionals off the backbone and each other: region of 3
+        # cannot reach region of 5 at all.
+        hierarchy.set_link_status(0, 2, up=False)
+        hierarchy.set_link_status(1, 2, up=False)
+        synth = HierarchicalSynthesizer(
+            hierarchy, hierarchical_policies(hierarchy).policies
+        )
+        assert synth._region_paths(synth.region[3], synth.region[5]) == []
+
+    def test_members_partition(self, synth, hierarchy):
+        all_members = set()
+        for rid in set(synth.region.values()):
+            members = synth.members(rid)
+            assert not (all_members & set(members))
+            all_members |= set(members)
+        assert all_members == set(hierarchy.ad_ids())
+
+    def test_required_ad_outside_corridor_skips_to_fallback(self, synth, hierarchy):
+        from repro.policy.flows import FlowSpec
+        from repro.policy.selection import RouteSelectionPolicy
+
+        # Require an AD in the *other* region: the intra-region corridor
+        # cannot satisfy it, but the search must still find the detour.
+        sel = RouteSelectionPolicy(require_ads=frozenset({2}))
+        route = synth.route(FlowSpec(3, 4), sel)
+        if route is not None:
+            assert 2 in route.path

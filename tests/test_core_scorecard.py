@@ -1,0 +1,57 @@
+"""Tests for the measured Table 1 (E1's engine)."""
+
+import pytest
+
+from repro.core.design_space import LS_SRC_TERMS, enumerate_design_space
+from repro.core.evaluation import sample_flows
+from repro.core.scorecard import build_scorecard, render_scorecard, score_design_point
+from repro.policy.generators import hierarchical_policies
+from tests.helpers import small_hierarchy
+
+
+@pytest.fixture(scope="module")
+def scorecard():
+    g = small_hierarchy()
+    db = hierarchical_policies(g).policies
+    flows = sample_flows(g, 20, seed=2, endpoints="all")
+    return build_scorecard(g, db, flows)
+
+
+class TestScorecard:
+    def test_all_eight_points_scored(self, scorecard):
+        assert [r.point for r in scorecard] == enumerate_design_space()
+
+    def test_recommended_point_dominates(self, scorecard):
+        """The paper's conclusion, measured: LS/Src/PT has full
+        availability, no illegal routes, no loops, and source control."""
+        by_point = {r.point: r for r in scorecard}
+        orwg = by_point[LS_SRC_TERMS]
+        assert orwg.availability == 1.0
+        assert orwg.illegal_routes == 0
+        assert orwg.forwarding_loops == 0
+        assert orwg.source_control
+        assert all(orwg.availability >= r.availability for r in scorecard)
+
+    def test_paper_verdicts_attached(self, scorecard):
+        for row in scorecard:
+            assert row.paper_verdict.summary
+
+    def test_rendering_contains_all_rows(self, scorecard):
+        text = render_scorecard(scorecard)
+        for row in scorecard:
+            assert row.point.label in text
+        assert "Table 1" in text
+
+    def test_rows_have_positive_control_traffic(self, scorecard):
+        for row in scorecard:
+            assert row.messages > 0
+            assert row.bytes > 0
+
+
+def test_score_single_point():
+    g = small_hierarchy()
+    db = hierarchical_policies(g).policies
+    flows = sample_flows(g, 10, seed=1, endpoints="all")
+    row = score_design_point(LS_SRC_TERMS, g, db, flows)
+    assert row.protocol == "orwg"
+    assert row.max_rib > 0

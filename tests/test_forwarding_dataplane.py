@@ -1,0 +1,104 @@
+"""Tests for the data plane: enforcement, loops, blackholes."""
+
+import pytest
+
+from repro.forwarding.dataplane import DataPlaneReport, forward_flow, run_traffic
+from repro.policy.database import PolicyDatabase
+from repro.policy.flows import FlowSpec
+from repro.policy.sets import ADSet
+from repro.policy.terms import PolicyTerm
+from repro.protocols.dv import DistanceVectorProtocol
+from repro.protocols.orwg import ORWGProtocol
+from tests.helpers import diamond_graph, line_graph, mk_graph, open_db
+
+
+class TestForwardFlow:
+    def test_delivery_over_converged_dv(self):
+        g = line_graph(4)
+        proto = DistanceVectorProtocol(g, open_db(g))
+        proto.converge()
+        outcome = forward_flow(proto, FlowSpec(0, 3))
+        assert outcome.delivered
+        assert outcome.path == (0, 1, 2, 3)
+        assert outcome.hops == 3
+
+    def test_trivial_flow(self):
+        g = line_graph(2)
+        proto = DistanceVectorProtocol(g, PolicyDatabase())
+        proto.converge()
+        outcome = forward_flow(proto, FlowSpec(0, 0))
+        assert outcome.delivered and outcome.path == (0,)
+
+    def test_policy_enforcement_drops_at_transit(self):
+        """A policy-blind protocol's packet dies at the first transit AD
+        whose policy forbids it -- when enforcement is on."""
+        g = line_graph(4)
+        db = PolicyDatabase()
+        db.add_term(PolicyTerm(owner=1))
+        db.add_term(PolicyTerm(owner=2, sources=ADSet.of([99])))
+        proto = DistanceVectorProtocol(g, db)
+        proto.converge()
+        enforced = forward_flow(proto, FlowSpec(0, 3), enforce_policy=True)
+        assert not enforced.delivered
+        assert "AD 2 policy drop" in enforced.reason
+        permissive = forward_flow(proto, FlowSpec(0, 3), enforce_policy=False)
+        assert permissive.delivered
+
+    def test_blackhole_on_stale_tables(self):
+        g = line_graph(3)
+        proto = DistanceVectorProtocol(g, PolicyDatabase())
+        proto.converge()
+        # Fail a link *without* letting the protocol reconverge.
+        g.set_link_status(1, 2, up=False)
+        outcome = forward_flow(proto, FlowSpec(0, 2))
+        assert not outcome.delivered
+        assert "no live link" in outcome.reason
+
+    def test_source_route_mode(self):
+        g = diamond_graph()
+        proto = ORWGProtocol(g, open_db(g))
+        proto.converge()
+        outcome = forward_flow(proto, FlowSpec(0, 3))
+        assert outcome.delivered
+        assert outcome.path == (0, 1, 3)
+
+    def test_source_mode_no_route(self):
+        g = line_graph(3)
+        proto = ORWGProtocol(g, PolicyDatabase())
+        proto.converge()
+        outcome = forward_flow(proto, FlowSpec(0, 2))
+        assert not outcome.delivered
+        assert outcome.reason == "no source route"
+
+
+class TestRunTraffic:
+    def test_report_aggregates(self, gen_graph, gen_policies):
+        from repro.core.evaluation import sample_flows
+
+        proto = ORWGProtocol(gen_graph, gen_policies)
+        proto.converge()
+        flows = sample_flows(gen_graph, 25, seed=13)
+        report = run_traffic(proto, flows)
+        assert report.n_flows == 25
+        assert report.delivered + (25 - report.delivered) == 25
+        assert 0.0 <= report.delivery_ratio <= 1.0
+        assert report.loops == 0
+        if report.delivered:
+            assert report.mean_hops() > 0
+
+    def test_orwg_delivery_matches_availability(self, gen_graph, gen_restricted):
+        """Source-routed traffic is delivered iff a legal route exists:
+        data plane and control plane agree."""
+        from repro.core.evaluation import legal_route_exists, sample_flows
+
+        proto = ORWGProtocol(gen_graph, gen_restricted)
+        proto.converge()
+        for flow in sample_flows(gen_graph, 20, seed=14):
+            outcome = forward_flow(proto, flow)
+            exists = legal_route_exists(gen_graph, gen_restricted, flow)
+            assert outcome.delivered == bool(exists)
+
+    def test_empty_report(self):
+        report = DataPlaneReport()
+        assert report.delivery_ratio == 1.0
+        assert report.mean_hops() == 0.0

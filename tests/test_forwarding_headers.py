@@ -1,0 +1,60 @@
+"""Tests for the packet header size models (E6's accounting)."""
+
+import pytest
+
+from repro.forwarding.headers import (
+    amortized_handle_bytes,
+    handle_header_bytes,
+    hop_by_hop_header_bytes,
+    setup_header_bytes,
+    source_route_header_bytes,
+)
+
+
+class TestHeaderModels:
+    def test_source_route_grows_with_route(self):
+        assert source_route_header_bytes(8) > source_route_header_bytes(3)
+
+    def test_handle_smaller_than_any_multi_hop_source_route(self):
+        assert handle_header_bytes() < source_route_header_bytes(3)
+
+    def test_handle_slightly_bigger_than_plain(self):
+        assert handle_header_bytes() == hop_by_hop_header_bytes() + 4
+
+    def test_setup_carries_route_and_citations(self):
+        short = setup_header_bytes(3, 1)
+        long = setup_header_bytes(8, 6)
+        assert long > short
+        assert setup_header_bytes(3, 2) == setup_header_bytes(3, 1) + 4
+
+    def test_invalid_route_lengths(self):
+        with pytest.raises(ValueError):
+            source_route_header_bytes(0)
+        with pytest.raises(ValueError):
+            setup_header_bytes(0, 0)
+
+
+class TestAmortisation:
+    def test_amortised_cost_decreases_with_stream_length(self):
+        few = amortized_handle_bytes(6, 4, packets=2)
+        many = amortized_handle_bytes(6, 4, packets=100)
+        assert many < few
+
+    def test_amortised_beats_per_packet_source_route_for_long_streams(self):
+        """Section 5.4.1's argument: for long-lived routes, setup+handle
+        beats carrying the source route in every packet."""
+        route_len, terms = 6, 4
+        per_packet = source_route_header_bytes(route_len)
+        amortised = amortized_handle_bytes(route_len, terms, packets=50)
+        assert amortised < per_packet
+
+    def test_single_packet_is_worse(self):
+        """...but a one-packet exchange pays more: the crossover exists."""
+        route_len, terms = 6, 4
+        per_packet = source_route_header_bytes(route_len)
+        amortised = amortized_handle_bytes(route_len, terms, packets=1)
+        assert amortised > per_packet
+
+    def test_rejects_zero_packets(self):
+        with pytest.raises(ValueError):
+            amortized_handle_bytes(3, 1, packets=0)

@@ -1,0 +1,88 @@
+"""Tests for ORWG message wire-size models and the flooding message sizes."""
+
+import pytest
+
+from repro.policy.flows import FlowSpec
+from repro.policy.terms import PolicyTerm, TermRef
+from repro.protocols.flooding import LinkRecord, LinkStateAd, LSDBExchange
+from repro.protocols.orwg.messages import (
+    DataPacket,
+    FLOW_SPEC_BYTES,
+    Handle,
+    SetupAck,
+    SetupNak,
+    SetupPacket,
+    TeardownPacket,
+)
+from repro.simul.messages import AD_ID_BYTES, HEADER_BYTES, Message
+
+
+FLOW = FlowSpec(1, 9)
+HANDLE = Handle(1, 7)
+
+
+class TestSetupMessages:
+    def test_setup_size_grows_with_route_and_refs(self):
+        short = SetupPacket(HANDLE, FLOW, (1, 2, 9), (TermRef(2, 0),), 1)
+        long = SetupPacket(
+            HANDLE, FLOW, (1, 2, 3, 4, 9), (TermRef(2, 0), TermRef(3, 0), TermRef(4, 1)), 1
+        )
+        assert long.size_bytes() == short.size_bytes() + 2 * AD_ID_BYTES + 2 * 4
+
+    def test_ack_and_teardown_sizes(self):
+        route = (1, 2, 9)
+        ack = SetupAck(HANDLE, route, 1)
+        teardown = TeardownPacket(HANDLE, route, 1)
+        assert ack.size_bytes() == teardown.size_bytes()
+        assert ack.size_bytes() > HEADER_BYTES
+
+    def test_nak_carries_reason(self):
+        short = SetupNak(HANDLE, (1, 2, 9), 1, rejected_by=2, reason="x")
+        long = SetupNak(HANDLE, (1, 2, 9), 1, rejected_by=2, reason="x" * 20)
+        assert long.size_bytes() == short.size_bytes() + 19
+
+
+class TestDataPacket:
+    def test_handle_mode_header(self):
+        pkt = DataPacket(HANDLE, FLOW, payload_bytes=100)
+        assert pkt.header_bytes() == HEADER_BYTES + 4 + FLOW_SPEC_BYTES
+        assert pkt.size_bytes() == pkt.header_bytes() + 100
+
+    def test_datagram_mode_header_grows_with_route(self):
+        short = DataPacket(HANDLE, FLOW, (1, 2, 9), 1)
+        long = DataPacket(HANDLE, FLOW, (1, 2, 3, 4, 9), 1)
+        assert long.header_bytes() == short.header_bytes() + 2 * AD_ID_BYTES
+
+    def test_payload_excluded_from_header(self):
+        a = DataPacket(HANDLE, FLOW, payload_bytes=1)
+        b = DataPacket(HANDLE, FLOW, payload_bytes=1000)
+        assert a.header_bytes() == b.header_bytes()
+        assert b.size_bytes() - a.size_bytes() == 999
+
+
+class TestFloodingMessages:
+    def test_lsa_size_counts_links_and_terms(self):
+        bare = LinkStateAd(origin=1, seq=1, links=())
+        with_link = LinkStateAd(
+            origin=1, seq=1, links=(LinkRecord(2, 1.0, 1.0, True),)
+        )
+        with_term = LinkStateAd(
+            origin=1, seq=1, links=(), terms=(PolicyTerm(owner=1),)
+        )
+        assert with_link.size_bytes() == bare.size_bytes() + LinkRecord(
+            2, 1.0, 1.0, True
+        ).size_bytes()
+        assert with_term.size_bytes() == bare.size_bytes() + PolicyTerm(
+            owner=1
+        ).size_bytes()
+
+    def test_lsdb_exchange_shares_one_header(self):
+        lsa = LinkStateAd(origin=1, seq=1, links=(LinkRecord(2, 1.0, 1.0, True),))
+        exchange = LSDBExchange((lsa, lsa))
+        assert exchange.size_bytes() == HEADER_BYTES + 2 * (
+            lsa.size_bytes() - HEADER_BYTES
+        )
+
+    def test_base_message_header(self):
+        assert Message().size_bytes() == HEADER_BYTES
+        assert Message().type_name == "Message"

@@ -1,0 +1,82 @@
+"""Tests for the policy database."""
+
+import pytest
+
+from repro.policy.database import PolicyDatabase
+from repro.policy.flows import FlowSpec
+from repro.policy.sets import ADSet
+from repro.policy.terms import PolicyTerm
+
+
+class TestTermManagement:
+    def test_term_ids_assigned_per_owner(self):
+        db = PolicyDatabase()
+        t0 = db.add_term(PolicyTerm(owner=1))
+        t1 = db.add_term(PolicyTerm(owner=1))
+        t2 = db.add_term(PolicyTerm(owner=2))
+        assert (t0.term_id, t1.term_id, t2.term_id) == (0, 1, 0)
+
+    def test_lookup_by_citation(self):
+        db = PolicyDatabase()
+        stored = db.add_term(PolicyTerm(owner=3, sources=ADSet.of([1])))
+        assert db.term(3, 0) == stored
+        with pytest.raises(KeyError):
+            db.term(3, 1)
+        with pytest.raises(KeyError):
+            db.term(4, 0)
+
+    def test_version_bumps_on_mutation(self):
+        db = PolicyDatabase()
+        v0 = db.version
+        db.add_term(PolicyTerm(owner=1))
+        assert db.version == v0 + 1
+        db.remove_terms(1)
+        assert db.version == v0 + 2
+        # Removing nothing does not bump.
+        v = db.version
+        db.remove_terms(99)
+        assert db.version == v
+
+    def test_owners_and_all_terms_ordering(self):
+        db = PolicyDatabase()
+        db.add_term(PolicyTerm(owner=5))
+        db.add_term(PolicyTerm(owner=2))
+        db.add_term(PolicyTerm(owner=5))
+        assert db.owners() == [2, 5]
+        assert [(t.owner, t.term_id) for t in db.all_terms()] == [
+            (2, 0),
+            (5, 0),
+            (5, 1),
+        ]
+        assert db.num_terms == 3
+
+    def test_init_from_iterable(self):
+        db = PolicyDatabase([PolicyTerm(owner=1), PolicyTerm(owner=1)])
+        assert db.num_terms == 2
+
+    def test_copy_is_independent(self):
+        db = PolicyDatabase([PolicyTerm(owner=1)])
+        clone = db.copy()
+        clone.add_term(PolicyTerm(owner=2))
+        assert db.num_terms == 1
+        assert clone.num_terms == 2
+
+
+class TestTransitPermits:
+    def test_no_terms_means_no_transit(self):
+        db = PolicyDatabase()
+        assert not db.transit_permits(7, FlowSpec(1, 2), 1, 2)
+
+    def test_first_matching_term_cited(self):
+        db = PolicyDatabase()
+        db.add_term(PolicyTerm(owner=7, sources=ADSet.of([99])))
+        db.add_term(PolicyTerm(owner=7))
+        term = db.permitting_term(7, FlowSpec(1, 2), 1, 2)
+        assert term is not None and term.term_id == 1
+        # A flow matching the first term cites it.
+        term99 = db.permitting_term(7, FlowSpec(99, 2), 1, 2)
+        assert term99 is not None and term99.term_id == 0
+
+    def test_size_bytes_totals(self):
+        db = PolicyDatabase([PolicyTerm(owner=1), PolicyTerm(owner=2)])
+        assert db.size_bytes() == sum(t.size_bytes() for t in db.all_terms())

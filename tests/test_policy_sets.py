@@ -1,0 +1,114 @@
+"""Tests for ADSet (incl. the finite/cofinite algebra) and TimeWindow."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.policy.sets import ADSet, TimeWindow
+
+
+class TestADSetBasics:
+    def test_everyone_matches_all(self):
+        s = ADSet.everyone()
+        assert s.matches(0) and s.matches(10_000)
+        assert s.is_universal
+        assert not s.is_empty
+
+    def test_include(self):
+        s = ADSet.of([1, 2, 3])
+        assert s.matches(2)
+        assert not s.matches(4)
+        assert 2 in s
+        assert not s.is_universal
+
+    def test_exclude(self):
+        s = ADSet.excluding([5])
+        assert not s.matches(5)
+        assert s.matches(6)
+        assert not s.is_universal
+        assert ADSet.excluding([]).is_universal
+
+    def test_none_is_empty(self):
+        assert ADSet.none().is_empty
+        assert not ADSet.none().matches(1)
+
+    def test_size_bytes_scales_with_members(self):
+        assert ADSet.everyone().size_bytes() == 1
+        assert ADSet.of([1, 2]).size_bytes() == 5
+
+    def test_plausible_size(self):
+        assert ADSet.of([1, 2]).plausible_size() == 2
+        assert ADSet.everyone().plausible_size() == float("inf")
+        assert ADSet.excluding([1]).plausible_size() == float("inf")
+
+
+# Strategy producing arbitrary finite/cofinite AD sets over a small universe.
+_members = st.frozensets(st.integers(0, 9), max_size=6)
+_adsets = st.one_of(
+    st.just(ADSet.everyone()),
+    _members.map(ADSet.of),
+    _members.map(ADSet.excluding),
+)
+
+
+class TestADSetAlgebra:
+    @settings(max_examples=200, deadline=None)
+    @given(a=_adsets, b=_adsets, x=st.integers(0, 9))
+    def test_intersection_semantics(self, a, b, x):
+        assert a.intersect(b).matches(x) == (a.matches(x) and b.matches(x))
+
+    @settings(max_examples=200, deadline=None)
+    @given(a=_adsets, b=_adsets, x=st.integers(0, 9))
+    def test_union_semantics(self, a, b, x):
+        assert a.union(b).matches(x) == (a.matches(x) or b.matches(x))
+
+    @settings(max_examples=100, deadline=None)
+    @given(a=_adsets)
+    def test_identity_elements(self, a):
+        everyone, none = ADSet.everyone(), ADSet.none()
+        for x in range(10):
+            assert a.intersect(everyone).matches(x) == a.matches(x)
+            assert a.union(none).matches(x) == a.matches(x)
+            assert not a.intersect(none).matches(x)
+            assert a.union(everyone).matches(x)
+
+    def test_empty_detection_after_intersection(self):
+        assert ADSet.of([1]).intersect(ADSet.of([2])).is_empty
+        assert not ADSet.of([1]).intersect(ADSet.of([1, 2])).is_empty
+        assert ADSet.of([1]).intersect(ADSet.excluding([1])).is_empty
+
+
+class TestTimeWindow:
+    def test_universal_by_default(self):
+        w = TimeWindow.always()
+        assert all(w.matches(h) for h in range(24))
+        assert w.is_universal
+
+    def test_simple_window(self):
+        w = TimeWindow(9, 17)
+        assert w.matches(9)
+        assert w.matches(16)
+        assert not w.matches(17)
+        assert not w.matches(3)
+
+    def test_wraparound_window(self):
+        w = TimeWindow(22, 6)
+        assert w.matches(23)
+        assert w.matches(0)
+        assert w.matches(5)
+        assert not w.matches(6)
+        assert not w.matches(12)
+
+    def test_invalid_hours_rejected(self):
+        with pytest.raises(ValueError):
+            TimeWindow(25, 0)
+        with pytest.raises(ValueError):
+            TimeWindow(0, 5).matches(24)
+
+    @settings(max_examples=100, deadline=None)
+    @given(start=st.integers(0, 23), end=st.integers(0, 23))
+    def test_window_covers_exact_hour_count(self, start, end):
+        w = TimeWindow(start, end)
+        covered = sum(w.matches(h) for h in range(24))
+        expected = 24 if start == end else (end - start) % 24
+        assert covered == expected

@@ -1,0 +1,159 @@
+"""Cross-cutting property tests over random scenarios.
+
+These are the whole-system invariants the paper's arguments rest on,
+checked with hypothesis over random topologies, policies and flows:
+
+* ORWG's availability theorem: a route is found iff a legal one exists;
+* every protocol's delivered path is legal *for that protocol's policy
+  knowledge class* (LS+PT protocols: always legal);
+* ECMA forwarding is valley-free;
+* simulations are deterministic functions of their seeds;
+* the ADSet algebra satisfies the Boolean laws the IDRP scope
+  propagation relies on.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.adgraph.generator import TopologyConfig, generate_internet
+from repro.core.evaluation import legal_route_exists, sample_flows
+from repro.core.hierarchical import HierarchicalSynthesizer
+from repro.policy.flows import FlowSpec
+from repro.policy.generators import restricted_policies, source_class_policies
+from repro.policy.legality import is_legal_path
+from repro.policy.sets import ADSet
+from repro.protocols.ecma import ECMAProtocol
+from repro.protocols.idrp import IDRPProtocol
+from repro.protocols.lshbh import LinkStateHopByHopProtocol
+from repro.protocols.orwg import ORWGProtocol
+
+_slow = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def _random_setting(seed):
+    graph = generate_internet(
+        TopologyConfig(
+            num_backbones=1 + seed % 2,
+            regionals_per_backbone=2 + seed % 2,
+            campuses_per_parent=2,
+            lateral_prob=0.4,
+            bypass_prob=0.2,
+            seed=seed % 40,
+        )
+    )
+    policies = restricted_policies(graph, 0.4, seed=seed).policies
+    flows = sample_flows(graph, 12, seed=seed + 1)
+    return graph, policies, flows
+
+
+@_slow
+@given(seed=st.integers(0, 10_000))
+def test_orwg_availability_theorem(seed):
+    """The Section 5.4 claim as a theorem: ORWG finds a route iff a legal
+    route exists, and the route is legal."""
+    graph, policies, flows = _random_setting(seed)
+    proto = ORWGProtocol(graph, policies)
+    proto.converge()
+    for flow in flows:
+        path = proto.find_route(flow)
+        exists = legal_route_exists(graph, policies, flow)
+        assert (path is not None) == bool(exists)
+        if path is not None:
+            assert is_legal_path(graph, policies, path, flow)
+
+
+@_slow
+@given(seed=st.integers(0, 10_000))
+def test_ls_pt_protocols_never_route_illegally(seed):
+    graph, policies, flows = _random_setting(seed)
+    for cls in (ORWGProtocol, LinkStateHopByHopProtocol):
+        proto = cls(graph.copy(), policies.copy())
+        proto.converge()
+        for flow in flows:
+            path = proto.find_route(flow)
+            if path is not None:
+                assert is_legal_path(proto.graph, proto.policies, path, flow), (
+                    cls.name,
+                    path,
+                )
+
+
+@_slow
+@given(seed=st.integers(0, 10_000))
+def test_ecma_forwarding_is_valley_free(seed):
+    graph, policies, flows = _random_setting(seed)
+    proto = ECMAProtocol(graph, policies)
+    proto.converge()
+    for flow in flows:
+        path = proto.find_route(flow)
+        if path is not None and len(path) > 1:
+            assert proto.order.path_is_valid(path)
+
+
+@_slow
+@given(seed=st.integers(0, 10_000))
+def test_idrp_routes_legal_when_scoped(seed):
+    """IDRP with source scopes is conservative: what it routes is legal
+    (the control plane never admits a source the path refuses)."""
+    graph = generate_internet(TopologyConfig(seed=seed % 40))
+    policies = source_class_policies(graph, 3, refusal_prob=0.3, seed=seed).policies
+    flows = sample_flows(graph, 10, seed=seed + 1)
+    proto = IDRPProtocol(graph, policies)
+    proto.converge()
+    for flow in flows:
+        path = proto.find_route(flow)
+        if path is not None:
+            assert is_legal_path(graph, policies, path, flow)
+
+
+@_slow
+@given(seed=st.integers(0, 10_000))
+def test_simulation_determinism(seed):
+    graph, policies, flows = _random_setting(seed)
+
+    def run():
+        proto = IDRPProtocol(graph.copy(), policies.copy())
+        result = proto.converge()
+        routes = tuple(proto.find_route(f) for f in flows)
+        return (result.messages, result.bytes, result.time, routes)
+
+    assert run() == run()
+
+
+@_slow
+@given(seed=st.integers(0, 10_000))
+def test_hierarchical_synthesis_complete_and_legal(seed):
+    graph, policies, flows = _random_setting(seed)
+    hier = HierarchicalSynthesizer(graph, policies)
+    for flow in flows:
+        route = hier.route(flow)
+        exists = legal_route_exists(graph, policies, flow)
+        assert (route is not None) == bool(exists)
+        if route is not None:
+            assert is_legal_path(graph, policies, route.path, flow)
+
+
+_members = st.frozensets(st.integers(0, 7), max_size=5)
+_adsets = st.one_of(
+    st.just(ADSet.everyone()),
+    _members.map(ADSet.of),
+    _members.map(ADSet.excluding),
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(a=_adsets, b=_adsets, c=_adsets, x=st.integers(0, 7))
+def test_adset_boolean_laws(a, b, c, x):
+    """Distributivity and absorption -- what scope propagation composes."""
+    lhs = a.intersect(b.union(c))
+    rhs = a.intersect(b).union(a.intersect(c))
+    assert lhs.matches(x) == rhs.matches(x)
+    assert a.union(a.intersect(b)).matches(x) == a.matches(x)
+    assert a.intersect(a.union(b)).matches(x) == a.matches(x)

@@ -1,0 +1,123 @@
+"""Tests for the naive distance-vector baseline."""
+
+import pytest
+
+from repro.policy.database import PolicyDatabase
+from repro.policy.flows import FlowSpec
+from repro.protocols.dv import DistanceVectorProtocol, DVNode
+from tests.helpers import line_graph, mk_graph, open_db
+
+
+def ring(n):
+    return mk_graph(
+        [(i, "Rt") for i in range(n)],
+        [(i, (i + 1) % n) for i in range(n)],
+    )
+
+
+class TestConvergence:
+    def test_line_converges_to_shortest_paths(self):
+        g = line_graph(4)
+        proto = DistanceVectorProtocol(g, PolicyDatabase())
+        proto.converge()
+        assert proto.find_route(FlowSpec(0, 3)) == (0, 1, 2, 3)
+        assert proto.find_route(FlowSpec(3, 1)) == (3, 2, 1)
+
+    def test_ring_prefers_short_way_round(self):
+        g = ring(5)
+        proto = DistanceVectorProtocol(g, PolicyDatabase())
+        proto.converge()
+        assert proto.find_route(FlowSpec(0, 1)) == (0, 1)
+        assert proto.find_route(FlowSpec(0, 4)) == (0, 4)
+        path = proto.find_route(FlowSpec(0, 2))
+        assert path in {(0, 1, 2)}
+
+    def test_all_pairs_reachable(self, gen_graph):
+        proto = DistanceVectorProtocol(gen_graph, PolicyDatabase())
+        proto.converge()
+        ids = gen_graph.ad_ids()
+        for src in ids[:5]:
+            for dst in ids[-5:]:
+                if src != dst:
+                    assert proto.find_route(FlowSpec(src, dst)) is not None
+
+    def test_rib_counts_reachable(self, gen_graph):
+        proto = DistanceVectorProtocol(gen_graph, PolicyDatabase())
+        proto.converge()
+        assert proto.rib_size(gen_graph.ad_ids()[0]) == gen_graph.num_ads
+
+
+class TestFailureResponse:
+    def test_reroutes_after_failure(self):
+        g = ring(4)
+        proto = DistanceVectorProtocol(g, PolicyDatabase())
+        proto.converge()
+        assert proto.find_route(FlowSpec(0, 1)) == (0, 1)
+        proto.network.set_link_status(0, 1, up=False)
+        proto.network.run()
+        assert proto.find_route(FlowSpec(0, 1)) == (0, 3, 2, 1)
+
+    def test_unreachable_after_partition(self):
+        g = line_graph(3)
+        proto = DistanceVectorProtocol(g, PolicyDatabase())
+        proto.converge()
+        proto.network.set_link_status(1, 2, up=False)
+        proto.network.run()
+        assert proto.find_route(FlowSpec(0, 2)) is None
+
+    @staticmethod
+    def _count_to_infinity_graph():
+        """Triangle 0-1-2 with a stub 3 on 2; the 0-2 link is slow.
+
+        After 2-3 dies, 2's withdrawal reaches 1 quickly, 1's re-learned
+        stale route (via 0, which still believes in the old path) starts
+        the classic bounce, and the slow 0-2 link keeps stale finite
+        offers in flight -- count-to-infinity until the metric cap.
+        """
+        return mk_graph(
+            [(0, "Rt"), (1, "Rt"), (2, "Rt"), (3, "Rt")],
+            [(0, 1), (1, 2), (0, 2), (2, 3)],
+            metrics={
+                (0, 2): {"delay": 25.0, "cost": 1.0},
+            },
+        )
+
+    def _failure_cost(self, infinity):
+        g = self._count_to_infinity_graph()
+        proto = DistanceVectorProtocol(g, PolicyDatabase(), infinity=infinity)
+        proto.converge()
+        before = proto.network.metrics.snapshot(proto.network.sim.now)
+        proto.network.set_link_status(2, 3, up=False)
+        proto.network.run()
+        after = proto.network.metrics.snapshot(proto.network.sim.now)
+        assert proto.find_route(FlowSpec(0, 3)) is None
+        return after.delta(before).total_messages
+
+    def test_count_to_infinity_produces_bounce_rounds(self):
+        assert self._failure_cost(infinity=16) >= 10
+
+    def test_count_to_infinity_scales_with_metric_cap(self):
+        """The paper's slow-convergence complaint: the bounce length is
+        set by the 'infinity' cap, so raising the cap costs messages."""
+        assert self._failure_cost(infinity=32) > self._failure_cost(infinity=8)
+
+    def test_repair_restores_routes(self):
+        g = line_graph(3)
+        proto = DistanceVectorProtocol(g, PolicyDatabase())
+        proto.converge()
+        proto.network.set_link_status(1, 2, up=False)
+        proto.network.run()
+        proto.network.set_link_status(1, 2, up=True)
+        proto.network.run()
+        assert proto.find_route(FlowSpec(0, 2)) == (0, 1, 2)
+
+
+class TestPolicyBlindness:
+    def test_ignores_policies_entirely(self, gen_graph, gen_restricted):
+        open_proto = DistanceVectorProtocol(gen_graph.copy(), PolicyDatabase())
+        tight_proto = DistanceVectorProtocol(gen_graph.copy(), gen_restricted)
+        open_proto.converge()
+        tight_proto.converge()
+        flow = FlowSpec(gen_graph.ad_ids()[0], gen_graph.ad_ids()[-1])
+        assert open_proto.find_route(flow) == tight_proto.find_route(flow)
+        assert not DistanceVectorProtocol.policy_aware

@@ -1,0 +1,167 @@
+"""Tests for the ECMA design point (DV / HbH / policy in topology)."""
+
+import pytest
+
+from repro.adgraph.partial_order import PartialOrder
+from repro.policy.database import PolicyDatabase
+from repro.policy.flows import FlowSpec
+from repro.policy.generators import hierarchical_policies
+from repro.policy.qos import QOS
+from repro.policy.terms import PolicyTerm
+from repro.protocols.dv import DistanceVectorProtocol
+from repro.protocols.ecma import ECMAProtocol, supported_qos_classes
+from tests.helpers import mk_graph, open_db, small_hierarchy
+
+
+@pytest.fixture
+def hierarchy_proto(hierarchy):
+    proto = ECMAProtocol(hierarchy, hierarchical_policies(hierarchy).policies)
+    proto.converge()
+    return proto
+
+
+class TestBasicRouting:
+    def test_routes_within_hierarchy(self, hierarchy_proto):
+        assert hierarchy_proto.find_route(FlowSpec(3, 4)) == (3, 1, 4)
+        path = hierarchy_proto.find_route(FlowSpec(3, 5))
+        assert path is not None and path[0] == 3 and path[-1] == 5
+
+    def test_per_qos_tables(self, hierarchy_proto):
+        for qos in QOS.additive_classes():
+            assert hierarchy_proto.find_route(FlowSpec(3, 6, qos=qos)) is not None
+
+    def test_bottleneck_qos_unsupported(self, hierarchy_proto):
+        # DV updates compose additively; ECMA cannot route on bandwidth.
+        assert hierarchy_proto.find_route(
+            FlowSpec(3, 6, qos=QOS.HIGH_BANDWIDTH)
+        ) is None
+
+    def test_rib_replicates_per_qos(self, hierarchy_proto):
+        # Entries exist per (dest, qos): the per-QOS FIB replication the
+        # ECMA proposal describes.
+        rib = hierarchy_proto.rib_size(0)
+        assert rib > hierarchy_proto.graph.num_ads
+
+    def test_all_routes_valley_free(self, hierarchy_proto):
+        order = hierarchy_proto.order
+        g = hierarchy_proto.graph
+        for src in g.ad_ids():
+            for dst in g.ad_ids():
+                if src == dst:
+                    continue
+                path = hierarchy_proto.find_route(FlowSpec(src, dst))
+                if path is not None:
+                    assert order.path_is_valid(path), (path, "violates up/down")
+
+
+class TestTopologyPolicies:
+    def test_stubs_never_transit(self, hierarchy_proto):
+        g = hierarchy_proto.graph
+        for src in g.ad_ids():
+            for dst in g.ad_ids():
+                if src == dst:
+                    continue
+                path = hierarchy_proto.find_route(FlowSpec(src, dst))
+                if path is not None:
+                    for transit in path[1:-1]:
+                        assert g.ad(transit).kind.may_transit, (
+                            f"stub AD {transit} used as transit on {path}"
+                        )
+
+    def test_qos_restriction_expressed(self):
+        """An AD whose terms exclude a QOS class neither computes nor
+        carries routes for it -- ECMA's 'infinite metric' mechanism."""
+        g = mk_graph(
+            [(0, "Cs"), (1, "Rt"), (2, "Cs")], [(0, 1), (1, 2)]
+        )
+        db = PolicyDatabase()
+        db.add_term(PolicyTerm(owner=1, qos_classes=frozenset({QOS.DEFAULT})))
+        proto = ECMAProtocol(g, db)
+        proto.converge()
+        assert proto.find_route(FlowSpec(0, 2, qos=QOS.DEFAULT)) == (0, 1, 2)
+        assert proto.find_route(FlowSpec(0, 2, qos=QOS.LOW_COST)) is None
+
+    def test_source_specific_policy_not_expressible(self):
+        """ECMA cannot express per-source restrictions: both sources get
+        the same treatment even though the policy admits only one."""
+        from repro.policy.sets import ADSet
+
+        g = mk_graph(
+            [(0, "Cs"), (1, "Rt"), (2, "Cs"), (3, "Cs")],
+            [(0, 1), (3, 1), (1, 2)],
+        )
+        db = PolicyDatabase()
+        db.add_term(PolicyTerm(owner=1, sources=ADSet.of([0])))
+        proto = ECMAProtocol(g, db)
+        proto.converge()
+        allowed = proto.find_route(FlowSpec(0, 2))
+        forbidden = proto.find_route(FlowSpec(3, 2))
+        assert allowed == (0, 1, 2)
+        # ECMA still forwards the forbidden source -- an illegal route,
+        # exactly the expressiveness gap of Section 5.1.1.
+        assert forbidden == (3, 1, 2)
+        from repro.policy.legality import is_legal_path
+
+        assert not is_legal_path(g, db, forbidden, FlowSpec(3, 2))
+
+
+class TestConvergenceBehaviour:
+    def test_reroutes_after_failure(self, hierarchy):
+        proto = ECMAProtocol(hierarchy, hierarchical_policies(hierarchy).policies)
+        proto.converge()
+        # 3 reaches backbone 0 via bypass; kill it and re-route via 1.
+        assert proto.find_route(FlowSpec(3, 0)) == (3, 0)
+        proto.network.set_link_status(3, 0, up=False)
+        proto.network.run()
+        assert proto.find_route(FlowSpec(3, 0)) == (3, 1, 0)
+
+    def test_no_count_to_infinity(self):
+        """The up/down rule suppresses the stale-route bounce that the
+        naive DV baseline exhibits on the same topology."""
+        from tests.test_protocols_dv import TestFailureResponse
+
+        g = TestFailureResponse._count_to_infinity_graph()
+
+        def cost(proto_cls, **kw):
+            proto = proto_cls(g.copy(), open_db(g), **kw)
+            proto.converge()
+            before = proto.network.metrics.snapshot(proto.network.sim.now)
+            proto.network.set_link_status(2, 3, up=False)
+            proto.network.run()
+            after = proto.network.metrics.snapshot(proto.network.sim.now)
+            return after.delta(before).total_messages
+
+        naive = cost(DistanceVectorProtocol, infinity=32)
+        ecma = cost(ECMAProtocol)
+        assert ecma < naive
+
+    def test_repair_restores(self, hierarchy):
+        proto = ECMAProtocol(hierarchy, hierarchical_policies(hierarchy).policies)
+        proto.converge()
+        proto.network.set_link_status(3, 0, up=False)
+        proto.network.run()
+        proto.network.set_link_status(3, 0, up=True)
+        proto.network.run()
+        # Bypass (3,0) and detour (3,1,0) tie at metric 2.0; either is a
+        # correct converged answer (DV keeps the incumbent on ties).
+        assert proto.find_route(FlowSpec(3, 0)) in {(3, 0), (3, 1, 0)}
+
+
+class TestSupportedQOS:
+    def test_no_terms_supports_all(self):
+        db = PolicyDatabase()
+        assert supported_qos_classes(db, 7) == frozenset(QOS.additive_classes())
+
+    def test_union_of_term_classes(self):
+        db = PolicyDatabase()
+        db.add_term(PolicyTerm(owner=1, qos_classes=frozenset({QOS.DEFAULT})))
+        db.add_term(PolicyTerm(owner=1, qos_classes=frozenset({QOS.LOW_COST})))
+        assert supported_qos_classes(db, 1) == frozenset(
+            {QOS.DEFAULT, QOS.LOW_COST}
+        )
+
+    def test_unconstrained_term_means_all(self):
+        db = PolicyDatabase()
+        db.add_term(PolicyTerm(owner=1, qos_classes=frozenset({QOS.DEFAULT})))
+        db.add_term(PolicyTerm(owner=1))
+        assert supported_qos_classes(db, 1) == frozenset(QOS.additive_classes())

@@ -1,0 +1,81 @@
+"""Tests for the EGP baseline (tree restriction, reachability only)."""
+
+import pytest
+
+from repro.adgraph.ad import LinkKind
+from repro.policy.database import PolicyDatabase
+from repro.policy.flows import FlowSpec
+from repro.protocols.egp import EGPProtocol, TopologyViolationError, _spanning_tree
+from tests.helpers import line_graph, mk_graph, small_hierarchy
+
+
+class TestTreeRestriction:
+    def test_strict_mode_rejects_cycles(self, hierarchy):
+        proto = EGPProtocol(hierarchy, PolicyDatabase(), strict=True)
+        with pytest.raises(TopologyViolationError):
+            proto.build()
+
+    def test_strict_mode_accepts_trees(self):
+        g = line_graph(4)
+        proto = EGPProtocol(g, PolicyDatabase(), strict=True)
+        proto.converge()
+        assert proto.find_route(FlowSpec(0, 3)) == (0, 1, 2, 3)
+
+    def test_lenient_mode_prunes_extra_links(self, hierarchy):
+        proto = EGPProtocol(hierarchy, PolicyDatabase())
+        proto.converge()
+        # hierarchy has 8 links, 7 ADs -> tree keeps 6, prunes 2.
+        assert proto.excluded_links == 2
+        assert proto.tree_graph.num_links == hierarchy.num_ads - 1
+
+    def test_spanning_tree_prefers_hierarchical_links(self, hierarchy):
+        tree, _ = _spanning_tree(hierarchy)
+        kinds = tree.link_kind_counts()
+        # Both the lateral (1-2) and the bypass (0-3) are reachable via
+        # hierarchy, so the tree should use hierarchical links only.
+        assert kinds[LinkKind.LATERAL] == 0
+        assert kinds[LinkKind.BYPASS] == 0
+
+
+class TestReachability:
+    def test_full_reachability_over_tree(self, hierarchy):
+        proto = EGPProtocol(hierarchy, PolicyDatabase())
+        proto.converge()
+        for dst in hierarchy.ad_ids():
+            if dst != 3:
+                assert proto.find_route(FlowSpec(3, dst)) is not None
+
+    def test_routes_follow_hierarchy(self, hierarchy):
+        proto = EGPProtocol(hierarchy, PolicyDatabase())
+        proto.converge()
+        # Campus 3 to campus 5 must climb to the backbone and descend.
+        assert proto.find_route(FlowSpec(3, 5)) == (3, 1, 0, 2, 5)
+
+    def test_lateral_links_wasted(self, hierarchy):
+        """The pruned lateral link can never carry traffic -- the paper's
+        complaint about EGP's topology restriction."""
+        proto = EGPProtocol(hierarchy, PolicyDatabase())
+        proto.converge()
+        path = proto.find_route(FlowSpec(4, 5))
+        # Direct regional lateral 1-2 exists but EGP cannot use it.
+        assert path == (4, 1, 0, 2, 5)
+
+    def test_rib_size(self, hierarchy):
+        proto = EGPProtocol(hierarchy, PolicyDatabase())
+        proto.converge()
+        assert proto.rib_size(0) == hierarchy.num_ads
+
+
+class TestStaleness:
+    def test_failure_leaves_stale_routes(self):
+        """EGP does not propagate unreachability; downstream tables go
+        stale, matching the protocol's real behaviour."""
+        g = line_graph(4)
+        proto = EGPProtocol(g, PolicyDatabase())
+        proto.converge()
+        proto.network.set_link_status(2, 3, up=False)
+        proto.network.run()
+        # AD 2 noticed the loss...
+        assert proto.next_hop(2, FlowSpec(2, 3), None) is None
+        # ...but AD 0 still points down the dead branch.
+        assert proto.next_hop(0, FlowSpec(0, 3), None) == 1

@@ -1,0 +1,34 @@
+"""Tests for the design-point registry."""
+
+from repro.core.design_space import enumerate_design_space
+from repro.protocols.base import ForwardingMode
+from repro.protocols.registry import PROTOCOL_FOR_POINT, protocol_for
+from tests.helpers import open_db, small_hierarchy
+
+
+def test_every_design_point_has_an_implementation():
+    assert set(PROTOCOL_FOR_POINT) == set(enumerate_design_space())
+
+
+def test_implementations_claim_their_point():
+    for point, factory in PROTOCOL_FOR_POINT.items():
+        assert factory.design_point == point
+
+
+def test_forwarding_mode_matches_axis():
+    for point, factory in PROTOCOL_FOR_POINT.items():
+        expected = (
+            ForwardingMode.SOURCE
+            if point.location.short == "Src"
+            else ForwardingMode.HOP_BY_HOP
+        )
+        assert factory.mode is expected
+
+
+def test_instantiation_and_convergence():
+    g = small_hierarchy()
+    db = open_db(g)
+    for point in enumerate_design_space():
+        proto = protocol_for(point, g.copy(), db.copy())
+        result = proto.converge()
+        assert result.messages > 0, f"{point.label} never exchanged messages"

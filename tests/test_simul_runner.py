@@ -1,0 +1,55 @@
+"""Tests for convergence runners and failure injection."""
+
+from repro.adgraph.failures import FailurePlan, LinkFailure
+from repro.protocols.dv import DistanceVectorProtocol
+from repro.simul.runner import converge, run_with_failures
+from tests.helpers import mk_graph, open_db
+
+
+def triangle():
+    return mk_graph(
+        [(0, "Rt"), (1, "Rt"), (2, "Rt")], [(0, 1), (1, 2), (0, 2)]
+    )
+
+
+class TestConverge:
+    def test_initial_convergence_counts_messages(self):
+        g = triangle()
+        proto = DistanceVectorProtocol(g, open_db(g))
+        result = converge(proto.build())
+        assert result.messages > 0
+        assert result.bytes > 0
+        assert result.time > 0
+
+    def test_converge_twice_second_is_free(self):
+        g = triangle()
+        proto = DistanceVectorProtocol(g, open_db(g))
+        converge(proto.build())
+        second = converge(proto.build())
+        assert second.messages == 0
+        assert second.time == 0.0
+
+
+class TestRunWithFailures:
+    def test_episodes_isolated(self):
+        g = triangle()
+        proto = DistanceVectorProtocol(g, open_db(g))
+        plan = FailurePlan((LinkFailure(0.0, 0, 1), LinkFailure(0.0, 0, 1, up=True)))
+        initial, episodes = run_with_failures(proto.build(), plan)
+        assert initial.messages > 0
+        assert len(episodes) == 2
+        # Failure then repair both trigger reconvergence traffic.
+        assert episodes[0].result.messages > 0
+        assert episodes[1].result.messages > 0
+        # The graph ends with the link restored.
+        assert proto.graph.link(0, 1).up
+
+    def test_tables_correct_after_failure(self):
+        g = triangle()
+        proto = DistanceVectorProtocol(g, open_db(g))
+        plan = FailurePlan((LinkFailure(0.0, 0, 1),))
+        run_with_failures(proto.build(), plan)
+        from repro.policy.flows import FlowSpec
+
+        # 0 must now reach 1 via 2.
+        assert proto.find_route(FlowSpec(0, 1)) == (0, 2, 1)
