@@ -1,0 +1,246 @@
+"""Perf micro-benchmark for the indexed policy-term engine.
+
+The paper calls policy route synthesis "probably the most difficult
+aspect" of the recommended architecture (Section 6), and every synthesis
+edge relaxation bottoms out in ``PolicyDatabase.permitting_term``.  This
+bench measures that predicate under the source-class granularity workload
+(the E5 axis: one PT per served source class, finite source sets) on the
+E7 shape-preserving topologies, with the indexed engine on vs. off:
+
+* **lookups** -- record the exact (owner, flow, prev, next) query trace
+  one full synthesis pass issues, then replay it repeatedly against a
+  seed-semantics linear-scan database and against the indexed+memoized
+  engine.  This is the repeated-synthesis lookup cost: what LS-hop-by-hop
+  replication, k-alternative re-runs, and availability sweeps pay.
+* **synthesis** -- end-to-end repeated synthesis over the same flows in
+  both modes, asserting the routes are *identical* (the engine is a pure
+  optimisation; no routing answer may change).
+
+Results are printed and written machine-readably to
+``BENCH_policy_engine.json`` at the repo root, so the perf trajectory is
+tracked from this PR onward.  Runs standalone (``python
+benchmarks/bench_perf_policy_engine.py [--smoke]``) or under pytest with
+the rest of the bench suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from repro.adgraph.generator import generate_internet, scaled_config
+from repro.core.evaluation import sample_flows
+from repro.core.synthesis import RouteSynthesizer
+from repro.policy.generators import source_class_policies
+
+SIZES = [100, 200, 400]
+SEED = 41
+NUM_SOURCE_CLASSES = 12
+LOOKUP_REPEATS = 10
+SYNTH_REPEATS = 3
+NUM_FLOWS = 40
+
+#: Acceptance bar: repeated-synthesis lookups at the 200-AD scale point
+#: must be at least this much faster with the index+memo engine.
+SPEEDUP_THRESHOLD = 3.0
+
+JSON_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_policy_engine.json",
+)
+
+
+def _build_setting(target_ads: int):
+    graph = generate_internet(scaled_config(target_ads, seed=SEED))
+    policies = source_class_policies(
+        graph, num_classes=NUM_SOURCE_CLASSES, refusal_prob=0.25, seed=SEED
+    ).policies
+    flows = sample_flows(graph, NUM_FLOWS, seed=SEED + 1)
+    return graph, policies, flows
+
+
+def _record_queries(graph, policies, flows):
+    """The (owner, flow, prev, next) trace of one full synthesis pass."""
+    db = policies.copy()
+    db.use_index = False
+    queries = []
+    scan = db.permitting_term
+
+    def recorder(ad_id, flow, prev, nxt):
+        queries.append((ad_id, flow, prev, nxt))
+        return scan(ad_id, flow, prev, nxt)
+
+    db.permitting_term = recorder  # instance shadow; removed below
+    syn = RouteSynthesizer(graph, db)
+    for flow in flows:
+        syn.route(flow)
+    del db.permitting_term
+    return queries
+
+
+def _time_lookups(policies, queries, use_index: bool, repeats: int):
+    """Mean ns/lookup replaying the trace against a fresh database."""
+    db = policies.copy()
+    db.use_index = use_index
+    lookup = db.permitting_term
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        for ad_id, flow, prev, nxt in queries:
+            lookup(ad_id, flow, prev, nxt)
+    elapsed = time.perf_counter() - t0
+    hit_rate = db.cache_hits / db.lookups if db.lookups else 0.0
+    return elapsed * 1e9 / (repeats * len(queries)), hit_rate
+
+
+def _time_synthesis(graph, policies, flows, use_index: bool, repeats: int):
+    """Mean ms/route for repeated full synthesis; returns the paths too."""
+    db = policies.copy()
+    db.use_index = use_index
+    syn = RouteSynthesizer(graph, db)
+    paths = []
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        paths = [
+            None if r is None else r.path for r in (syn.route(f) for f in flows)
+        ]
+    elapsed = time.perf_counter() - t0
+    return elapsed * 1e3 / (repeats * len(flows)), paths
+
+
+def bench_scale_point(target_ads: int, lookup_repeats: int, synth_repeats: int):
+    graph, policies, flows = _build_setting(target_ads)
+    queries = _record_queries(graph, policies, flows)
+
+    linear_ns, _ = _time_lookups(policies, queries, False, lookup_repeats)
+    indexed_ns, hit_rate = _time_lookups(policies, queries, True, lookup_repeats)
+
+    linear_ms, linear_paths = _time_synthesis(
+        graph, policies, flows, False, synth_repeats
+    )
+    indexed_ms, indexed_paths = _time_synthesis(
+        graph, policies, flows, True, synth_repeats
+    )
+    if linear_paths != indexed_paths:
+        raise AssertionError(
+            f"indexed engine changed routing answers at {target_ads} ADs"
+        )
+
+    return {
+        "target_ads": target_ads,
+        "ads": graph.num_ads,
+        "links": graph.num_links,
+        "terms": policies.num_terms,
+        "flows": len(flows),
+        "queries_per_pass": len(queries),
+        "lookup_ns_linear": round(linear_ns, 1),
+        "lookup_ns_indexed": round(indexed_ns, 1),
+        "lookup_speedup": round(linear_ns / indexed_ns, 2),
+        "decision_cache_hit_rate": round(hit_rate, 4),
+        "synth_ms_per_route_linear": round(linear_ms, 4),
+        "synth_ms_per_route_indexed": round(indexed_ms, 4),
+        "synth_speedup": round(linear_ms / indexed_ms, 2),
+        "routes_identical": True,
+    }
+
+
+def run_bench(
+    sizes=SIZES,
+    lookup_repeats=LOOKUP_REPEATS,
+    synth_repeats=SYNTH_REPEATS,
+    json_path=JSON_PATH,
+):
+    points = [bench_scale_point(s, lookup_repeats, synth_repeats) for s in sizes]
+    result = {
+        "bench": "policy_engine",
+        "description": (
+            "indexed + version-memoized permitting_term vs seed linear scan "
+            "(source-class policies on E7 scaled topologies)"
+        ),
+        "seed": SEED,
+        "num_source_classes": NUM_SOURCE_CLASSES,
+        "repeats": {"lookup": lookup_repeats, "synthesis": synth_repeats},
+        "scale_points": points,
+        "acceptance": {
+            "scale": 200,
+            "metric": "lookup_speedup",
+            "threshold": SPEEDUP_THRESHOLD,
+        },
+    }
+    if json_path:
+        with open(json_path, "w") as fh:
+            json.dump(result, fh, indent=2)
+            fh.write("\n")
+
+    header = (
+        f"{'ADs':>5}  {'terms':>5}  {'queries':>8}  "
+        f"{'scan ns':>8}  {'idx ns':>7}  {'lookup x':>8}  "
+        f"{'scan ms/rt':>10}  {'idx ms/rt':>9}  {'synth x':>7}"
+    )
+    lines = ["policy-term engine: indexed+memo vs linear scan", header,
+             "-" * len(header)]
+    for p in points:
+        lines.append(
+            f"{p['ads']:>5}  {p['terms']:>5}  {p['queries_per_pass']:>8}  "
+            f"{p['lookup_ns_linear']:>8.0f}  {p['lookup_ns_indexed']:>7.0f}  "
+            f"{p['lookup_speedup']:>8.2f}  "
+            f"{p['synth_ms_per_route_linear']:>10.3f}  "
+            f"{p['synth_ms_per_route_indexed']:>9.3f}  "
+            f"{p['synth_speedup']:>7.2f}"
+        )
+    print("\n".join(lines))
+    if json_path:
+        print(f"[written to {json_path}]")
+    return result
+
+
+def test_policy_engine_speedup():
+    """Acceptance: >= 3x on repeated-synthesis lookups at 200 ADs."""
+    result = run_bench()
+    by_scale = {p["target_ads"]: p for p in result["scale_points"]}
+    point = by_scale[200]
+    assert point["routes_identical"]
+    assert point["lookup_speedup"] >= SPEEDUP_THRESHOLD, (
+        f"lookup speedup {point['lookup_speedup']} below "
+        f"{SPEEDUP_THRESHOLD}x at 200 ADs"
+    )
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small fast run (CI): one 50-AD point, fewer repeats, no "
+        "threshold enforcement",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="where to write the JSON artifact ('' to skip; default: "
+        "BENCH_policy_engine.json at the repo root, or nowhere in "
+        "--smoke mode so a smoke run never clobbers the real artifact)",
+    )
+    args = parser.parse_args()
+    if args.out is None:
+        args.out = "" if args.smoke else JSON_PATH
+    if args.smoke:
+        out = run_bench(
+            sizes=[50], lookup_repeats=3, synth_repeats=2, json_path=args.out
+        )
+    else:
+        out = run_bench(json_path=args.out)
+        point = {p["target_ads"]: p for p in out["scale_points"]}[200]
+        if point["lookup_speedup"] < SPEEDUP_THRESHOLD:
+            sys.exit(
+                f"FAIL: lookup speedup {point['lookup_speedup']}x < "
+                f"{SPEEDUP_THRESHOLD}x at 200 ADs"
+            )
+        print(
+            f"OK: {point['lookup_speedup']}x lookup speedup at 200 ADs "
+            f"(threshold {SPEEDUP_THRESHOLD}x)"
+        )

@@ -42,10 +42,17 @@ def _exists_simple_path(
     flow: FlowSpec,
     budget: int,
 ) -> Optional[bool]:
-    """Exact DFS for any legal simple path; ``None`` if budget exhausted."""
+    """Exact DFS for any legal simple path; ``None`` if budget exhausted.
+
+    Per-edge legality rides the database's memoized decision engine, so
+    the exponential search re-asks mostly cached questions -- the walk
+    relaxation that preceded it has already populated the cache for the
+    same flow.
+    """
     src, dst = flow.src, flow.dst
     stack: List[Tuple[ADId, ...]] = [(src,)]
     expanded = 0
+    permits = policies.transit_permits
     while stack:
         if expanded >= budget:
             return None
@@ -57,7 +64,7 @@ def _exists_simple_path(
             v = link.other(u)
             if v in path:
                 continue
-            if u != src and not policies.transit_permits(u, flow, p, v):
+            if u != src and not permits(u, flow, p, v):
                 continue
             if v == dst:
                 return True

@@ -67,30 +67,21 @@ def route_charges(
     """Total advertised charge of the PTs a legal path relies on."""
     total = 0.0
     for i in range(1, len(path) - 1):
-        term = policies.permitting_term(path[i], flow, path[i - 1], path[i + 1])
-        if term is None:
+        charge = policies.transit_charge(path[i], flow, path[i - 1], path[i + 1])
+        if charge is None:
             raise ValueError(f"path {path} is not legal at AD {path[i]}")
-        total += term.charge
+        total += charge
     return total
 
 
-def _step_charge(
-    policies: PolicyDatabase,
-    flow: FlowSpec,
-    u: ADId,
-    p: Optional[ADId],
-    v: ADId,
-) -> Optional[float]:
-    """Charge for AD ``u`` forwarding ``flow`` from ``p`` toward ``v``.
-
-    Returns ``None`` when the traversal is not permitted.  The flow's
-    source originates its own traffic and needs no transit permission.
-    """
-    if u == flow.src:
-        return 0.0
-    assert p is not None
-    term = policies.permitting_term(u, flow, p, v)
-    return None if term is None else term.charge
+# Per-relaxation legality+cost queries inside the searches below go
+# through ``PolicyDatabase.transit_charge`` (hoisted to a local ``transit``
+# in each inner loop): ``None`` means the traversal is refused, a float is
+# the advertised charge.  The flow's source originates its own traffic and
+# needs no transit permission, hence the ``u != src`` guards.  The call
+# rides the database's indexed, version-memoized decision engine, so
+# re-deriving the same route (the LS-hop-by-hop replication, k-alternative
+# re-runs, availability sweeps) costs a dictionary hit per edge.
 
 
 def _widest_constrained_search(
@@ -120,6 +111,7 @@ def _widest_constrained_search(
     heap: List[Tuple[float, ADId, Optional[ADId]]] = [(-float("inf"), src, None)]
     expanded = 0
     goal: Optional[_State] = None
+    transit = policies.transit_charge
 
     while heap:
         neg_w, u, p = heapq.heappop(heap)
@@ -139,7 +131,7 @@ def _widest_constrained_search(
                 continue
             if v != dst and not selection.permits_node(v):
                 continue
-            if _step_charge(policies, flow, u, p, v) is None:
+            if u != src and transit(u, flow, p, v) is None:
                 continue
             nw = min(w, link.metric(metric))
             nstate = (v, u)
@@ -197,6 +189,7 @@ def constrained_dijkstra(
     heap: List[Tuple[float, ADId, Optional[ADId]]] = [(0.0, src, None)]
     expanded = 0
     goal: Optional[_State] = None
+    transit = policies.transit_charge
 
     while heap:
         d, u, p = heapq.heappop(heap)
@@ -215,7 +208,7 @@ def constrained_dijkstra(
                 continue
             if v != dst and not selection.permits_node(v):
                 continue
-            charge = _step_charge(policies, flow, u, p, v)
+            charge = 0.0 if u == src else transit(u, flow, p, v)
             if charge is None:
                 continue
             weight = link.metric(metric) + selection.charge_weight * charge
@@ -261,6 +254,7 @@ def _widest_exhaustive(
     best_width = 0.0
     heap: List[Tuple[float, Tuple[ADId, ...]]] = [(-float("inf"), (src,))]
     expanded = 0
+    transit = policies.transit_charge
     while heap and expanded < budget:
         neg_w, path = heapq.heappop(heap)
         w = -neg_w
@@ -279,7 +273,7 @@ def _widest_exhaustive(
                 continue
             if v != dst and not selection.permits_node(v):
                 continue
-            if _step_charge(policies, flow, u, p, v) is None:
+            if u != src and transit(u, flow, p, v) is None:
                 continue
             nw = min(w, link.metric(metric))
             npath = path + (v,)
@@ -328,6 +322,7 @@ def exhaustive_best_path(
     # Heap entries: (cost so far, path).  Tuples of ints compare fine.
     heap: List[Tuple[float, Tuple[ADId, ...]]] = [(0.0, (src,))]
     expanded = 0
+    transit = policies.transit_charge
 
     while heap and expanded < budget:
         cost, path = heapq.heappop(heap)
@@ -346,7 +341,7 @@ def exhaustive_best_path(
                 continue
             if v != dst and not selection.permits_node(v):
                 continue
-            charge = _step_charge(policies, flow, u, p, v)
+            charge = 0.0 if u == src else transit(u, flow, p, v)
             if charge is None:
                 continue
             ncost = cost + link.metric(metric) + selection.charge_weight * charge

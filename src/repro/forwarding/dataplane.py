@@ -45,8 +45,14 @@ def _check_path(
     path: Sequence[ADId],
     enforce_policy: bool,
 ) -> ForwardingOutcome:
-    """Validate a concrete path hop by hop, as the packet would."""
+    """Validate a concrete path hop by hop, as the packet would.
+
+    Per-transit enforcement rides the policy database's memoized decision
+    engine: a packet following a freshly synthesised route re-asks exactly
+    the questions synthesis just answered, so enforcement is cache hits.
+    """
     graph = protocol.graph
+    permits = protocol.policies.transit_permits
     for i, (a, b) in enumerate(zip(path, path[1:])):
         if not graph.has_link(a, b) or not graph.link(a, b).up:
             return ForwardingOutcome(
@@ -54,7 +60,7 @@ def _check_path(
             )
         if enforce_policy and i > 0:
             transit, prev, nxt = a, path[i - 1], b
-            if not protocol.policies.transit_permits(transit, flow, prev, nxt):
+            if not permits(transit, flow, prev, nxt):
                 return ForwardingOutcome(
                     flow,
                     False,
@@ -83,6 +89,7 @@ def forward_flow(
     prev: Optional[ADId] = None
     current = flow.src
     graph = protocol.graph
+    permits = protocol.policies.transit_permits
     for _ in range(graph.num_ads):
         nxt = protocol.next_hop(current, flow, prev)
         if nxt is None:
@@ -92,7 +99,7 @@ def forward_flow(
                 flow, False, tuple(path), f"no live link {current}-{nxt}"
             )
         if enforce_policy and prev is not None:
-            if not protocol.policies.transit_permits(current, flow, prev, nxt):
+            if not permits(current, flow, prev, nxt):
                 return ForwardingOutcome(
                     flow, False, tuple(path), f"AD {current} policy drop"
                 )

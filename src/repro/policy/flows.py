@@ -39,6 +39,14 @@ class FlowSpec:
     def __post_init__(self) -> None:
         if not 0 <= self.hour < 24:
             raise ValueError(f"hour {self.hour} out of range [0, 24)")
+        # A flow spec is the key of every memoized policy decision, so its
+        # hash is precomputed once rather than re-derived per lookup.
+        object.__setattr__(
+            self, "_hash", hash((self.src, self.dst, self.qos, self.uci, self.hour))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def endpoints(self) -> Tuple[ADId, ADId]:

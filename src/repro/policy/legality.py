@@ -56,9 +56,12 @@ def is_legal_path(
         return False
     if not links_exist(graph, path):
         return False
+    permits = policies.transit_permits
     for i in range(1, len(path) - 1):
-        ad, prev, nxt = path[i], path[i - 1], path[i + 1]
-        if not policies.transit_permits(ad, flow, prev, nxt):
+        # Each traversal decision is memoized in the database keyed by
+        # (owner, flow key, prev, next) and the policy version, so
+        # re-checking a route that synthesis just produced is cache hits.
+        if not permits(path[i], flow, path[i - 1], path[i + 1]):
             return False
     return True
 

@@ -62,6 +62,17 @@ class ADSet:
             self.mode is _SetMode.EXCLUDE and not self.members
         )
 
+    @property
+    def is_finite(self) -> bool:
+        """Whether the set enumerates exactly the ADs it admits.
+
+        Finite (INCLUDE) sets can back an exact-match index: a traversal
+        can only match the set via one of its listed members.  ALL and
+        EXCLUDE sets are cofinite -- they admit every AD not listed -- so
+        they can never be bucketed by member.
+        """
+        return self.mode is _SetMode.INCLUDE
+
     def size_bytes(self) -> int:
         """Estimated encoded size: 1 tag byte + 2 bytes per listed AD."""
         return 1 + 2 * len(self.members)

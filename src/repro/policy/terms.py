@@ -109,6 +109,34 @@ class PolicyTerm:
             return False
         return self.window.matches(hour)
 
+    def finite_axes(self) -> Tuple[Tuple[str, FrozenSet], ...]:
+        """The term's exact-match axes, as ``(axis, admissible keys)`` pairs.
+
+        An axis is *finite* when the term enumerates exactly the values it
+        admits there: an INCLUDE AD set for ``src``/``dst``/``prev``/``next``,
+        or an explicit QOS/UCI class set.  Any finite axis is a sound index
+        key -- a traversal the term permits necessarily carries one of the
+        listed keys on that axis -- so an index may file the term under
+        whichever finite axis has the fewest keys.  An empty key set means
+        the term can never match anything.  Cofinite AD sets and the time
+        window are never finite; terms with no finite axis must stay on the
+        ordered scan path.
+        """
+        axes = []
+        if self.sources.is_finite:
+            axes.append(("src", self.sources.members))
+        if self.dests.is_finite:
+            axes.append(("dst", self.dests.members))
+        if self.prev_ads.is_finite:
+            axes.append(("prev", self.prev_ads.members))
+        if self.next_ads.is_finite:
+            axes.append(("next", self.next_ads.members))
+        if self.qos_classes is not None:
+            axes.append(("qos", self.qos_classes))
+        if self.ucis is not None:
+            axes.append(("uci", self.ucis))
+        return tuple(axes)
+
     @property
     def is_open(self) -> bool:
         """Whether the term is fully unconstrained (permits everything)."""

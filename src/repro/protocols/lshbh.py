@@ -37,20 +37,33 @@ class LSHbHNode(LSNode):
 
     def __init__(self, ad_id, own_terms) -> None:
         super().__init__(ad_id, own_terms=own_terms, include_terms=True)
-        self._route_cache: Dict[FlowSpec, Tuple[int, Optional[Tuple[ADId, ...]]]] = {}
+        # Version-keyed wholesale invalidation, mirroring the policy
+        # database's decision-cache contract: one version check guards the
+        # whole cache, and stale routes never linger past an LSDB change.
+        self._route_cache: Dict[FlowSpec, Optional[Tuple[ADId, ...]]] = {}
+        self._route_cache_version = -1
 
     def flow_route(self, flow: FlowSpec) -> Optional[Tuple[ADId, ...]]:
-        """The canonical route for ``flow``, from this node's view."""
-        cached = self._route_cache.get(flow)
-        if cached is not None and cached[0] == self.db_version:
-            return cached[1]
+        """The canonical route for ``flow``, from this node's view.
+
+        Cache misses run the shared constrained synthesis over the local
+        view, whose per-edge legality queries are themselves memoized in
+        that view's policy database -- the two cache layers together are
+        what keeps the paper's "replicated nature of this computation"
+        (Section 5.3) affordable enough to measure at scale.
+        """
+        if self._route_cache_version != self.db_version:
+            self._route_cache.clear()
+            self._route_cache_version = self.db_version
+        elif flow in self._route_cache:
+            return self._route_cache[flow]
         graph, policies = self.local_view()
         if flow.src not in graph or flow.dst not in graph:
             path = None
         else:
             route = synthesize_route(graph, policies, flow)
             path = None if route is None else route.path
-        self._route_cache[flow] = (self.db_version, path)
+        self._route_cache[flow] = path
         self.note_computation("policy_route")
         return path
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional, Tuple
 
 from repro.adgraph.ad import ADId
 from repro.policy.flows import FlowSpec
@@ -127,39 +127,51 @@ class PolicyGatewayCache:
         handle: Handle,
         sender: Optional[ADId],
         current_version: int,
-        current_term: Optional[PolicyTerm],
+        resolve_term: Callable[[Optional[TermRef]], Optional[PolicyTerm]],
         now: float = 0.0,
-    ) -> ValidationResult:
+    ) -> Tuple[ValidationResult, Optional[PGCacheEntry]]:
         """Per-packet validation of a data packet riding ``handle``.
 
         Checks the packet arrives from the cached previous AD, that the
         route's lifetime has not expired, and -- if the AD's policy
         database has changed since setup -- revalidates the cached term
-        against the fresh database.
+        against the fresh database.  ``resolve_term`` maps the cached
+        citation to the AD's *current* term; it is called only on the
+        version-changed path, so the per-packet fast path (the common case
+        Section 5.4.1 designs for) costs one cache lookup and one version
+        compare, with no term resolution at all.
+
+        Returns the result together with the cache entry it acted on
+        (``None`` for an unknown handle), so callers can forward or NAK
+        without a second lookup.
         """
         entry = self._entries.get(handle)
         if entry is None:
             self.rejections += 1
-            return ValidationResult(False, "unknown handle")
+            return ValidationResult(False, "unknown handle"), None
         if now > entry.expires_at:
             self.rejections += 1
             self._entries.pop(handle, None)
-            return ValidationResult(False, "policy route lifetime expired")
+            return ValidationResult(False, "policy route lifetime expired"), entry
         if entry.prev is not None and sender != entry.prev:
             self.rejections += 1
-            return ValidationResult(False, "packet arrived from unexpected AD")
+            return ValidationResult(False, "packet arrived from unexpected AD"), entry
         if entry.policy_version != current_version and entry.prev is not None:
             self.revalidations += 1
+            current_term = resolve_term(entry.term_ref)
             if current_term is None or not current_term.permits(
                 entry.flow, entry.prev, entry.next
             ):
                 self.rejections += 1
                 self._entries.pop(handle, None)
-                return ValidationResult(False, "policy changed; route no longer legal")
+                return (
+                    ValidationResult(False, "policy changed; route no longer legal"),
+                    entry,
+                )
             entry.policy_version = current_version
         entry.packets_forwarded += 1
         self._entries.move_to_end(handle)
-        return ValidationResult(True)
+        return ValidationResult(True), entry
 
     # --------------------------------------------------------------- metrics
 

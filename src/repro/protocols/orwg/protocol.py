@@ -194,6 +194,9 @@ class ORWGNode(LSNode):
             attempt.end_time = self.now
             return
         # Cite, for every transit AD, the term our view says permits it.
+        # Synthesis just answered these exact (owner, flow, prev, next)
+        # questions, so each citation resolves from the view database's
+        # decision cache rather than a fresh term scan.
         _, view_policies = self.local_view()
         refs: List[TermRef] = []
         for i in range(1, len(route.path) - 1):
@@ -343,10 +346,10 @@ class ORWGNode(LSNode):
             if entry is not None and sender == entry.prev:
                 self.delivered[msg.handle] = self.delivered.get(msg.handle, 0) + 1
             return
-        entry = self.pg.lookup(msg.handle)
-        current_term = self._own_term(entry.term_ref) if entry is not None else None
-        result = self.pg.validate_data(
-            msg.handle, sender, self.live_policies.version, current_term,
+        # Single cache lookup; the cited term is only re-resolved when the
+        # policy version moved since setup (the revalidation slow path).
+        result, entry = self.pg.validate_data(
+            msg.handle, sender, self.live_policies.version, self._own_term,
             now=self.now,
         )
         self.note_computation("pg_validation")

@@ -84,6 +84,12 @@ class Simulator:
     ) -> int:
         """Process events until the queue drains (or ``until`` is reached).
 
+        Either way the clock advances to ``until`` when one is given: a
+        queue that drains early leaves ``now == until`` exactly as if a
+        later event had stopped the run, so callers can alternate
+        ``run(until=...)`` slices with wall-clock-style bookkeeping without
+        caring which case occurred.
+
         Returns the number of events processed by this call.  Raises
         :class:`SimulationLimitError` if ``max_events`` fire without the
         queue draining -- a non-quiescing protocol.
@@ -92,7 +98,6 @@ class Simulator:
         while self._queue:
             time, _seq, handle, fn, args = self._queue[0]
             if until is not None and time > until:
-                self._now = until
                 break
             heapq.heappop(self._queue)
             self._now = time
@@ -105,6 +110,8 @@ class Simulator:
             fn(*args)
             processed += 1
             self.events_processed += 1
+        if until is not None and until > self._now:
+            self._now = until
         return processed
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -6,6 +6,7 @@ from repro.policy.database import PolicyDatabase
 from repro.policy.flows import FlowSpec
 from repro.policy.sets import ADSet
 from repro.policy.terms import PolicyTerm
+from repro.policy.uci import UCI
 
 
 class TestTermManagement:
@@ -80,3 +81,70 @@ class TestTransitPermits:
     def test_size_bytes_totals(self):
         db = PolicyDatabase([PolicyTerm(owner=1), PolicyTerm(owner=2)])
         assert db.size_bytes() == sum(t.size_bytes() for t in db.all_terms())
+
+    def test_running_totals_track_mutations(self):
+        # num_terms and size_bytes are maintained incrementally (O(1)
+        # reads for per-round metrics); they must agree with recomputation
+        # through an arbitrary add/remove history.
+        db = PolicyDatabase()
+        db.add_term(PolicyTerm(owner=1, sources=ADSet.of([2, 3])))
+        db.add_term(PolicyTerm(owner=1))
+        db.add_term(PolicyTerm(owner=2, dests=ADSet.excluding([9])))
+        assert db.num_terms == 3
+        assert db.size_bytes() == sum(t.size_bytes() for t in db.all_terms())
+        db.remove_terms(1)
+        assert db.num_terms == 1
+        assert db.size_bytes() == sum(t.size_bytes() for t in db.all_terms())
+        db.remove_terms(1)  # idempotent, totals untouched
+        assert db.num_terms == 1
+        db.remove_terms(2)
+        assert db.num_terms == 0
+        assert db.size_bytes() == 0
+
+
+class TestIndexedEngine:
+    def test_indexed_and_scan_agree_on_citation(self):
+        db = PolicyDatabase()
+        db.add_term(PolicyTerm(owner=7, sources=ADSet.of([99])))
+        db.add_term(PolicyTerm(owner=7))
+        flow = FlowSpec(99, 2)
+        indexed = db.permitting_term(7, flow, 1, 2)
+        reference = db.scan_permitting_term(7, flow, 1, 2)
+        assert indexed is not None and indexed.term_id == reference.term_id == 0
+
+    def test_decision_cache_hits_and_version_invalidation(self):
+        db = PolicyDatabase()
+        db.add_term(PolicyTerm(owner=7, sources=ADSet.of([1])))
+        flow = FlowSpec(1, 2)
+        assert db.transit_permits(7, flow, 1, 2)
+        hits_before = db.cache_hits
+        assert db.transit_permits(7, flow, 1, 2)
+        assert db.cache_hits == hits_before + 1
+        # A mutation bumps the version; the stale verdict must not survive.
+        db.add_term(PolicyTerm(owner=7, sources=ADSet.of([5])))
+        assert db.transit_permits(7, FlowSpec(5, 2), 1, 2)
+        assert db.transit_permits(7, flow, 1, 2)
+
+    def test_removal_invalidates_cached_permit(self):
+        db = PolicyDatabase()
+        db.add_term(PolicyTerm(owner=7))
+        flow = FlowSpec(1, 2)
+        assert db.transit_permits(7, flow, 1, 2)
+        db.remove_terms(7)
+        assert not db.transit_permits(7, flow, 1, 2)
+
+    def test_use_index_toggle_preserves_answers(self):
+        db = PolicyDatabase()
+        db.add_term(PolicyTerm(owner=3, ucis=frozenset({UCI.RESEARCH})))
+        db.add_term(PolicyTerm(owner=3, prev_ads=ADSet.of([1])))
+        flow = FlowSpec(1, 2, uci=UCI.RESEARCH)
+        indexed = db.permitting_term(3, flow, 1, 2)
+        db.use_index = False
+        scanned = db.permitting_term(3, flow, 1, 2)
+        assert indexed.term_id == scanned.term_id
+
+    def test_transit_charge_matches_cited_term(self):
+        db = PolicyDatabase()
+        db.add_term(PolicyTerm(owner=3, charge=2.5))
+        assert db.transit_charge(3, FlowSpec(1, 2), 1, 2) == 2.5
+        assert db.transit_charge(4, FlowSpec(1, 2), 1, 2) is None

@@ -68,6 +68,27 @@ class TestRun:
         sim.run()
         assert log == ["a", "b"]
 
+    def test_run_until_advances_clock_when_queue_drains_early(self):
+        # The early-break branch (next event beyond the horizon) leaves
+        # now == until; the drained-queue branch must agree.
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, log.append, "a")
+        sim.run(until=5.0)
+        assert log == ["a"]
+        assert sim.now == 5.0
+        # An already-empty queue also advances to the horizon.
+        sim.run(until=9.0)
+        assert sim.now == 9.0
+        # A horizon in the past never moves the clock backward.
+        sim.run(until=2.0)
+        assert sim.now == 9.0
+        # And scheduling relative to the advanced clock works as usual.
+        sim.schedule(1.0, log.append, "b")
+        sim.run()
+        assert log == ["a", "b"]
+        assert sim.now == 10.0
+
     def test_event_budget_enforced(self):
         sim = Simulator()
 
