@@ -34,8 +34,7 @@ from repro.core.synthesis import (
 from repro.policy.flows import FlowSpec
 from repro.policy.generators import source_class_policies
 from repro.policy.legality import path_cost
-from repro.protocols.idrp import IDRPProtocol
-from repro.protocols.orwg import ORWGProtocol
+from repro.protocols import make_protocol
 from repro.workloads import reference_scenario
 
 
@@ -100,8 +99,8 @@ def test_a2_flooding_scope(benchmark, scenario):
     """Full vs spanning-tree flooding: savings and robustness price."""
 
     def converge(flooding):
-        proto = ORWGProtocol(
-            scenario.graph.copy(), scenario.policies.copy(), flooding=flooding
+        proto = make_protocol(
+            "orwg", scenario.graph.copy(), scenario.policies.copy(), flooding=flooding
         )
         result = proto.converge()
         return proto, result
@@ -156,8 +155,8 @@ def test_a3_pg_cache_limits(benchmark, scenario):
     assert len(flows) == 12
 
     def run(limit):
-        proto = ORWGProtocol(
-            scenario.graph.copy(), scenario.policies.copy(), pg_cache_limit=limit
+        proto = make_protocol(
+            "orwg", scenario.graph.copy(), scenario.policies.copy(), pg_cache_limit=limit
         )
         proto.converge()
         attempts = []
@@ -209,8 +208,8 @@ def test_a4_idrp_multiroute(benchmark, scenario):
     flows = sample_flows(graph, 40, seed=8)
 
     def run(classes):
-        proto = IDRPProtocol(
-            graph.copy(), scen.policies.copy(), route_classes=classes
+        proto = make_protocol(
+            "idrp", graph.copy(), scen.policies.copy(), route_classes=classes
         )
         res = proto.converge()
         rep = evaluate_availability(
@@ -329,14 +328,13 @@ def test_a6_trigger_delay(benchmark, scenario):
     updates; a long delay coalesces whole waves into single updates but
     holds routes stale for longer."""
     from repro.adgraph.failures import random_failure_plan
-    from repro.protocols.dv import DistanceVectorProtocol
     from repro.simul.runner import run_with_failures
 
     plan = random_failure_plan(scenario.graph, count=4, repair=True, seed=71)
 
     def run(delay):
-        proto = DistanceVectorProtocol(
-            scenario.graph.copy(), scenario.policies.copy(), trigger_delay=delay
+        proto = make_protocol(
+            "naive-dv", scenario.graph.copy(), scenario.policies.copy(), trigger_delay=delay
         )
         initial, episodes = run_with_failures(proto.build(), plan)
         msgs = [e.result.messages for e in episodes]

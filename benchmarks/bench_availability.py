@@ -11,94 +11,54 @@ Quantifies the paper's central comparative claim:
 The sweep raises policy restrictiveness from 0 (hierarchical defaults)
 to 0.6; the availability gap between architectures widens as policies
 bite harder.
+
+Runs through the experiment harness: one cell per (restrictiveness,
+protocol), route-quality telemetry persisted under
+``benchmarks/out/runs/``.
 """
 
 import pytest
 
-from _common import emit
-from repro.analysis.tables import Table
-from repro.core.evaluation import evaluate_availability, sample_flows
-from repro.policy.generators import restricted_policies
-from repro.protocols.dv import DistanceVectorProtocol
-from repro.protocols.ecma import ECMAProtocol
-from repro.protocols.idrp import BGP2Protocol, IDRPProtocol
-from repro.protocols.lshbh import LinkStateHopByHopProtocol
-from repro.protocols.orwg import ORWGProtocol
-from repro.adgraph.generator import TopologyConfig, generate_internet
-
-PROTOCOLS = [
-    ("naive-dv", DistanceVectorProtocol),
-    ("ecma", ECMAProtocol),
-    ("bgp2", BGP2Protocol),
-    ("idrp", IDRPProtocol),
-    ("ls-hbh", LinkStateHopByHopProtocol),
-    ("orwg", ORWGProtocol),
-]
-
-RESTRICTIVENESS = [0.0, 0.2, 0.4, 0.6]
+from _common import OUT_DIR, emit
+from repro.harness import run_experiment
 
 
 @pytest.fixture(scope="module")
-def setting():
-    graph = generate_internet(
-        TopologyConfig(
-            num_backbones=2,
-            regionals_per_backbone=4,
-            campuses_per_parent=4,
-            seed=9,
-        )
-    )
-    flows = sample_flows(graph, 40, seed=10)
-    return graph, flows
+def run():
+    return run_experiment("availability", runs_dir=f"{OUT_DIR}/runs")
 
 
-def _evaluate(graph, policies, flows, cls):
-    proto = cls(graph.copy(), policies.copy())
-    proto.converge()
-    return evaluate_availability(proto.graph, proto.policies, flows, proto.find_route)
+def test_availability_sweep(benchmark, run):
+    spec, records, text = run
+    emit("availability", text)
 
-
-def test_availability_sweep(benchmark, setting):
-    graph, flows = setting
-    avail = Table(
-        "protocol",
-        *[f"r={r:.1f}" for r in RESTRICTIVENESS],
-        title="E3a: route availability (found legal / existing legal)",
-    )
-    illegal = Table(
-        "protocol",
-        *[f"r={r:.1f}" for r in RESTRICTIVENESS],
-        title="E3b: illegal routes produced (of 40 flows)",
-    )
-    scenarios = {
-        r: restricted_policies(graph, r, seed=9).policies for r in RESTRICTIVENESS
-    }
+    n_protocols = len(spec.protocols)
     results = {}
-    for name, cls in PROTOCOLS:
-        row_a, row_i = [], []
-        for r in RESTRICTIVENESS:
-            report = _evaluate(graph, scenarios[r], flows, cls)
-            results[(name, r)] = report
-            row_a.append(f"{report.availability:.2f}")
-            row_i.append(report.n_illegal)
-        avail.add(name, *row_a)
-        illegal.add(name, *row_i)
-    emit("availability", avail.render() + "\n\n" + illegal.render())
+    for si, scenario in enumerate(spec.scenarios):
+        for pi, protocol in enumerate(spec.protocols):
+            record = records[si * n_protocols + pi]
+            results[(protocol.display, scenario.restrictiveness)] = (
+                record.route_quality
+            )
+    sweep = [s.restrictiveness for s in spec.scenarios]
 
     # Shape assertions (who wins, and where the gap opens).
-    for r in RESTRICTIVENESS:
-        assert results[("orwg", r)].availability == 1.0
-        assert results[("ls-hbh", r)].availability == 1.0
-        assert results[("orwg", r)].n_illegal == 0
-    hard = RESTRICTIVENESS[-1]
-    assert results[("idrp", hard)].availability < 1.0
-    assert results[("bgp2", hard)].availability <= results[("idrp", hard)].availability
-    assert results[("naive-dv", hard)].n_illegal > 0
+    for r in sweep:
+        assert results[("orwg", r)]["availability"] == 1.0
+        assert results[("ls-hbh", r)]["availability"] == 1.0
+        assert results[("orwg", r)]["n_illegal"] == 0
+    hard = sweep[-1]
+    assert results[("idrp", hard)]["availability"] < 1.0
+    assert (
+        results[("bgp2", hard)]["availability"]
+        <= results[("idrp", hard)]["availability"]
+    )
+    assert results[("naive-dv", hard)]["n_illegal"] > 0
 
-    # Benchmark one representative evaluation (ORWG at r=0.4).
     benchmark.pedantic(
-        _evaluate,
-        args=(graph, scenarios[0.4], flows, ORWGProtocol),
+        run_experiment,
+        args=("availability",),
+        kwargs=dict(smoke=True),
         iterations=1,
         rounds=1,
     )

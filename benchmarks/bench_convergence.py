@@ -20,97 +20,36 @@ mechanisms:
 ECMA is run restricted to a single QOS class so tables are size-matched
 with the other DV protocols; its full per-QOS replication is priced in
 E1/E7 instead.
+
+Runs through the experiment harness: each (protocol, event-class) cell
+is one run whose per-episode telemetry lands in
+``benchmarks/out/runs/convergence.jsonl``.
 """
 
 import pytest
 
-from _common import emit
-from repro.adgraph.failures import FailurePlan, LinkFailure, random_failure_plan
-from repro.analysis.tables import Table
-from repro.policy.qos import QOS
-from repro.protocols.dv import DistanceVectorProtocol
-from repro.protocols.ecma import ECMAProtocol
-from repro.protocols.idrp import IDRPProtocol
-from repro.protocols.orwg import ORWGProtocol
-from repro.protocols.spf import PlainLinkStateProtocol
-from repro.simul.runner import run_with_failures
-from repro.workloads import reference_scenario
-
-CONTENDERS = [
-    ("naive-dv(inf=16)", lambda g, p: DistanceVectorProtocol(g, p, infinity=16)),
-    ("naive-dv(inf=64)", lambda g, p: DistanceVectorProtocol(g, p, infinity=64)),
-    (
-        "ecma(1 qos)",
-        lambda g, p: ECMAProtocol(g, p, qos_classes=frozenset({QOS.DEFAULT})),
-    ),
-    ("idrp", IDRPProtocol),
-    ("plain-ls", PlainLinkStateProtocol),
-    ("orwg", ORWGProtocol),
-]
-
-
-def _partition_plan(graph, count, start=100.0, spacing=500.0):
-    """Fail (and repair) the single access link of ``count`` stub ADs."""
-    events = []
-    t = start
-    stubs = [a for a in graph.stub_ads() if graph.degree(a.ad_id) == 1]
-    for ad in stubs[:count]:
-        link = graph.links_of(ad.ad_id)[0]
-        events.append(LinkFailure(t, link.a, link.b, up=False))
-        events.append(LinkFailure(t + spacing / 2, link.a, link.b, up=True))
-        t += spacing
-    return FailurePlan(tuple(events))
+from _common import OUT_DIR, emit
+from repro.harness import run_experiment
+from repro.harness.experiments import episode_cost
 
 
 @pytest.fixture(scope="module")
-def setting():
-    scenario = reference_scenario(seed=17)
-    reroute = random_failure_plan(scenario.graph, count=5, repair=True, seed=17)
-    partition = _partition_plan(scenario.graph, count=4)
-    return scenario, reroute, partition
+def run():
+    return run_experiment("convergence", runs_dir=f"{OUT_DIR}/runs")
 
 
-def _mean_event_cost(scenario, plan, factory):
-    proto = factory(scenario.graph.copy(), scenario.policies.copy())
-    initial, episodes = run_with_failures(proto.build(), plan)
-    msgs = [e.result.messages for e in episodes]
-    times = [e.result.time for e in episodes]
-    return dict(
-        initial=initial.messages,
-        mean_msgs=sum(msgs) / len(msgs),
-        max_msgs=max(msgs),
-        mean_time=sum(times) / len(times),
-    )
+def test_convergence_after_failures(benchmark, run):
+    spec, records, text = run
+    emit("convergence", text)
 
-
-def test_convergence_after_failures(benchmark, setting):
-    scenario, reroute, partition = setting
-    table = Table(
-        "protocol",
-        "initial msgs",
-        "reroute msgs/event",
-        "partition msgs/event",
-        "partition max",
-        "partition time",
-        title=(
-            "E4: reconvergence cost per topology event "
-            f"({scenario.graph.num_ads} ADs; reroute vs partition events)"
-        ),
-    )
-    stats = {}
-    for name, factory in CONTENDERS:
-        r = _mean_event_cost(scenario, reroute, factory)
-        p = _mean_event_cost(scenario, partition, factory)
-        stats[name] = (r, p)
-        table.add(
-            name,
-            r["initial"],
-            f"{r['mean_msgs']:.0f}",
-            f"{p['mean_msgs']:.0f}",
-            p["max_msgs"],
-            f"{p['mean_time']:.0f}",
+    n_failures = len(spec.failures)
+    stats = {
+        p.display: (
+            episode_cost(records[pi * n_failures]),
+            episode_cost(records[pi * n_failures + 1]),
         )
-    emit("convergence", table.render())
+        for pi, p in enumerate(spec.protocols)
+    }
 
     # Shape: count-to-infinity on partitions grows with the metric cap,
     # the partial ordering bounds it, path vector and LS stay cheap.
@@ -121,10 +60,13 @@ def test_convergence_after_failures(benchmark, setting):
     assert ecma < naive64
     assert stats["idrp"][1]["mean_msgs"] < naive64
     assert stats["plain-ls"][1]["mean_msgs"] < naive64
+    # Every episode quiesced -- these are convergence costs, not cutoffs.
+    assert all(r.quiesced for r in records)
 
     benchmark.pedantic(
-        _mean_event_cost,
-        args=(scenario, partition, CONTENDERS[2][1]),
+        run_experiment,
+        args=("convergence",),
+        kwargs=dict(smoke=True),
         iterations=1,
         rounds=1,
     )

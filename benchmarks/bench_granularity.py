@@ -23,9 +23,7 @@ from repro.analysis.tables import Table
 from repro.core.evaluation import evaluate_availability
 from repro.policy.flows import FlowSpec
 from repro.policy.generators import source_class_policies
-from repro.protocols.idrp import IDRPProtocol
-from repro.protocols.lshbh import LinkStateHopByHopProtocol
-from repro.protocols.orwg import ORWGProtocol
+from repro.protocols import make_protocol
 
 CLASSES = [1, 2, 4, 8, 16, 32]
 
@@ -69,7 +67,7 @@ def _fib_fanout(proto, flows):
 def _run_granularity(graph, flows, sources, classes):
     scen = source_class_policies(graph, classes, refusal_prob=0.3, seed=4)
 
-    hbh = LinkStateHopByHopProtocol(graph.copy(), scen.policies.copy())
+    hbh = make_protocol("ls-hbh", graph.copy(), scen.policies.copy())
     hbh.converge()
     mean_fan, max_fan = _fib_fanout(hbh, flows)
     transit_comps = sum(
@@ -78,7 +76,7 @@ def _run_granularity(graph, flows, sources, classes):
         if kind == "policy_route" and ad not in sources
     )
 
-    orwg = ORWGProtocol(graph.copy(), scen.policies.copy())
+    orwg = make_protocol("orwg", graph.copy(), scen.policies.copy())
     orwg.converge()
     orwg_rep = evaluate_availability(
         orwg.graph, orwg.policies, flows, orwg.find_route
@@ -89,7 +87,7 @@ def _run_granularity(graph, flows, sources, classes):
         if kind == "synthesis" and ad not in sources
     )
 
-    idrp = IDRPProtocol(graph.copy(), scen.policies.copy())
+    idrp = make_protocol("idrp", graph.copy(), scen.policies.copy())
     idrp.converge()
     idrp_rep = evaluate_availability(
         idrp.graph, idrp.policies, flows, idrp.find_route

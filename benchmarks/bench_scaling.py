@@ -6,98 +6,55 @@ architecture's control traffic, per-AD state, and route-computation cost
 grow.  The absolute numbers are simulator-scale; the paper-relevant
 output is the growth *shape*: DV update volume vs LS flooding volume
 (with PTs aboard), RIB/LSDB state, and synthesis work per route.
-"""
 
-import time
+Runs through the experiment harness; the per-size convergence telemetry
+is persisted under ``benchmarks/out/runs/`` and the rendered table is
+identical to the pre-harness bench (modulo the wall-clock
+``synth ms/route`` column, which ``check_determinism.py`` masks).
+"""
 
 import pytest
 
-from _common import emit
-from repro.analysis.tables import Table
-from repro.core.synthesis import RouteSynthesizer
-from repro.protocols.ecma import ECMAProtocol
-from repro.protocols.idrp import IDRPProtocol
-from repro.protocols.orwg import ORWGProtocol
-from repro.workloads import scaled_scenario
-
-SIZES = [25, 50, 100, 200, 400]
+from _common import OUT_DIR, emit
+from repro.harness import run_experiment
+from repro.harness.experiments import SCALING_SIZES
 
 
-def _converge_stats(cls, scenario):
-    proto = cls(scenario.graph.copy(), scenario.policies.copy())
-    result = proto.converge()
-    return dict(
-        msgs=result.messages,
-        kb=result.bytes / 1024,
-        max_rib=proto.max_rib_size(),
-    )
+@pytest.fixture(scope="module")
+def run():
+    return run_experiment("scaling", runs_dir=f"{OUT_DIR}/runs")
 
 
-def _synthesis_stats(scenario):
-    syn = RouteSynthesizer(scenario.graph, scenario.policies)
-    t0 = time.perf_counter()
-    found = sum(syn.route(f) is not None for f in scenario.flows)
-    elapsed = (time.perf_counter() - t0) / max(1, len(scenario.flows))
-    return dict(
-        found=found,
-        states_per_route=syn.stats.states_expanded / max(1, syn.stats.dijkstra_runs),
-        ms_per_route=elapsed * 1000,
-    )
+def test_scaling_sweep(benchmark, run):
+    spec, records, text = run
+    emit("scaling", text)
 
-
-def test_scaling_sweep(benchmark):
-    rows = {}
-    table = Table(
-        "ADs",
-        "links",
-        "PTs",
-        "idrp msgs",
-        "idrp KB",
-        "ecma msgs",
-        "ecma KB",
-        "orwg msgs",
-        "orwg KB",
-        "orwg max RIB",
-        "synth states/route",
-        "synth ms/route",
-        title="E7: growth with internet size (shape-preserving topologies)",
-    )
-    for size in SIZES:
-        scenario = scaled_scenario(size, seed=41)
-        idrp = _converge_stats(IDRPProtocol, scenario)
-        ecma = _converge_stats(ECMAProtocol, scenario)
-        orwg = _converge_stats(ORWGProtocol, scenario)
-        syn = _synthesis_stats(scenario)
-        rows[size] = dict(idrp=idrp, ecma=ecma, orwg=orwg, syn=syn,
-                          ads=scenario.graph.num_ads)
-        table.add(
-            scenario.graph.num_ads,
-            scenario.graph.num_links,
-            scenario.policies.num_terms,
-            idrp["msgs"],
-            f"{idrp['kb']:.0f}",
-            ecma["msgs"],
-            f"{ecma['kb']:.0f}",
-            orwg["msgs"],
-            f"{orwg['kb']:.0f}",
-            orwg["max_rib"],
-            f"{syn['states_per_route']:.0f}",
-            f"{syn['ms_per_route']:.2f}",
-        )
-    emit("scaling", table.render())
+    n_protocols = len(spec.protocols)
+    by_size = {}
+    for si in range(len(spec.scenarios)):
+        group = {
+            rec.cell["protocol"]: rec
+            for rec in records[si * n_protocols : (si + 1) * n_protocols]
+        }
+        by_size[SCALING_SIZES[si]] = group
 
     # Shape: everything grows with size; flooding volume grows
     # super-linearly (every LSA crosses every link), and ORWG state is
     # the LSDB (linear in ADs).
-    first, last = rows[SIZES[0]], rows[SIZES[-1]]
-    growth = last["ads"] / first["ads"]
+    first, last = by_size[SCALING_SIZES[0]], by_size[SCALING_SIZES[-1]]
+    growth = last["idrp"].scenario["num_ads"] / first["idrp"].scenario["num_ads"]
     for proto in ("idrp", "ecma", "orwg"):
-        assert last[proto]["msgs"] > first[proto]["msgs"]
-    assert last["orwg"]["max_rib"] >= first["orwg"]["max_rib"] * (growth / 2)
+        assert last[proto].initial.messages > first[proto].initial.messages
+        assert last[proto].quiesced
+    assert (
+        last["orwg"].state["max_rib"]
+        >= first["orwg"].state["max_rib"] * (growth / 2)
+    )
 
     benchmark.pedantic(
-        _converge_stats,
-        args=(ORWGProtocol, scaled_scenario(100, seed=41)),
+        run_experiment,
+        args=("scaling",),
+        kwargs=dict(smoke=True),
         iterations=1,
         rounds=1,
     )

@@ -23,7 +23,7 @@ from repro.forwarding.headers import (
     amortized_handle_bytes,
     source_route_header_bytes,
 )
-from repro.protocols.orwg import ORWGProtocol
+from repro.protocols import make_protocol
 from repro.workloads import reference_scenario
 from repro.workloads.traffic import request_sequence, uniform_traffic
 
@@ -49,7 +49,7 @@ def _routable_matrix(scenario, n_flows, seed):
 
 
 def _run_locality(scenario, zipf_s):
-    proto = ORWGProtocol(scenario.graph.copy(), scenario.policies.copy())
+    proto = make_protocol("orwg", scenario.graph.copy(), scenario.policies.copy())
     proto.converge()
     matrix = _routable_matrix(scenario, 40, seed=31)
     requests = request_sequence(matrix, REQUESTS, zipf_s=zipf_s, seed=32)

@@ -5,33 +5,37 @@ with measured properties per point: convergence cost, route availability
 vs. ground truth, illegal routes, forwarding loops, source control,
 computation and state.
 
+Runs through the experiment harness (:mod:`repro.harness`): the measured
+rows come from persisted :class:`~repro.harness.record.RunRecord`
+telemetry, and the rendered table is byte-identical to what
+``build_scorecard`` produced before the harness existed.
+
 Paper artifact: Table 1 ("Design Space for Inter-AD Routing"), plus the
 Section 5 per-point analyses it indexes.
 """
 
 import pytest
 
-from _common import emit
-from repro.core.scorecard import build_scorecard, render_scorecard
-from repro.workloads import reference_scenario
+from _common import OUT_DIR, emit
+from repro.core.scorecard import score_rows_from_records
+from repro.harness import run_experiment
 
 
 @pytest.fixture(scope="module")
-def scenario():
-    return reference_scenario(seed=1, num_flows=40)
-
-
-def test_table1_design_space(benchmark, scenario):
-    rows = benchmark.pedantic(
-        build_scorecard,
-        args=(scenario.graph, scenario.policies, scenario.flows),
-        iterations=1,
-        rounds=1,
+def run():
+    return run_experiment(
+        "table1_design_space", runs_dir=f"{OUT_DIR}/runs"
     )
-    text = render_scorecard(rows)
+
+
+def test_table1_design_space(benchmark, run):
+    spec, records, text = run
     emit("table1_design_space", text)
 
+    rows = score_rows_from_records(records)
     by_label = {r.point.label: r for r in rows}
+    # Every run must have actually quiesced for the numbers to mean anything.
+    assert all(r.quiesced for r in records)
     # The paper's conclusion must hold in the measurement.
     orwg = by_label["LS/Src/PT"]
     assert orwg.availability == 1.0
@@ -41,3 +45,11 @@ def test_table1_design_space(benchmark, scenario):
     assert by_label["DV/HbH/Topo"].illegal_routes > 0
     # Path vector is conservative: legal but starved.
     assert by_label["DV/HbH/PT"].availability < 1.0
+
+    benchmark.pedantic(
+        run_experiment,
+        args=("table1_design_space",),
+        kwargs=dict(smoke=True),
+        iterations=1,
+        rounds=1,
+    )

@@ -11,10 +11,7 @@ Run:  python examples/convergence_study.py
 
 from repro.adgraph.failures import random_failure_plan
 from repro.analysis.tables import Table
-from repro.protocols.dv import DistanceVectorProtocol
-from repro.protocols.ecma import ECMAProtocol
-from repro.protocols.idrp import IDRPProtocol
-from repro.protocols.orwg import ORWGProtocol
+from repro.protocols import make_protocol
 from repro.simul.runner import run_with_failures
 from repro.workloads import reference_scenario
 
@@ -28,10 +25,10 @@ def main() -> None:
     )
 
     contenders = [
-        ("naive DV (inf=32)", lambda g, p: DistanceVectorProtocol(g, p, infinity=32)),
-        ("ECMA (partial order)", ECMAProtocol),
-        ("IDRP (path vector)", IDRPProtocol),
-        ("ORWG (link state)", ORWGProtocol),
+        ("naive DV (inf=32)", lambda g, p: make_protocol("naive-dv", g, p, infinity=32)),
+        ("ECMA (partial order)", lambda g, p: make_protocol("ecma", g, p)),
+        ("IDRP (path vector)", lambda g, p: make_protocol("idrp", g, p)),
+        ("ORWG (link state)", lambda g, p: make_protocol("orwg", g, p)),
     ]
 
     table = Table(

@@ -14,9 +14,7 @@ Run:  python examples/policy_granularity.py
 from repro.analysis.tables import Table
 from repro.core.evaluation import evaluate_availability, sample_flows
 from repro.policy.generators import source_class_policies
-from repro.protocols.idrp import IDRPProtocol
-from repro.protocols.lshbh import LinkStateHopByHopProtocol
-from repro.protocols.orwg import ORWGProtocol
+from repro.protocols import make_protocol
 from repro.adgraph.generator import TopologyConfig, generate_internet
 
 
@@ -51,18 +49,18 @@ def main() -> None:
                 if k == kind and ad not in sources
             )
 
-        hbh = LinkStateHopByHopProtocol(graph.copy(), scen.policies.copy())
+        hbh = make_protocol("ls-hbh", graph.copy(), scen.policies.copy())
         hbh.converge()
         for f in flows:
             hbh.find_route(f)
 
-        orwg = ORWGProtocol(graph.copy(), scen.policies.copy())
+        orwg = make_protocol("orwg", graph.copy(), scen.policies.copy())
         orwg.converge()
         orwg_rep = evaluate_availability(
             orwg.graph, orwg.policies, flows, orwg.find_route
         )
 
-        idrp = IDRPProtocol(graph.copy(), scen.policies.copy())
+        idrp = make_protocol("idrp", graph.copy(), scen.policies.copy())
         idrp.converge()
         idrp_rep = evaluate_availability(
             idrp.graph, idrp.policies, flows, idrp.find_route

@@ -20,15 +20,14 @@ from dataclasses import replace
 from repro.analysis.tables import Table
 from repro.policy.flows import FlowSpec
 from repro.policy.qos import QOS
-from repro.protocols.ecma import ECMAProtocol
-from repro.protocols.orwg import ORWGProtocol
+from repro.protocols import make_protocol
 from repro.workloads import reference_scenario
 
 
 def main() -> None:
     scenario = reference_scenario(seed=23, restrictiveness=0.0)
     graph, policies = scenario.graph, scenario.policies
-    protocol = ORWGProtocol(graph, policies)
+    protocol = make_protocol("orwg", graph, policies)
     protocol.converge()
 
     # Find a flow whose delay-optimal and cost-optimal routes differ.
@@ -63,10 +62,10 @@ def main() -> None:
     print(table.render())
 
     # ECMA's per-QOS FIBs: one table per class at every AD.
-    ecma = ECMAProtocol(graph.copy(), policies.copy())
+    ecma = make_protocol("ecma", graph.copy(), policies.copy())
     ecma.converge()
-    one_qos = ECMAProtocol(
-        graph.copy(), policies.copy(), qos_classes=frozenset({QOS.DEFAULT})
+    one_qos = make_protocol(
+        "ecma", graph.copy(), policies.copy(), qos_classes=frozenset({QOS.DEFAULT})
     )
     one_qos.converge()
     print(

@@ -16,10 +16,10 @@ Run:  python examples/quickstart.py
 
 from repro import (
     FlowSpec,
-    ORWGProtocol,
     RouteSelectionPolicy,
     TopologyConfig,
     generate_internet,
+    make_protocol,
     restricted_policies,
 )
 
@@ -43,7 +43,7 @@ def main() -> None:
     print(f"policies: {scenario.policies.num_terms} policy terms")
 
     # 3. Converge the control plane (LSA + PT flooding).
-    protocol = ORWGProtocol(graph, scenario.policies)
+    protocol = make_protocol("orwg", graph, scenario.policies)
     result = protocol.converge()
     print(
         f"converged: {result.messages} messages, "

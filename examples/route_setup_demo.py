@@ -19,14 +19,14 @@ from repro.policy.database import PolicyDatabase
 from repro.policy.flows import FlowSpec
 from repro.policy.sets import ADSet
 from repro.policy.terms import PolicyTerm
-from repro.protocols.orwg import ORWGProtocol
+from repro.protocols import make_protocol
 from repro.workloads import reference_scenario
 
 
 def main() -> None:
     scenario = reference_scenario(seed=2)
     graph, policies = scenario.graph, scenario.policies
-    protocol = ORWGProtocol(graph, policies)
+    protocol = make_protocol("orwg", graph, policies)
     protocol.converge()
 
     flow = next(

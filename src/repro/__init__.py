@@ -14,14 +14,19 @@ The package turns the paper's design-space analysis into running code:
 * :mod:`repro.core` — the design space itself, policy route synthesis,
   ground-truth evaluation, and the measured Table 1 scorecard;
 * :mod:`repro.forwarding` — the data plane (enforcement, headers);
-* :mod:`repro.workloads` — traffic and scenario generators.
+* :mod:`repro.workloads` — traffic and scenario generators;
+* :mod:`repro.harness` — the experiment harness (declarative specs,
+  parallel seed fan-out, schema-versioned run telemetry).
+
+Protocols are constructed through the registry — by Table 1 design
+point or by name (``available_protocols()`` lists them).
 
 Quickstart::
 
-    from repro import reference_scenario, ORWGProtocol
+    from repro import make_protocol, reference_scenario
 
     scenario = reference_scenario()
-    protocol = ORWGProtocol(scenario.graph, scenario.policies)
+    protocol = make_protocol("orwg", scenario.graph, scenario.policies)
     protocol.converge()
     route = protocol.find_route(scenario.flows[0])
 """
@@ -62,14 +67,9 @@ from repro.policy import (
     source_class_policies,
 )
 from repro.protocols import (
-    BGP2Protocol,
-    DistanceVectorProtocol,
-    ECMAProtocol,
-    EGPProtocol,
-    IDRPProtocol,
-    LinkStateHopByHopProtocol,
-    ORWGProtocol,
-    PlainLinkStateProtocol,
+    RoutingProtocol,
+    available_protocols,
+    make_protocol,
 )
 from repro.workloads import Scenario, reference_scenario, scaled_scenario
 
@@ -79,36 +79,31 @@ __all__ = [
     "AD",
     "ADKind",
     "ADSet",
-    "BGP2Protocol",
     "DesignPoint",
-    "DistanceVectorProtocol",
-    "ECMAProtocol",
-    "EGPProtocol",
     "FlowSpec",
-    "IDRPProtocol",
     "InterADGraph",
     "InterADLink",
     "Level",
     "LinkKind",
-    "LinkStateHopByHopProtocol",
-    "ORWGProtocol",
     "PartialOrder",
-    "PlainLinkStateProtocol",
     "PolicyDatabase",
     "PolicyTerm",
     "QOS",
     "Route",
     "RouteSelectionPolicy",
     "RouteSynthesizer",
+    "RoutingProtocol",
     "Scenario",
     "TopologyConfig",
     "UCI",
+    "available_protocols",
     "enumerate_design_space",
     "evaluate_availability",
     "generate_internet",
     "hierarchical_policies",
     "is_legal_path",
     "legal_route_exists",
+    "make_protocol",
     "open_policies",
     "reference_scenario",
     "restricted_policies",

@@ -109,3 +109,27 @@ def random_failure_plan(
             events.append(LinkFailure(t + spacing / 2.0, a, b, up=True))
         t += spacing
     return FailurePlan(tuple(events))
+
+
+def stub_partition_plan(
+    graph: InterADGraph,
+    count: int = 1,
+    start_time: float = 100.0,
+    spacing: float = 500.0,
+) -> FailurePlan:
+    """Fail (and repair) the single access link of ``count`` stub ADs.
+
+    Each failure partitions one singly-homed stub from the rest of the
+    internet -- the event class where naive DV counts to infinity (E4's
+    "partition" events).  The repair follows half a spacing later so each
+    partition is measured in isolation.
+    """
+    events: List[LinkFailure] = []
+    t = start_time
+    stubs = [a for a in graph.stub_ads() if graph.degree(a.ad_id) == 1]
+    for ad in stubs[:count]:
+        link = graph.links_of(ad.ad_id)[0]
+        events.append(LinkFailure(t, link.a, link.b, up=False))
+        events.append(LinkFailure(t + spacing / 2.0, link.a, link.b, up=True))
+        t += spacing
+    return FailurePlan(tuple(events))

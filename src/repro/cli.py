@@ -7,7 +7,8 @@ Small, scriptable entry points over the library:
 * ``route``     — converge ORWG on a scenario and resolve one flow;
 * ``audit``     — connectivity audit of a policy scenario;
 * ``impact``    — what-if analysis of an AD withdrawing transit;
-* ``experiments`` — list the paper experiments and their bench modules.
+* ``experiments`` — list the paper experiments, or ``experiments run``
+  a named one through the harness (parallel fan-out, JSONL telemetry).
 """
 
 from __future__ import annotations
@@ -71,7 +72,7 @@ def cmd_scorecard(args: argparse.Namespace) -> int:
 
 def cmd_route(args: argparse.Namespace) -> int:
     from repro.policy.flows import FlowSpec
-    from repro.protocols.orwg import ORWGProtocol
+    from repro.protocols import make_protocol
 
     scenario = _build_scenario(args)
     graph = scenario.graph
@@ -80,7 +81,7 @@ def cmd_route(args: argparse.Namespace) -> int:
             print(f"error: AD {endpoint} not in topology "
                   f"(ids 0..{graph.num_ads - 1})", file=sys.stderr)
             return 2
-    protocol = ORWGProtocol(graph, scenario.policies)
+    protocol = make_protocol("orwg", graph, scenario.policies)
     protocol.converge()
     flow = FlowSpec(args.src, args.dst, qos=QOS(args.qos), hour=args.hour)
     routes = protocol.k_routes(flow, k=args.k)
@@ -133,19 +134,11 @@ def cmd_impact(args: argparse.Namespace) -> int:
 
 def cmd_converge(args: argparse.Namespace) -> int:
     from repro.adgraph.failures import random_failure_plan
-    from repro.protocols.dv import DistanceVectorProtocol
-    from repro.protocols.ecma import ECMAProtocol
-    from repro.protocols.idrp import IDRPProtocol
-    from repro.protocols.orwg import ORWGProtocol
+    from repro.protocols import make_protocol
     from repro.simul.runner import run_with_failures
 
     scenario = _build_scenario(args)
-    contenders = [
-        ("naive-dv", DistanceVectorProtocol),
-        ("ecma", ECMAProtocol),
-        ("idrp", IDRPProtocol),
-        ("orwg", ORWGProtocol),
-    ]
+    contenders = ["naive-dv", "ecma", "idrp", "orwg"]
     table = Table(
         "protocol",
         "initial msgs",
@@ -160,8 +153,8 @@ def cmd_converge(args: argparse.Namespace) -> int:
         plan = random_failure_plan(
             scenario.graph, count=args.failures, repair=True, seed=args.seed
         )
-    for name, cls in contenders:
-        proto = cls(scenario.graph.copy(), scenario.policies.copy())
+    for name in contenders:
+        proto = make_protocol(name, scenario.graph.copy(), scenario.policies.copy())
         if plan is None:
             result = proto.converge()
             table.add(name, result.messages, f"{result.bytes / 1024:.0f}", 0, "-")
@@ -223,6 +216,44 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_experiments_run(args: argparse.Namespace) -> int:
+    """Run harness-driven experiments: tables to stdout, runs to JSONL."""
+    import os
+
+    from repro.harness import EXPERIMENTS, run_experiment
+
+    if args.name == "all":
+        names = sorted(EXPERIMENTS, key=lambda n: EXPERIMENTS[n].eid)
+    elif args.name in EXPERIMENTS:
+        names = [args.name]
+    else:
+        print(
+            f"error: unknown experiment {args.name!r}; harness-driven "
+            f"experiments: all, {', '.join(sorted(EXPERIMENTS))}",
+            file=sys.stderr,
+        )
+        return 2
+    for name in names:
+        spec, records, text = run_experiment(
+            name,
+            jobs=args.jobs,
+            smoke=args.smoke,
+            runs_dir=args.runs_dir,
+            trace=args.trace,
+        )
+        print(text)
+        jsonl = os.path.join(args.runs_dir, f"{spec.name}.jsonl")
+        print(f"[{len(records)} runs -> {jsonl}]\n")
+        if args.trace:
+            for record in records:
+                if record.trace:
+                    print(f"--- trace: cell {record.cell['index']} "
+                          f"({record.cell['label']}) ---")
+                    for line in record.trace:
+                        print(line)
+    return 0
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     experiments = [
         ("E1", "Table 1 measured across all 8 design points",
@@ -251,6 +282,8 @@ def cmd_experiments(args: argparse.Namespace) -> int:
         table.add(*row)
     print(table.render())
     print("\nrun all:  pytest benchmarks/ --benchmark-only")
+    print("harness:  python -m repro experiments run <name|all> "
+          "[--jobs N] [--smoke] [--trace ad=K]")
     return 0
 
 
@@ -319,8 +352,26 @@ def build_parser() -> argparse.ArgumentParser:
                    help="failure/repair events to inject")
     p.set_defaults(fn=cmd_converge)
 
-    p = sub.add_parser("experiments", help="list paper experiments")
+    p = sub.add_parser("experiments",
+                       help="list paper experiments, or run them via the harness")
     p.set_defaults(fn=cmd_experiments)
+    esub = p.add_subparsers(dest="experiments_command")
+    ep = esub.add_parser("list", help="list paper experiments")
+    ep.set_defaults(fn=cmd_experiments)
+    ep = esub.add_parser(
+        "run", help="run a named experiment through the harness"
+    )
+    ep.add_argument("name",
+                    help="experiment name (see 'experiments list') or 'all'")
+    ep.add_argument("--jobs", type=int, default=1,
+                    help="worker processes for the cell fan-out")
+    ep.add_argument("--smoke", action="store_true",
+                    help="reduced grid; artifacts suffixed _smoke")
+    ep.add_argument("--trace", default=None, metavar="FILTER",
+                    help="per-run protocol trace: 'all' or 'ad=<id>'")
+    ep.add_argument("--runs-dir", default="benchmarks/out/runs",
+                    help="where <experiment>.jsonl telemetry is written")
+    ep.set_defaults(fn=cmd_experiments_run)
 
     return parser
 

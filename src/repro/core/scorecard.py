@@ -28,7 +28,7 @@ from repro.core.evaluation import evaluate_availability, sample_flows
 from repro.policy.database import PolicyDatabase
 from repro.policy.flows import FlowSpec
 from repro.protocols.base import ForwardingMode
-from repro.protocols.registry import protocol_for
+from repro.protocols.registry import design_point_of, make_protocol
 
 
 @dataclass(frozen=True)
@@ -46,6 +46,7 @@ class ScoreRow:
     source_control: bool
     computations: int
     max_rib: int
+    quiesced: bool = True
 
     @property
     def paper_verdict(self):
@@ -59,7 +60,7 @@ def score_design_point(
     flows: Sequence[FlowSpec],
 ) -> ScoreRow:
     """Run one design point's implementation and measure it."""
-    protocol = protocol_for(point, graph.copy(), policies.copy())
+    protocol = make_protocol(point, graph.copy(), policies.copy())
     result = protocol.converge()
     report = evaluate_availability(
         protocol.graph, protocol.policies, flows, protocol.find_route
@@ -77,6 +78,7 @@ def score_design_point(
         source_control=protocol.mode is ForwardingMode.SOURCE,
         computations=sum(metrics.computations.values()),
         max_rib=protocol.max_rib_size(),
+        quiesced=result.quiesced,
     )
 
 
@@ -94,6 +96,47 @@ def build_scorecard(
         score_design_point(point, graph, policies, flows)
         for point in enumerate_design_space()
     ]
+
+
+def score_rows_from_records(records: Sequence) -> List[ScoreRow]:
+    """Reduce harness :class:`~repro.harness.record.RunRecord` telemetry
+    to score rows.
+
+    The experiment harness measures the same quantities
+    :func:`score_design_point` does (initial-convergence episode, route
+    quality, final computation/state counters); this adapter lets E1
+    render its table from persisted run records instead of re-running.
+    """
+    rows: List[ScoreRow] = []
+    for record in records:
+        point = design_point_of(record.cell["protocol"])
+        if point is None:
+            raise ValueError(
+                f"{record.cell['protocol']!r} is a baseline, not a Table 1 cell"
+            )
+        quality = record.route_quality
+        if quality is None:
+            raise ValueError(
+                f"record for {record.cell['protocol']!r} carries no "
+                "route_quality; run the experiment with evaluate=True"
+            )
+        rows.append(
+            ScoreRow(
+                point=point,
+                protocol=record.cell["protocol"],
+                messages=record.initial.messages,
+                bytes=record.initial.bytes,
+                convergence_time=record.initial.time,
+                availability=quality["availability"],
+                illegal_routes=quality["n_illegal"],
+                forwarding_loops=quality["forwarding_loops"],
+                source_control=quality["source_control"],
+                computations=sum(record.computations.values()),
+                max_rib=record.state["max_rib"],
+                quiesced=record.initial.quiesced,
+            )
+        )
+    return rows
 
 
 def render_scorecard(rows: Sequence[ScoreRow]) -> str:
@@ -120,7 +163,7 @@ def render_scorecard(rows: Sequence[ScoreRow]) -> str:
             row.protocol,
             row.messages,
             f"{row.bytes / 1024:.1f}",
-            f"{row.convergence_time:.0f}",
+            f"{row.convergence_time:.0f}" + ("" if row.quiesced else "*"),
             f"{row.availability:.2f}",
             row.illegal_routes,
             row.forwarding_loops,
@@ -128,4 +171,7 @@ def render_scorecard(rows: Sequence[ScoreRow]) -> str:
             row.computations,
             row.max_rib,
         )
-    return table.render()
+    text = table.render()
+    if not all(row.quiesced for row in rows):
+        text += "\n(*) did not quiesce within the event budget; cost truncated"
+    return text

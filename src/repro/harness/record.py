@@ -1,0 +1,198 @@
+"""Schema-versioned run telemetry records.
+
+A :class:`RunRecord` is the unit of experiment output: one protocol, on
+one scenario, with one failure plan, measured end to end.  It carries
+everything the benches used to reduce to a single table row -- per-type
+message/byte histograms, per-AD computation counters, every convergence
+episode (with the :attr:`~EpisodeRecord.quiesced` verdict), route-quality
+summaries, and wall-clock phase timings from the profiling hooks -- so a
+sweep's raw data survives next to its rendered table.
+
+Records serialize to JSON lines (``benchmarks/out/runs/<experiment>.jsonl``).
+``schema_version`` is bumped whenever a field changes meaning, so
+downstream analysis can refuse data it does not understand.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+#: Bump on any incompatible change to RunRecord's shape.
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class EpisodeRecord:
+    """One convergence episode: initial convergence or one status change.
+
+    Attributes:
+        kind: ``"initial"``, ``"failure"`` or ``"repair"``.
+        link: The link whose status changed (None for initial).
+        messages / bytes / time / events: Episode cost (see
+            :class:`~repro.simul.runner.ConvergenceResult`).
+        quiesced: Whether the event queue drained within budget.
+    """
+
+    kind: str
+    messages: int
+    bytes: int
+    time: float
+    events: int
+    quiesced: bool
+    link: Optional[Tuple[int, int]] = None
+
+    @classmethod
+    def from_result(
+        cls, kind: str, result: Any, link: Optional[Tuple[int, int]] = None
+    ) -> "EpisodeRecord":
+        """Build from a :class:`~repro.simul.runner.ConvergenceResult`."""
+        return cls(
+            kind=kind,
+            messages=result.messages,
+            bytes=result.bytes,
+            time=result.time,
+            events=result.events,
+            quiesced=result.quiesced,
+            link=link,
+        )
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Full telemetry of one (scenario, protocol, failure-plan) run.
+
+    Attributes:
+        schema_version: :data:`SCHEMA_VERSION` at write time.
+        experiment: Experiment name the run belongs to.
+        cell: The declarative cell key -- scenario/protocol/failure
+            parameters plus the cell's position in the spec's expansion
+            order (``index``).  Sorting records by this key reproduces
+            the serial execution order regardless of worker scheduling.
+        scenario: Measured scenario facts (ADs, links, policy terms,
+            flows sampled).
+        episodes: Initial convergence first, then one entry per failure
+            event, in plan order.
+        messages / message_bytes: Final per-message-type histograms.
+        dropped: Messages lost to dead links.
+        computations: Per-kind computation totals across all ADs.
+        computations_by_ad: ``"<ad>:<kind>"`` -> count (JSON object keys
+            must be strings).
+        state: RIB occupancy summary (``max_rib``, ``total_rib``).
+        route_quality: Availability evaluation summary, when the spec
+            asked for one (``availability``, ``n_illegal``, ...).
+        timings: Wall-clock phase seconds (``build``, ``converge``,
+            ``engine.run``, ``failures``, ``evaluate``).  Never compare
+            these for determinism -- they are honest wall-clock.
+        trace: Rendered tracer timeline lines, when tracing was on.
+    """
+
+    schema_version: int
+    experiment: str
+    cell: Mapping[str, Any]
+    scenario: Mapping[str, Any]
+    episodes: Tuple[EpisodeRecord, ...]
+    messages: Mapping[str, int]
+    message_bytes: Mapping[str, int]
+    dropped: int
+    computations: Mapping[str, int]
+    computations_by_ad: Mapping[str, int]
+    state: Mapping[str, int]
+    route_quality: Optional[Mapping[str, Any]] = None
+    timings: Mapping[str, float] = field(default_factory=dict)
+    trace: Optional[Tuple[str, ...]] = None
+
+    @property
+    def initial(self) -> EpisodeRecord:
+        """The initial-convergence episode."""
+        return self.episodes[0]
+
+    @property
+    def failure_episodes(self) -> Tuple[EpisodeRecord, ...]:
+        """Episodes after the initial convergence, in plan order."""
+        return self.episodes[1:]
+
+    @property
+    def quiesced(self) -> bool:
+        """Whether every episode of the run quiesced."""
+        return all(ep.quiesced for ep in self.episodes)
+
+    def sort_key(self) -> Tuple:
+        """Deterministic merge key: position in the spec's cell grid."""
+        return (self.cell.get("index", 0),)
+
+    # ------------------------------------------------------------- serde
+
+    def to_json(self) -> str:
+        """One JSON line (stable key order)."""
+        payload = asdict(self)
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, line: str) -> "RunRecord":
+        data = json.loads(line)
+        version = data.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"RunRecord schema {version!r} unsupported "
+                f"(this build reads {SCHEMA_VERSION})"
+            )
+        episodes = tuple(
+            EpisodeRecord(
+                kind=ep["kind"],
+                messages=ep["messages"],
+                bytes=ep["bytes"],
+                time=ep["time"],
+                events=ep["events"],
+                quiesced=ep["quiesced"],
+                link=tuple(ep["link"]) if ep.get("link") else None,
+            )
+            for ep in data["episodes"]
+        )
+        trace = data.get("trace")
+        return cls(
+            schema_version=version,
+            experiment=data["experiment"],
+            cell=data["cell"],
+            scenario=data["scenario"],
+            episodes=episodes,
+            messages=data["messages"],
+            message_bytes=data["message_bytes"],
+            dropped=data["dropped"],
+            computations=data["computations"],
+            computations_by_ad=data["computations_by_ad"],
+            state=data["state"],
+            route_quality=data.get("route_quality"),
+            timings=data.get("timings", {}),
+            trace=tuple(trace) if trace is not None else None,
+        )
+
+    def comparable(self) -> Dict[str, Any]:
+        """The record minus wall-clock noise, for equivalence checks.
+
+        Two runs of the same cell -- serial or parallel, any worker --
+        must produce identical ``comparable()`` dicts; only the
+        ``timings`` differ run to run.
+        """
+        payload = asdict(self)
+        payload.pop("timings")
+        return payload
+
+
+def write_jsonl(path: str, records: Sequence[RunRecord]) -> None:
+    """Persist records as JSON lines (one record per line)."""
+    with open(path, "w") as fh:
+        for record in records:
+            fh.write(record.to_json() + "\n")
+
+
+def read_jsonl(path: str) -> list:
+    """Load records written by :func:`write_jsonl`."""
+    out = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(RunRecord.from_json(line))
+    return out

@@ -1,0 +1,205 @@
+"""The experiment session: cells in, telemetry records out.
+
+:class:`ExperimentSession` executes an
+:class:`~repro.harness.spec.ExperimentSpec`'s cell grid and returns one
+:class:`~repro.harness.record.RunRecord` per cell.  Because cells are
+self-contained recipes (each worker rebuilds its scenario, protocol and
+failure plan from seeds), independent cells can fan out across a
+``multiprocessing`` pool; records are merged deterministically by cell
+key, so the merged result -- and any table rendered from it -- is
+byte-identical whether the sweep ran serial or parallel.
+
+Per-cell measurement protocol (the one loop every bench used to
+hand-roll):
+
+1. build the scenario, instantiate the protocol via the registry;
+2. attach profiling hooks (and, opt-in, the tracer);
+3. run to initial convergence; then one isolated episode per failure
+   event;
+4. optionally evaluate route quality against ground truth;
+5. snapshot histograms, counters, RIB state, timings into a RunRecord.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.evaluation import evaluate_availability
+from repro.harness.record import (
+    SCHEMA_VERSION,
+    EpisodeRecord,
+    RunRecord,
+    write_jsonl,
+)
+from repro.harness.spec import Cell, ExperimentSpec
+from repro.protocols.base import ForwardingMode
+from repro.simul.profiling import PhaseProfiler
+from repro.simul.runner import ConvergenceResult, converge
+from repro.simul.trace import Tracer
+
+#: Most trace lines kept per run (timeline tails beyond this are elided).
+TRACE_LINE_LIMIT = 500
+
+
+def _parse_trace(trace: Optional[str]) -> Optional[Dict[str, Optional[int]]]:
+    """Parse a ``--trace`` flag: ``"all"`` or ``"ad=<id>"``."""
+    if trace is None:
+        return None
+    if trace == "all":
+        return {"ad": None}
+    if trace.startswith("ad="):
+        try:
+            return {"ad": int(trace[3:])}
+        except ValueError:
+            pass
+    raise ValueError(f"bad trace filter {trace!r} (expected 'all' or 'ad=<id>')")
+
+
+def execute_cell(cell: Cell) -> RunRecord:
+    """Run one cell end to end and measure it (worker entry point)."""
+    trace_filter = _parse_trace(cell.trace)
+    profiler = PhaseProfiler()
+    with profiler.phase("scenario"):
+        scenario = cell.scenario.build()
+    with profiler.phase("build"):
+        protocol = cell.protocol.instantiate(
+            scenario.graph.copy(), scenario.policies.copy()
+        )
+        network = protocol.build()
+    network.set_profiler(profiler)
+    tracer = Tracer.attach(network) if trace_filter is not None else None
+
+    with profiler.phase("converge"):
+        initial = converge(network, max_events=cell.max_events)
+    episodes: List[EpisodeRecord] = [EpisodeRecord.from_result("initial", initial)]
+
+    plan = cell.failure.build(scenario.graph)
+    if plan is not None:
+        with profiler.phase("failures"):
+            for ev in plan:
+                before = network.metrics.snapshot(network.sim.now)
+                network.set_link_status(ev.a, ev.b, ev.up)
+                events = network.run(
+                    max_events=cell.max_events, raise_on_limit=False
+                )
+                after = network.metrics.snapshot(network.sim.now)
+                result = ConvergenceResult.from_delta(
+                    before,
+                    after,
+                    events,
+                    quiesced=not network.sim.hit_event_limit,
+                )
+                episodes.append(
+                    EpisodeRecord.from_result(
+                        "repair" if ev.up else "failure", result, link=(ev.a, ev.b)
+                    )
+                )
+
+    route_quality = None
+    if cell.evaluate:
+        with profiler.phase("evaluate"):
+            report = evaluate_availability(
+                protocol.graph,
+                protocol.policies,
+                scenario.flows,
+                protocol.find_route,
+            )
+        route_quality = {
+            "availability": report.availability,
+            "n_flows": report.n_flows,
+            "n_existing": report.n_existing,
+            "n_found": report.n_found,
+            "n_found_legal": report.n_found_legal,
+            "n_illegal": report.n_illegal,
+            "n_undecided": report.n_undecided,
+            "mean_stretch": report.mean_stretch,
+            "forwarding_loops": protocol.forwarding_loops,
+            "source_control": protocol.mode is ForwardingMode.SOURCE,
+        }
+
+    snapshot = network.metrics.snapshot(network.sim.now)
+    by_kind: Dict[str, int] = {}
+    by_ad: Dict[str, int] = {}
+    for (ad_id, kind), count in sorted(snapshot.computations.items()):
+        by_kind[kind] = by_kind.get(kind, 0) + count
+        by_ad[f"{ad_id}:{kind}"] = count
+
+    trace_lines = None
+    if tracer is not None:
+        records = tracer.filtered(ad=trace_filter["ad"])
+        trace_lines = tuple(r.render() for r in records[-TRACE_LINE_LIMIT:])
+
+    return RunRecord(
+        schema_version=SCHEMA_VERSION,
+        experiment=cell.experiment,
+        cell=cell.key(),
+        scenario={
+            "name": scenario.name,
+            "num_ads": scenario.graph.num_ads,
+            "num_links": scenario.graph.num_links,
+            "num_terms": scenario.policies.num_terms,
+            "num_flows": len(scenario.flows),
+        },
+        episodes=tuple(episodes),
+        messages=dict(snapshot.messages),
+        message_bytes=dict(snapshot.bytes),
+        dropped=snapshot.dropped,
+        computations=by_kind,
+        computations_by_ad=by_ad,
+        state={
+            "max_rib": protocol.max_rib_size(),
+            "total_rib": protocol.total_rib_size(),
+        },
+        route_quality=route_quality,
+        timings=profiler.as_dict(),
+        trace=trace_lines,
+    )
+
+
+class ExperimentSession:
+    """Executes an experiment spec, serially or fanned out over workers.
+
+    Args:
+        spec: The declarative experiment.
+        out_dir: Where to persist ``<experiment>.jsonl`` (created on
+            demand); ``None`` skips persistence.
+    """
+
+    def __init__(self, spec: ExperimentSpec, out_dir: Optional[str] = None) -> None:
+        self.spec = spec
+        self.out_dir = out_dir
+
+    @property
+    def jsonl_path(self) -> Optional[str]:
+        if self.out_dir is None:
+            return None
+        return os.path.join(self.out_dir, f"{self.spec.name}.jsonl")
+
+    def run(self, jobs: int = 1) -> List[RunRecord]:
+        """Execute every cell and return records in deterministic order.
+
+        ``jobs > 1`` fans independent cells out over a process pool.
+        The merge sorts by cell key, so the returned list (and the
+        persisted JSONL) is identical to a serial run -- only the
+        wall-clock ``timings`` fields differ.
+        """
+        cells = self.spec.cells()
+        if jobs <= 1 or len(cells) <= 1:
+            records = [execute_cell(cell) for cell in cells]
+        else:
+            with multiprocessing.Pool(processes=min(jobs, len(cells))) as pool:
+                records = pool.map(execute_cell, cells, chunksize=1)
+        records.sort(key=lambda r: r.sort_key())
+        if self.out_dir is not None:
+            os.makedirs(self.out_dir, exist_ok=True)
+            write_jsonl(self.jsonl_path, records)
+        return records
+
+
+def run_spec(
+    spec: ExperimentSpec, jobs: int = 1, out_dir: Optional[str] = None
+) -> Sequence[RunRecord]:
+    """One-shot convenience: session + run."""
+    return ExperimentSession(spec, out_dir=out_dir).run(jobs=jobs)

@@ -1,0 +1,249 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` is the harness input: scenario parameters ×
+protocol set × seed list × failure plan, all as plain data.  The spec
+expands to a grid of :class:`Cell` objects -- every cell is
+self-contained and picklable, so the session can hand cells to worker
+processes and any cell can be re-run (or re-played under the tracer) in
+isolation.
+
+Cells carry *recipes*, not objects: a cell rebuilds its scenario, its
+protocol, and its failure plan from seeds inside the worker, which is
+what makes parallel execution bit-identical to serial execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.adgraph.failures import (
+    FailurePlan,
+    random_failure_plan,
+    stub_partition_plan,
+)
+from repro.adgraph.generator import TopologyConfig, generate_internet
+from repro.adgraph.graph import InterADGraph
+from repro.core.evaluation import sample_flows
+from repro.policy.generators import restricted_policies
+from repro.workloads.scenarios import (
+    Scenario,
+    reference_scenario,
+    scaled_scenario,
+    small_scenario,
+)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Recipe for one topology + policies + flow sample.
+
+    ``kind`` selects the builder:
+
+    * ``"reference"`` -- :func:`~repro.workloads.scenarios.reference_scenario`;
+    * ``"small"``     -- :func:`~repro.workloads.scenarios.small_scenario`;
+    * ``"scaled"``    -- :func:`~repro.workloads.scenarios.scaled_scenario`
+      (set ``target_ads``);
+    * ``"custom"``    -- explicit ``topology`` shape parameters with
+      independently seeded policies (``policy_seed``) and flows
+      (``flows_seed``), as the availability sweep (E3) needs.
+    """
+
+    kind: str = "reference"
+    seed: int = 0
+    num_flows: int = 60
+    restrictiveness: float = 0.3
+    target_ads: int = 0
+    topology: Optional[Tuple[Tuple[str, int], ...]] = None
+    flows_seed: Optional[int] = None
+    policy_seed: Optional[int] = None
+
+    def build(self) -> Scenario:
+        if self.kind == "reference":
+            return reference_scenario(
+                seed=self.seed,
+                num_flows=self.num_flows,
+                restrictiveness=self.restrictiveness,
+            )
+        if self.kind == "small":
+            return small_scenario(seed=self.seed, num_flows=self.num_flows)
+        if self.kind == "scaled":
+            return scaled_scenario(
+                self.target_ads,
+                seed=self.seed,
+                num_flows=self.num_flows,
+                restrictiveness=self.restrictiveness,
+            )
+        if self.kind == "custom":
+            if self.topology is None:
+                raise ValueError("custom scenario needs topology parameters")
+            graph = generate_internet(TopologyConfig(**dict(self.topology)))
+            policy = restricted_policies(
+                graph,
+                self.restrictiveness,
+                seed=self.seed if self.policy_seed is None else self.policy_seed,
+            )
+            flows = sample_flows(
+                graph,
+                self.num_flows,
+                seed=self.seed + 1 if self.flows_seed is None else self.flows_seed,
+            )
+            return Scenario(
+                name=f"custom(seed={self.seed})",
+                graph=graph,
+                policy_scenario=policy,
+                flows=flows,
+            )
+        raise ValueError(f"unknown scenario kind {self.kind!r}")
+
+    def describe(self) -> Dict[str, Any]:
+        """Cell-key fragment (only the parameters that are set)."""
+        out: Dict[str, Any] = {"kind": self.kind, "seed": self.seed}
+        if self.kind == "scaled":
+            out["target_ads"] = self.target_ads
+        if self.topology is not None:
+            out["topology"] = dict(self.topology)
+        out["restrictiveness"] = self.restrictiveness
+        out["num_flows"] = self.num_flows
+        return out
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """Recipe for one protocol construction via the registry.
+
+    ``options`` is a tuple of (name, value) pairs forwarded to
+    :func:`~repro.protocols.registry.make_protocol`; ``label`` is the
+    display name used in tables (defaults to the registry name).
+    """
+
+    name: str
+    label: Optional[str] = None
+    options: Tuple[Tuple[str, Any], ...] = ()
+
+    @property
+    def display(self) -> str:
+        return self.label or self.name
+
+    def instantiate(self, graph: InterADGraph, policies):
+        from repro.protocols.registry import make_protocol
+
+        return make_protocol(self.name, graph, policies, **dict(self.options))
+
+
+@dataclass(frozen=True)
+class FailureSpec:
+    """Recipe for a failure plan, rebuilt from the graph inside a cell.
+
+    Kinds: ``"none"`` (pure initial convergence), ``"random"``
+    (:func:`~repro.adgraph.failures.random_failure_plan` over non-bridge
+    links), ``"stub_partition"``
+    (:func:`~repro.adgraph.failures.stub_partition_plan`).
+    """
+
+    kind: str = "none"
+    count: int = 0
+    seed: int = 0
+    start_time: float = 100.0
+    spacing: float = 500.0
+    repair: bool = True
+    label: Optional[str] = None
+
+    @property
+    def display(self) -> str:
+        return self.label or self.kind
+
+    def build(self, graph: InterADGraph) -> Optional[FailurePlan]:
+        if self.kind == "none":
+            return None
+        if self.kind == "random":
+            return random_failure_plan(
+                graph,
+                count=self.count,
+                start_time=self.start_time,
+                spacing=self.spacing,
+                repair=self.repair,
+                seed=self.seed,
+            )
+        if self.kind == "stub_partition":
+            return stub_partition_plan(
+                graph,
+                count=self.count,
+                start_time=self.start_time,
+                spacing=self.spacing,
+            )
+        raise ValueError(f"unknown failure kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One fully-specified run: the unit of parallel execution."""
+
+    experiment: str
+    index: int
+    scenario: ScenarioSpec
+    protocol: ProtocolSpec
+    failure: FailureSpec
+    evaluate: bool = False
+    max_events: int = 5_000_000
+    trace: Optional[str] = None
+
+    def key(self) -> Dict[str, Any]:
+        """The record's ``cell`` mapping (sortable, JSON-friendly)."""
+        return {
+            "index": self.index,
+            "scenario": self.scenario.describe(),
+            "protocol": self.protocol.name,
+            "label": self.protocol.display,
+            "options": dict(self.protocol.options),
+            "failure": self.failure.display,
+        }
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """The declarative input to an :class:`~repro.harness.session.ExperimentSession`.
+
+    The cell grid is the cross product scenarios × seeds × protocols ×
+    failures, expanded in that (deterministic) nesting order.  An empty
+    ``seeds`` tuple keeps each scenario's own seed; otherwise every seed
+    re-seeds every scenario (the seed-sweep axis).
+    """
+
+    name: str
+    scenarios: Tuple[ScenarioSpec, ...]
+    protocols: Tuple[ProtocolSpec, ...]
+    seeds: Tuple[int, ...] = ()
+    failures: Tuple[FailureSpec, ...] = (FailureSpec(),)
+    evaluate: bool = False
+    max_events: int = 5_000_000
+    trace: Optional[str] = None
+
+    def cells(self) -> List[Cell]:
+        expanded: List[Cell] = []
+        scenario_axis: List[ScenarioSpec] = []
+        for scenario in self.scenarios:
+            if self.seeds:
+                scenario_axis.extend(
+                    replace(scenario, seed=seed) for seed in self.seeds
+                )
+            else:
+                scenario_axis.append(scenario)
+        index = 0
+        for scenario in scenario_axis:
+            for protocol in self.protocols:
+                for failure in self.failures:
+                    expanded.append(
+                        Cell(
+                            experiment=self.name,
+                            index=index,
+                            scenario=scenario,
+                            protocol=protocol,
+                            failure=failure,
+                            evaluate=self.evaluate,
+                            max_events=self.max_events,
+                            trace=self.trace,
+                        )
+                    )
+                    index += 1
+        return expanded

@@ -13,7 +13,9 @@ on the :mod:`repro.simul` message-passing substrate and sharing the
 * the four dismissed points of Section 5.5: :mod:`~repro.protocols.variants`.
 
 :mod:`~repro.protocols.registry` maps every
-:class:`~repro.core.design_space.DesignPoint` to its implementation.
+:class:`~repro.core.design_space.DesignPoint` *and* every registered
+name to its implementation; :func:`~repro.protocols.registry.make_protocol`
+is the single construction path the rest of the system uses.
 """
 
 from repro.protocols.base import ForwardingMode, RoutingProtocol
@@ -23,6 +25,12 @@ from repro.protocols.egp import EGPProtocol, TopologyViolationError
 from repro.protocols.idrp import BGP2Protocol, IDRPProtocol
 from repro.protocols.lshbh import LinkStateHopByHopProtocol
 from repro.protocols.orwg import ORWGProtocol
+from repro.protocols.registry import (
+    available_protocols,
+    design_point_of,
+    make_protocol,
+    protocol_for,
+)
 from repro.protocols.spf import PlainLinkStateProtocol
 
 __all__ = [
@@ -37,4 +45,8 @@ __all__ = [
     "PlainLinkStateProtocol",
     "RoutingProtocol",
     "TopologyViolationError",
+    "available_protocols",
+    "design_point_of",
+    "make_protocol",
+    "protocol_for",
 ]

@@ -79,13 +79,22 @@ class RoutingProtocol:
         """Build if needed and run the control plane to quiescence."""
         return converge(self.build(), max_events=max_events)
 
+    def _require_network(self) -> SimNetwork:
+        """The built network, or a clear error if build() never ran."""
+        if self.network is None:
+            raise RuntimeError(
+                f"{self.name}: no simulation network -- call build() or "
+                "converge() before applying link status changes"
+            )
+        return self.network
+
     def apply_link_status(self, a: ADId, b: ADId, up: bool) -> None:
         """Change a physical link's status and notify the protocol.
 
         Protocols whose control plane runs on a derived topology (EGP's
         spanning tree) override this to keep both views consistent.
         """
-        self.network.set_link_status(a, b, up)
+        self._require_network().set_link_status(a, b, up)
 
     # ------------------------------------------------------------ data plane
 

@@ -174,9 +174,10 @@ class EGPProtocol(RoutingProtocol):
     def apply_link_status(self, a: ADId, b: ADId, up: bool) -> None:
         """Physical failures affect the real graph always, the EGP tree
         only when the failed link survived pruning."""
+        network = self._require_network()
         self.graph.set_link_status(a, b, up)
-        if self.network.graph.has_link(a, b):
-            self.network.set_link_status(a, b, up)
+        if network.graph.has_link(a, b):
+            network.set_link_status(a, b, up)
 
     def next_hop(
         self, ad_id: ADId, flow: FlowSpec, prev: Optional[ADId]

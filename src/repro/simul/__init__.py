@@ -18,16 +18,21 @@ from repro.simul.messages import Message
 from repro.simul.metrics import MetricsCollector, MetricsSnapshot
 from repro.simul.network import SimNetwork
 from repro.simul.node import ProtocolNode
+from repro.simul.profiling import PhaseProfiler
 from repro.simul.runner import ConvergenceResult, converge, run_with_failures
+from repro.simul.trace import TraceRecord, Tracer
 
 __all__ = [
     "ConvergenceResult",
     "Message",
     "MetricsCollector",
     "MetricsSnapshot",
+    "PhaseProfiler",
     "ProtocolNode",
     "SimNetwork",
     "Simulator",
+    "TraceRecord",
+    "Tracer",
     "converge",
     "run_with_failures",
 ]

@@ -10,8 +10,11 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Tuple
+
+from repro.simul.profiling import PhaseProfiler
 
 
 class SimulationLimitError(RuntimeError):
@@ -43,11 +46,16 @@ class EventHandle:
 class Simulator:
     """A deterministic discrete-event simulator."""
 
-    def __init__(self) -> None:
+    def __init__(self, profiler: Optional[PhaseProfiler] = None) -> None:
         self._queue: List[Tuple[float, int, EventHandle, Callable[..., None], tuple]] = []
         self._seq = itertools.count()
         self._now = 0.0
         self.events_processed = 0
+        #: Wall-clock profiler; engine time accumulates under "engine.run".
+        self.profiler = profiler
+        #: Whether the most recent :meth:`run` stopped on ``max_events``
+        #: with deliverable events still queued (i.e. did NOT quiesce).
+        self.hit_event_limit = False
 
     @property
     def now(self) -> float:
@@ -81,6 +89,7 @@ class Simulator:
         self,
         until: Optional[float] = None,
         max_events: int = 5_000_000,
+        raise_on_limit: bool = True,
     ) -> int:
         """Process events until the queue drains (or ``until`` is reached).
 
@@ -90,28 +99,40 @@ class Simulator:
         ``run(until=...)`` slices with wall-clock-style bookkeeping without
         caring which case occurred.
 
-        Returns the number of events processed by this call.  Raises
-        :class:`SimulationLimitError` if ``max_events`` fire without the
-        queue draining -- a non-quiescing protocol.
+        Returns the number of events processed by this call.  If
+        ``max_events`` fire without the queue draining -- a non-quiescing
+        protocol -- either raises :class:`SimulationLimitError` (the
+        default) or, with ``raise_on_limit=False``, stops with the
+        over-budget event still queued and :attr:`hit_event_limit` set, so
+        callers can report a non-quiescent run instead of crashing.
         """
         processed = 0
-        while self._queue:
-            time, _seq, handle, fn, args = self._queue[0]
-            if until is not None and time > until:
-                break
-            heapq.heappop(self._queue)
-            self._now = time
-            if handle.cancelled:
-                continue
-            if processed >= max_events:
-                raise SimulationLimitError(
-                    f"exceeded {max_events} events at t={self._now}"
-                )
-            fn(*args)
-            processed += 1
-            self.events_processed += 1
-        if until is not None and until > self._now:
-            self._now = until
+        self.hit_event_limit = False
+        t0 = time.perf_counter() if self.profiler is not None else 0.0
+        try:
+            while self._queue:
+                event_time, _seq, handle, fn, args = self._queue[0]
+                if until is not None and event_time > until:
+                    break
+                if processed >= max_events and not handle.cancelled:
+                    self.hit_event_limit = True
+                    if raise_on_limit:
+                        raise SimulationLimitError(
+                            f"exceeded {max_events} events at t={self._now}"
+                        )
+                    break
+                heapq.heappop(self._queue)
+                self._now = event_time
+                if handle.cancelled:
+                    continue
+                fn(*args)
+                processed += 1
+                self.events_processed += 1
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            if self.profiler is not None:
+                self.profiler.add("engine.run", time.perf_counter() - t0)
         return processed
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -21,16 +21,28 @@ from repro.simul.engine import Simulator
 from repro.simul.messages import Message
 from repro.simul.metrics import MetricsCollector
 from repro.simul.node import ProtocolNode
+from repro.simul.profiling import PhaseProfiler
 
 
 class SimNetwork:
     """Binds a topology to protocol nodes over a discrete-event engine."""
 
-    def __init__(self, graph: InterADGraph, sim: Optional[Simulator] = None) -> None:
+    def __init__(
+        self,
+        graph: InterADGraph,
+        sim: Optional[Simulator] = None,
+        profiler: Optional[PhaseProfiler] = None,
+    ) -> None:
         self.graph = graph
-        self.sim = sim or Simulator()
+        self.sim = sim or Simulator(profiler=profiler)
         self.metrics = MetricsCollector()
         self.nodes: Dict[ADId, ProtocolNode] = {}
+        self.profiler = profiler
+
+    def set_profiler(self, profiler: Optional[PhaseProfiler]) -> None:
+        """Attach (or detach) a wall-clock profiler to network and engine."""
+        self.profiler = profiler
+        self.sim.profiler = profiler
 
     # ----------------------------------------------------------- node mgmt
 
@@ -96,9 +108,16 @@ class SimNetwork:
 
     # -------------------------------------------------------------- helpers
 
-    def run(self, until: Optional[float] = None, max_events: int = 5_000_000) -> int:
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: int = 5_000_000,
+        raise_on_limit: bool = True,
+    ) -> int:
         """Run the engine (see :meth:`Simulator.run`)."""
-        return self.sim.run(until=until, max_events=max_events)
+        return self.sim.run(
+            until=until, max_events=max_events, raise_on_limit=raise_on_limit
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"SimNetwork(ads={self.graph.num_ads}, nodes={len(self.nodes)})"

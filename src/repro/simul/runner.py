@@ -34,16 +34,25 @@ class ConvergenceResult:
         time: Simulated time from episode start until the last protocol
             activity (0 if the episode produced no messages).
         events: Engine events processed.
+        quiesced: Whether the event queue actually drained.  ``False``
+            means ``max_events`` ran out first -- the protocol had not
+            converged, and the costs above are a truncated lower bound,
+            not a convergence cost.
     """
 
     messages: int
     bytes: int
     time: float
     events: int
+    quiesced: bool = True
 
     @classmethod
     def from_delta(
-        cls, start: MetricsSnapshot, end: MetricsSnapshot, events: int
+        cls,
+        start: MetricsSnapshot,
+        end: MetricsSnapshot,
+        events: int,
+        quiesced: bool = True,
     ) -> "ConvergenceResult":
         delta = end.delta(start)
         active = max(0.0, end.last_activity - start.time)
@@ -54,17 +63,25 @@ class ConvergenceResult:
             bytes=delta.total_bytes,
             time=active,
             events=events,
+            quiesced=quiesced,
         )
 
 
 def converge(network: SimNetwork, max_events: int = 5_000_000) -> ConvergenceResult:
-    """Start (if needed) and run the network to quiescence."""
+    """Start (if needed) and run the network to quiescence.
+
+    A run that exhausts ``max_events`` is reported, not raised:
+    the returned result has ``quiesced=False`` so callers can tell a
+    converged protocol from one that was cut off mid-storm.
+    """
     if network.sim.events_processed == 0 and network.sim.pending == 0:
         network.start()
     before = network.metrics.snapshot(network.sim.now)
-    events = network.run(max_events=max_events)
+    events = network.run(max_events=max_events, raise_on_limit=False)
     after = network.metrics.snapshot(network.sim.now)
-    return ConvergenceResult.from_delta(before, after, events)
+    return ConvergenceResult.from_delta(
+        before, after, events, quiesced=not network.sim.hit_event_limit
+    )
 
 
 @dataclass(frozen=True)
@@ -93,9 +110,14 @@ def run_with_failures(
     for ev in plan:
         before = network.metrics.snapshot(network.sim.now)
         network.set_link_status(ev.a, ev.b, ev.up)
-        events = network.run(max_events=max_events)
+        events = network.run(max_events=max_events, raise_on_limit=False)
         after = network.metrics.snapshot(network.sim.now)
         episodes.append(
-            FailureEpisode(ev, ConvergenceResult.from_delta(before, after, events))
+            FailureEpisode(
+                ev,
+                ConvergenceResult.from_delta(
+                    before, after, events, quiesced=not network.sim.hit_event_limit
+                ),
+            )
         )
     return initial, episodes

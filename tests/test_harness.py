@@ -1,0 +1,205 @@
+"""Tests for the experiment harness: specs, records, session, experiments."""
+
+import json
+import os
+
+import pytest
+
+from repro.harness import (
+    SCHEMA_VERSION,
+    Cell,
+    EpisodeRecord,
+    ExperimentSession,
+    ExperimentSpec,
+    FailureSpec,
+    ProtocolSpec,
+    RunRecord,
+    ScenarioSpec,
+    execute_cell,
+    read_jsonl,
+    run_experiment,
+    run_spec,
+    write_jsonl,
+)
+from repro.harness.session import _parse_trace
+
+
+def small_spec(**overrides):
+    base = dict(
+        name="t",
+        scenarios=(ScenarioSpec(kind="small", seed=3, num_flows=8),),
+        protocols=(ProtocolSpec("idrp"), ProtocolSpec("orwg")),
+        failures=(FailureSpec(kind="random", count=1, repair=True, seed=3),),
+        evaluate=True,
+    )
+    base.update(overrides)
+    return ExperimentSpec(**base)
+
+
+class TestSpec:
+    def test_cell_grid_expansion_order(self):
+        spec = small_spec(
+            scenarios=(
+                ScenarioSpec(kind="small", seed=1),
+                ScenarioSpec(kind="small", seed=2),
+            ),
+            failures=(FailureSpec(), FailureSpec(kind="random", count=1)),
+        )
+        cells = spec.cells()
+        # scenarios x protocols x failures, nested in that order.
+        assert len(cells) == 2 * 2 * 2
+        assert [c.index for c in cells] == list(range(8))
+        assert cells[0].scenario.seed == 1 and cells[0].protocol.name == "idrp"
+        assert cells[-1].scenario.seed == 2 and cells[-1].protocol.name == "orwg"
+
+    def test_seed_axis_reseeds_every_scenario(self):
+        spec = small_spec(seeds=(11, 12, 13))
+        cells = spec.cells()
+        assert len(cells) == 3 * 2
+        assert sorted({c.scenario.seed for c in cells}) == [11, 12, 13]
+
+    def test_cells_are_picklable(self):
+        import pickle
+
+        for cell in small_spec().cells():
+            clone = pickle.loads(pickle.dumps(cell))
+            assert clone.key() == cell.key()
+
+    def test_unknown_scenario_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown scenario kind"):
+            ScenarioSpec(kind="nope").build()
+
+    def test_unknown_failure_kind_raises(self):
+        g = ScenarioSpec(kind="small", seed=0).build().graph
+        with pytest.raises(ValueError, match="unknown failure kind"):
+            FailureSpec(kind="nope", count=1).build(g)
+
+    def test_custom_scenario_needs_topology(self):
+        with pytest.raises(ValueError, match="topology"):
+            ScenarioSpec(kind="custom").build()
+
+
+class TestExecuteCell:
+    def test_record_shape(self):
+        [cell] = small_spec(
+            protocols=(ProtocolSpec("orwg"),),
+            failures=(FailureSpec(kind="random", count=1, repair=True, seed=3),),
+        ).cells()
+        record = execute_cell(cell)
+        assert record.schema_version == SCHEMA_VERSION
+        assert record.initial.kind == "initial"
+        # One failure + one repair after the initial episode.
+        assert [ep.kind for ep in record.failure_episodes] == ["failure", "repair"]
+        assert all(ep.link is not None for ep in record.failure_episodes)
+        assert record.quiesced
+        assert record.initial.messages > 0
+        assert record.route_quality is not None
+        assert 0.0 <= record.route_quality["availability"] <= 1.0
+        assert sum(record.computations.values()) == sum(
+            record.computations_by_ad.values()
+        )
+        assert record.state["max_rib"] > 0
+        # Profiling hooks fired for every phase that ran.
+        for phase in ("scenario", "build", "converge", "failures", "engine.run"):
+            assert phase in record.timings
+
+    def test_quiesced_false_when_budget_exhausted(self):
+        [cell] = small_spec(
+            protocols=(ProtocolSpec("naive-dv"),),
+            failures=(FailureSpec(),),
+            max_events=10,
+        ).cells()
+        record = execute_cell(cell)
+        assert not record.initial.quiesced
+        assert not record.quiesced
+
+    def test_trace_lines_collected(self):
+        [cell] = small_spec(
+            protocols=(ProtocolSpec("naive-dv"),),
+            failures=(FailureSpec(),),
+            trace="ad=0",
+        ).cells()
+        record = execute_cell(cell)
+        assert record.trace
+        assert all(("-> 0" in line or "0 ->" in line) for line in record.trace)
+
+    def test_parse_trace(self):
+        assert _parse_trace(None) is None
+        assert _parse_trace("all") == {"ad": None}
+        assert _parse_trace("ad=7") == {"ad": 7}
+        with pytest.raises(ValueError, match="bad trace filter"):
+            _parse_trace("ad=x")
+
+
+class TestSession:
+    def test_parallel_equals_serial(self):
+        spec = small_spec()
+        serial = ExperimentSession(spec).run(jobs=1)
+        parallel = ExperimentSession(spec).run(jobs=2)
+        assert [r.comparable() for r in serial] == [
+            r.comparable() for r in parallel
+        ]
+
+    def test_records_sorted_by_cell_index(self):
+        records = run_spec(small_spec())
+        assert [r.cell["index"] for r in records] == list(range(len(records)))
+
+    def test_persists_jsonl(self, tmp_path):
+        session = ExperimentSession(small_spec(), out_dir=str(tmp_path))
+        records = session.run()
+        assert session.jsonl_path == str(tmp_path / "t.jsonl")
+        back = read_jsonl(session.jsonl_path)
+        assert [r.comparable() for r in back] == [r.comparable() for r in records]
+
+
+class TestRecordSerde:
+    def test_round_trip(self, tmp_path):
+        records = run_spec(small_spec(protocols=(ProtocolSpec("idrp"),)))
+        path = str(tmp_path / "x.jsonl")
+        write_jsonl(path, records)
+        back = read_jsonl(path)
+        assert len(back) == len(records)
+        assert back[0].comparable() == records[0].comparable()
+        # Timings survive serialization too (they are just not comparable).
+        assert back[0].timings == records[0].timings
+
+    def test_rejects_wrong_schema_version(self):
+        line = json.dumps({"schema_version": SCHEMA_VERSION + 1})
+        with pytest.raises(ValueError, match="schema"):
+            RunRecord.from_json(line)
+
+    def test_episode_link_round_trips_as_tuple(self):
+        ep = EpisodeRecord(
+            kind="failure", messages=1, bytes=2, time=3.0, events=4,
+            quiesced=True, link=(5, 6),
+        )
+        record = RunRecord(
+            schema_version=SCHEMA_VERSION,
+            experiment="t",
+            cell={"index": 0},
+            scenario={},
+            episodes=(ep,),
+            messages={},
+            message_bytes={},
+            dropped=0,
+            computations={},
+            computations_by_ad={},
+            state={},
+        )
+        back = RunRecord.from_json(record.to_json())
+        assert back.episodes[0].link == (5, 6)
+
+
+class TestNamedExperiments:
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            run_experiment("nope")
+
+    def test_smoke_renames_artifacts(self, tmp_path):
+        spec, records, text = run_experiment(
+            "table1_design_space", smoke=True, runs_dir=str(tmp_path)
+        )
+        assert spec.name == "table1_design_space_smoke"
+        assert os.path.exists(tmp_path / "table1_design_space_smoke.jsonl")
+        assert len(records) == 8
+        assert "Table 1 (measured)" in text

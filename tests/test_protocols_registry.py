@@ -1,8 +1,17 @@
 """Tests for the design-point registry."""
 
+import pytest
+
 from repro.core.design_space import enumerate_design_space
+from repro.policy.qos import QOS
 from repro.protocols.base import ForwardingMode
-from repro.protocols.registry import PROTOCOL_FOR_POINT, protocol_for
+from repro.protocols.registry import (
+    PROTOCOL_FOR_POINT,
+    available_protocols,
+    design_point_of,
+    make_protocol,
+    protocol_for,
+)
 from tests.helpers import open_db, small_hierarchy
 
 
@@ -32,3 +41,62 @@ def test_instantiation_and_convergence():
         proto = protocol_for(point, g.copy(), db.copy())
         result = proto.converge()
         assert result.messages > 0, f"{point.label} never exchanged messages"
+
+
+class TestMakeProtocol:
+    def test_by_point_and_by_name_agree(self):
+        g = small_hierarchy()
+        db = open_db(g)
+        for point in enumerate_design_space():
+            by_point = make_protocol(point, g.copy(), db.copy())
+            by_name = make_protocol(by_point.name, g.copy(), db.copy())
+            assert type(by_point) is type(by_name)
+            assert design_point_of(by_point.name) == point
+
+    def test_every_registered_name_constructs_and_converges(self):
+        g = small_hierarchy()
+        db = open_db(g)
+        for name in available_protocols():
+            proto = make_protocol(name, g.copy(), db.copy())
+            assert proto.name == name
+            assert proto.converge().messages > 0, f"{name} never exchanged"
+
+    def test_covers_eight_points_plus_baselines(self):
+        names = available_protocols()
+        assert len(names) == 12
+        for baseline in ("egp", "naive-dv", "plain-ls", "bgp2"):
+            assert baseline in names
+            assert design_point_of(baseline) is None
+
+    def test_unknown_name_raises_with_listing(self):
+        g = small_hierarchy()
+        with pytest.raises(ValueError, match="unknown protocol 'ospf'.*orwg"):
+            make_protocol("ospf", g, open_db(g))
+
+    def test_options_forwarded_to_constructor(self):
+        g = small_hierarchy()
+        db = open_db(g)
+        proto = make_protocol("naive-dv", g.copy(), db.copy(), infinity=9)
+        assert proto.infinity == 9
+
+    def test_qos_classes_option_normalized_from_strings(self):
+        g = small_hierarchy()
+        db = open_db(g)
+        proto = make_protocol(
+            "ecma", g.copy(), db.copy(), qos_classes=("default",)
+        )
+        assert proto.qos_classes == frozenset({QOS.DEFAULT})
+
+
+class TestBuildGuard:
+    def test_apply_link_status_before_build_raises(self):
+        g = small_hierarchy()
+        proto = make_protocol("idrp", g, open_db(g))
+        with pytest.raises(RuntimeError, match="build\\(\\)"):
+            proto.apply_link_status(0, 1, False)
+
+    def test_egp_guard_too(self):
+        g = small_hierarchy()
+        proto = make_protocol("egp", g, open_db(g))
+        with pytest.raises(RuntimeError, match="build\\(\\)"):
+            proto.apply_link_status(0, 1, False)

@@ -60,3 +60,42 @@ class TestSnapshots:
         before = m.snapshot(0.0)
         after = m.snapshot(1.0)
         assert after.delta(before).messages == {}
+
+    def test_delta_of_identical_snapshots_is_empty(self):
+        m = MetricsCollector()
+        m.count_message("A", 5, 1.0)
+        m.note_computation(0, "spf")
+        m.count_drop()
+        snap = m.snapshot(2.0)
+        delta = snap.delta(snap)
+        assert delta.total_messages == 0
+        assert delta.total_bytes == 0
+        assert delta.computations == {}
+        assert delta.dropped == 0
+        assert delta.time == 0.0
+
+    def test_delta_keeps_keys_absent_in_earlier(self):
+        m = MetricsCollector()
+        before = m.snapshot(0.0)
+        m.count_message("New", 7, 1.0)
+        after = m.snapshot(1.0)
+        delta = after.delta(before)
+        assert delta.messages == {"New": 1}
+        assert delta.bytes == {"New": 7}
+
+    def test_delta_preserves_last_activity_of_later_snapshot(self):
+        m = MetricsCollector()
+        m.count_message("A", 1, 3.0)
+        before = m.snapshot(5.0)
+        m.count_message("A", 1, 9.0)
+        after = m.snapshot(10.0)
+        # Episode convergence time = last_activity - episode start.
+        assert after.delta(before).last_activity == 9.0
+
+    def test_delta_of_empty_collectors(self):
+        a = MetricsCollector().snapshot(0.0)
+        b = MetricsCollector().snapshot(4.0)
+        delta = b.delta(a)
+        assert delta.total_messages == 0
+        assert delta.time == 4.0
+        assert delta.total_computations == 0

@@ -29,6 +29,17 @@ class TestConverge:
         assert second.messages == 0
         assert second.time == 0.0
 
+    def test_quiesced_flag_reports_event_budget_exhaustion(self):
+        g = triangle()
+        proto = DistanceVectorProtocol(g, open_db(g))
+        result = converge(proto.build(), max_events=2)
+        assert not result.quiesced
+        assert result.events <= 2
+        # Resuming with a real budget finishes the job and quiesces.
+        rest = converge(proto.build())
+        assert rest.quiesced
+        assert rest.messages > 0
+
 
 class TestRunWithFailures:
     def test_episodes_isolated(self):
