@@ -31,7 +31,6 @@ from repro.core.synthesis import (
     exhaustive_best_path,
     synthesize_route,
 )
-from repro.policy.flows import FlowSpec
 from repro.policy.generators import source_class_policies
 from repro.policy.legality import path_cost
 from repro.protocols import make_protocol

@@ -15,7 +15,6 @@ granularities.
 
 import random
 
-import pytest
 
 from _common import emit
 from repro.adgraph.expansion import RouterExpansion

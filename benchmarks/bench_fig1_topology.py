@@ -8,7 +8,6 @@ level, AD kinds (stub / multi-homed / transit / hybrid), and link kinds
 (hierarchical / lateral / bypass).
 """
 
-import pytest
 
 from _common import emit
 from repro.adgraph.ad import ADKind, Level, LinkKind

@@ -14,7 +14,6 @@ Quantifies Section 5.1.1's two complaints about the ECMA approach:
 
 import random
 
-import pytest
 
 from _common import emit
 from repro.adgraph.partial_order import (

@@ -26,6 +26,29 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 #: file name -> header of the wall-clock column to mask.
 WALL_CLOCK_COLUMNS = {"scaling.txt": "synth ms/route"}
 
+#: Outputs every full bench run must produce; a missing one means the
+#: suite was run partially (or an experiment silently stopped emitting)
+#: and the determinism verdict would be vacuous for it.
+REQUIRED_OUTPUTS = {
+    "ablation_a1_fast_path.txt",
+    "ablation_a2_flooding.txt",
+    "ablation_a3_pg_cache.txt",
+    "ablation_a4_idrp_multiroute.txt",
+    "ablation_a5_hierarchical.txt",
+    "ablation_a6_trigger_delay.txt",
+    "abstraction.txt",
+    "availability.txt",
+    "convergence.txt",
+    "fig1_topology.txt",
+    "granularity.txt",
+    "partial_order.txt",
+    "robustness.txt",
+    "scaling.txt",
+    "setup_overhead.txt",
+    "synthesis_strategies.txt",
+    "table1_design_space.txt",
+}
+
 
 def mask_wall_clock(name: str, text: str) -> str:
     """Truncate lines at the wall-clock column, if the file has one."""
@@ -74,6 +97,11 @@ def main(argv=None) -> int:
     names = sorted(f for f in os.listdir(OUT_DIR) if f.endswith(".txt"))
     if not names:
         print("no benchmark outputs found; run the bench suite first")
+        return 2
+    missing = sorted(REQUIRED_OUTPUTS - set(names))
+    if missing:
+        print(f"missing expected benchmark outputs: {', '.join(missing)}")
+        print("run the full bench suite before checking determinism")
         return 2
 
     failures = []

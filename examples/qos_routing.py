@@ -18,7 +18,6 @@ Run:  python examples/qos_routing.py
 from dataclasses import replace
 
 from repro.analysis.tables import Table
-from repro.policy.flows import FlowSpec
 from repro.policy.qos import QOS
 from repro.protocols import make_protocol
 from repro.workloads import reference_scenario

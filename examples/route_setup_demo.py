@@ -15,8 +15,6 @@ from repro.forwarding.headers import (
     setup_header_bytes,
     source_route_header_bytes,
 )
-from repro.policy.database import PolicyDatabase
-from repro.policy.flows import FlowSpec
 from repro.policy.sets import ADSet
 from repro.policy.terms import PolicyTerm
 from repro.protocols import make_protocol

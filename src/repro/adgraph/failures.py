@@ -80,7 +80,9 @@ def random_failure_plan(
 
     Failures are spaced ``spacing`` time units apart so each reconvergence
     can be measured in isolation.  With ``repair=True`` every failure is
-    followed by a repair half a spacing later.
+    followed by a repair half a spacing later, so candidacy is judged
+    once against the intact graph; without repairs the failures
+    accumulate and candidacy is recomputed after each pick.
 
     Args:
         graph: Topology to draw links from.
@@ -92,15 +94,38 @@ def random_failure_plan(
         seed: RNG seed.
     """
     rng = random.Random(seed)
-    candidates = safe_failure_candidates(graph)
-    if kinds is not None:
-        wanted = set(kinds)
-        candidates = [key for key in candidates if graph.link(*key).kind in wanted]
-    if len(candidates) < count:
-        raise ValueError(
-            f"only {len(candidates)} safe candidate links, need {count}"
-        )
-    chosen = rng.sample(candidates, count)
+
+    def pool_of(g: InterADGraph) -> List[Tuple[ADId, ADId]]:
+        cands = safe_failure_candidates(g)
+        if kinds is not None:
+            wanted = set(kinds)
+            cands = [key for key in cands if g.link(*key).kind in wanted]
+        return cands
+
+    if repair:
+        candidates = pool_of(graph)
+        if len(candidates) < count:
+            raise ValueError(
+                f"only {len(candidates)} safe candidate links, need {count}"
+            )
+        chosen = rng.sample(candidates, count)
+    else:
+        # Without repairs the failures accumulate, so bridge candidacy
+        # must be recomputed against the already-failed topology: a link
+        # that is safe in the intact graph can become the last remaining
+        # path once earlier picks are down.
+        scratch = graph.copy()
+        chosen = []
+        for _ in range(count):
+            pool = pool_of(scratch)
+            if not pool:
+                raise ValueError(
+                    f"no safe candidate links left after "
+                    f"{len(chosen)} accumulated failures, need {count}"
+                )
+            key = rng.choice(pool)
+            chosen.append(key)
+            scratch.set_link_status(*key, False)
     events: List[LinkFailure] = []
     t = start_time
     for a, b in chosen:
@@ -127,6 +152,10 @@ def stub_partition_plan(
     events: List[LinkFailure] = []
     t = start_time
     stubs = [a for a in graph.stub_ads() if graph.degree(a.ad_id) == 1]
+    if len(stubs) < count:
+        raise ValueError(
+            f"only {len(stubs)} singly-homed stub ADs, need {count}"
+        )
     for ad in stubs[:count]:
         link = graph.links_of(ad.ad_id)[0]
         events.append(LinkFailure(t, link.a, link.b, up=False))

@@ -49,7 +49,7 @@ def cmd_topology(args: argparse.Namespace) -> int:
     table.add("ADs", graph.num_ads)
     table.add("links", graph.num_links)
     table.add("backbone/regional/metro/campus",
-              "/".join(str(levels[l]) for l in Level))
+              "/".join(str(levels[lvl]) for lvl in Level))
     table.add("stub/multihomed/transit/hybrid",
               "/".join(str(kinds[k]) for k in ADKind))
     table.add("hierarchical/lateral/bypass",
@@ -240,6 +240,8 @@ def cmd_experiments_run(args: argparse.Namespace) -> int:
             smoke=args.smoke,
             runs_dir=args.runs_dir,
             trace=args.trace,
+            seed=args.exp_seed,
+            loss=args.loss,
         )
         print(text)
         jsonl = os.path.join(args.runs_dir, f"{spec.name}.jsonl")
@@ -274,6 +276,8 @@ def cmd_experiments(args: argparse.Namespace) -> int:
          "bench_abstraction.py"),
         ("E10", "Synthesis strategies: precompute/on-demand/hybrid",
          "bench_synthesis_strategies.py"),
+        ("E11", "Robustness under message loss and churn",
+         "bench_robustness.py"),
         ("A1-A4", "Ablations: fast path, flooding scope, PG caches, "
          "multi-route IDRP", "bench_ablations.py"),
     ]
@@ -371,6 +375,11 @@ def build_parser() -> argparse.ArgumentParser:
                     help="per-run protocol trace: 'all' or 'ad=<id>'")
     ep.add_argument("--runs-dir", default="benchmarks/out/runs",
                     help="where <experiment>.jsonl telemetry is written")
+    ep.add_argument("--seed", dest="exp_seed", type=int, default=None,
+                    help="override the spec's seed axis with one seed")
+    ep.add_argument("--loss", type=float, default=None,
+                    help="override message-loss probability on the fault "
+                         "axis (robustness sweeps)")
     ep.set_defaults(fn=cmd_experiments_run)
 
     return parser

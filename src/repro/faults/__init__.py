@@ -1,0 +1,61 @@
+"""Deterministic fault injection: lossy channels, churn plans, probing.
+
+The paper requires the protocols to be "somewhat adaptive to changes in
+inter-AD topology" (Section 2.2), but the base simulator delivers every
+control message perfectly and the only dynamics model is a clean link
+up/down :class:`~repro.adgraph.failures.FailurePlan`.  This package is
+the chaos layer that turns those qualitative robustness claims into
+measurable sweeps (experiment E11):
+
+* :mod:`repro.faults.channel` -- per-link, seed-deterministic message
+  impairments (loss, duplication, reordering jitter, burst outages)
+  plugged into :class:`~repro.simul.network.SimNetwork`;
+* :mod:`repro.faults.plan` -- the :class:`FaultPlan` DSL generalizing
+  ``FailurePlan`` with AD crash/restart events and scheduled impairment
+  changes, plus seeded generators;
+* :mod:`repro.faults.prober` -- :class:`RoutePulse`, a data-plane
+  reachability sampler producing blackhole-time, loop-count, and
+  time-to-repair distributions.
+
+Everything is seeded: the same plan on the same scenario replays the
+same impairment decisions message for message, so E11's tables are as
+deterministic as every other committed artifact.
+"""
+
+from repro.faults.channel import (
+    PERFECT,
+    ChannelModel,
+    ImpairedChannel,
+    Impairment,
+)
+from repro.faults.plan import (
+    FaultPlan,
+    ImpairmentChange,
+    LinkFault,
+    NodeFault,
+    ad_crash_plan,
+    crash_candidates,
+    link_flap_plan,
+    lossy_period_plan,
+    merge_plans,
+)
+from repro.faults.prober import FlowOutage, ProbeSample, RoutePulse
+
+__all__ = [
+    "PERFECT",
+    "ChannelModel",
+    "FaultPlan",
+    "FlowOutage",
+    "ImpairedChannel",
+    "Impairment",
+    "ImpairmentChange",
+    "LinkFault",
+    "NodeFault",
+    "ProbeSample",
+    "RoutePulse",
+    "ad_crash_plan",
+    "crash_candidates",
+    "link_flap_plan",
+    "lossy_period_plan",
+    "merge_plans",
+]

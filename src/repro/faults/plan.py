@@ -1,0 +1,214 @@
+"""The fault-plan DSL: link churn, AD crash/restart, impairment changes.
+
+A :class:`FaultPlan` generalizes :class:`~repro.adgraph.failures.FailurePlan`
+(link up/down only) with two further event kinds:
+
+* :class:`NodeFault` -- an AD's routing process crashes (all incident
+  links drop and the node goes silent) and later restarts, either
+  retaining its RIB/LSDB (``retain_state=True``: a gateway whose
+  interfaces bounced) or losing it (``retain_state=False``: the process
+  is replaced wholesale and must relearn the internet);
+* :class:`ImpairmentChange` -- the channel model's parameters for one
+  link (or the default for all links) change at a scheduled time, which
+  is how lossy periods and flapping-quality links are expressed.
+
+Event times are **relative**: :meth:`RoutingProtocol.schedule_fault_plan
+<repro.protocols.base.RoutingProtocol.schedule_fault_plan>` offsets them
+from the moment the plan is scheduled, so a plan composed for "100 time
+units after initial convergence" works no matter how long convergence
+took (absolute times would race slow protocols into "cannot schedule
+into the past").
+
+Generators draw from a seeded ``random.Random`` and validate feasibility
+loudly (never silently shrinking the plan): flaps come from non-bridge
+links, crashes from non-articulation-point ADs, so the internet minus
+the faulted element stays connected and repair is measurable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from repro.adgraph.ad import ADId
+from repro.adgraph.failures import FailurePlan, safe_failure_candidates
+from repro.adgraph.graph import InterADGraph
+from repro.faults.channel import PERFECT, Impairment
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """A link status change, ``time`` units after the plan is scheduled."""
+
+    time: float
+    a: ADId
+    b: ADId
+    up: bool = False
+
+
+@dataclass(frozen=True)
+class NodeFault:
+    """An AD crash (``up=False``) or restart (``up=True``).
+
+    ``retain_state`` only matters on the restart event: ``True`` brings
+    the same routing process back (tables intact, interfaces restored),
+    ``False`` replaces it with a freshly-constructed node that must
+    relearn everything from its neighbours.
+    """
+
+    time: float
+    ad: ADId
+    up: bool = False
+    retain_state: bool = True
+
+
+@dataclass(frozen=True)
+class ImpairmentChange:
+    """A scheduled change of channel impairment parameters.
+
+    ``link=None`` replaces the channel's default (all links without an
+    override); otherwise only the named link changes.
+    """
+
+    time: float
+    spec: Impairment
+    link: Optional[Tuple[ADId, ADId]] = None
+
+
+FaultEvent = Union[LinkFault, NodeFault, ImpairmentChange]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A time-ordered sequence of fault events."""
+
+    events: Tuple[FaultEvent, ...]
+
+    def __post_init__(self) -> None:
+        times = [e.time for e in self.events]
+        if times != sorted(times):
+            raise ValueError("fault events must be time-ordered")
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def horizon(self) -> float:
+        """Time of the last event (0 for an empty plan)."""
+        return self.events[-1].time if self.events else 0.0
+
+    @classmethod
+    def from_failure_plan(cls, plan: FailurePlan) -> "FaultPlan":
+        """Lift a link-only :class:`FailurePlan` into the fault DSL."""
+        return cls(
+            tuple(LinkFault(ev.time, ev.a, ev.b, ev.up) for ev in plan)
+        )
+
+
+def merge_plans(*plans: FaultPlan) -> FaultPlan:
+    """Merge plans into one, time-ordered (stable for equal times)."""
+    events: List[FaultEvent] = []
+    for plan in plans:
+        events.extend(plan.events)
+    events.sort(key=lambda ev: ev.time)
+    return FaultPlan(tuple(events))
+
+
+def link_flap_plan(
+    graph: InterADGraph,
+    flaps: int = 1,
+    start_time: float = 100.0,
+    spacing: float = 400.0,
+    down_for: Optional[float] = None,
+    seed: int = 0,
+) -> FaultPlan:
+    """Flap ``flaps`` random non-bridge links (down, then up again).
+
+    Each flap occupies one ``spacing`` window: down at the window start,
+    up ``down_for`` later (default half the spacing), so reconvergence
+    after each change is observable in isolation.
+    """
+    rng = random.Random(seed)
+    candidates = safe_failure_candidates(graph)
+    if len(candidates) < flaps:
+        raise ValueError(
+            f"only {len(candidates)} safe candidate links, need {flaps}"
+        )
+    chosen = rng.sample(candidates, flaps)
+    if down_for is None:
+        down_for = spacing / 2.0
+    events: List[FaultEvent] = []
+    t = start_time
+    for a, b in chosen:
+        events.append(LinkFault(t, a, b, up=False))
+        events.append(LinkFault(t + down_for, a, b, up=True))
+        t += spacing
+    return FaultPlan(tuple(events))
+
+
+def crash_candidates(graph: InterADGraph) -> List[ADId]:
+    """ADs whose crash leaves the *rest* of the internet connected.
+
+    Articulation points are excluded for the same reason bridges are
+    excluded from link-failure candidates: crashing one would measure
+    partition behaviour, not crash recovery.
+    """
+    import networkx as nx
+
+    g = graph.nx_graph(live_only=True)
+    cut = set(nx.articulation_points(g))
+    return [ad_id for ad_id in graph.ad_ids() if ad_id not in cut]
+
+
+def ad_crash_plan(
+    graph: InterADGraph,
+    crashes: int = 1,
+    retain_state: bool = False,
+    start_time: float = 100.0,
+    spacing: float = 400.0,
+    down_for: Optional[float] = None,
+    seed: int = 0,
+) -> FaultPlan:
+    """Crash-and-restart ``crashes`` random non-articulation-point ADs."""
+    rng = random.Random(seed)
+    candidates = crash_candidates(graph)
+    if len(candidates) < crashes:
+        raise ValueError(
+            f"only {len(candidates)} crash-safe ADs, need {crashes}"
+        )
+    chosen = rng.sample(candidates, crashes)
+    if down_for is None:
+        down_for = spacing / 2.0
+    events: List[FaultEvent] = []
+    t = start_time
+    for ad_id in chosen:
+        events.append(NodeFault(t, ad_id, up=False, retain_state=retain_state))
+        events.append(
+            NodeFault(t + down_for, ad_id, up=True, retain_state=retain_state)
+        )
+        t += spacing
+    return FaultPlan(tuple(events))
+
+
+def lossy_period_plan(
+    spec: Impairment,
+    start_time: float = 100.0,
+    duration: float = 400.0,
+    link: Optional[Tuple[ADId, ADId]] = None,
+) -> FaultPlan:
+    """Apply an impairment for a bounded window, then restore ``PERFECT``.
+
+    ``link=None`` impairs every link (the channel default); note the
+    restore resets the affected scope to :data:`~repro.faults.channel.PERFECT`,
+    not to whatever impairment preceded the window.
+    """
+    return FaultPlan(
+        (
+            ImpairmentChange(start_time, spec, link),
+            ImpairmentChange(start_time + duration, PERFECT, link),
+        )
+    )

@@ -1,0 +1,183 @@
+"""RoutePulse: a data-plane reachability sampler.
+
+Convergence metrics say when the control plane went quiet; they say
+nothing about what traffic experienced *while* it was noisy.  RoutePulse
+interleaves simulation slices with data-plane probes: every ``interval``
+time units it asks the protocol, for each probe flow, "what route would
+a packet take right now?" and classifies the answer:
+
+* ``ok`` -- a route exists and every hop is real (live ground-truth
+  links, no crashed AD);
+* ``loop`` -- the hop-by-hop walk cycled (the transient the paper's
+  consistency argument is about);
+* ``blackhole`` -- no route at all (or an endpoint is crashed);
+* ``stale`` -- the protocol still answers with a route the physical
+  internet can no longer carry (a down link or crashed transit AD),
+  which is a blackhole wearing a route's clothes.
+
+From the per-flow sample streams it derives outage episodes and
+time-to-repair distributions; :meth:`RoutePulse.summary` flattens them
+into the JSON-friendly mapping recorded into ``RunRecord.robustness``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.policy.flows import FlowSpec
+
+#: Sample statuses, worst first (everything but "ok" counts as bad).
+STATUSES = ("ok", "stale", "loop", "blackhole")
+
+
+@dataclass(frozen=True)
+class ProbeSample:
+    """One flow's reachability at one sample time."""
+
+    time: float
+    flow_index: int
+    status: str
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+@dataclass(frozen=True)
+class FlowOutage:
+    """A maximal run of consecutive bad samples for one flow.
+
+    ``end`` is the time of the first good sample after the run (so
+    ``end - start`` bounds the repair time at sample resolution), or
+    ``None`` when the flow never recovered before probing stopped.
+    """
+
+    flow_index: int
+    start: float
+    end: Optional[float]
+    samples: int
+
+    @property
+    def repaired(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> Optional[float]:
+        return None if self.end is None else self.end - self.start
+
+
+class RoutePulse:
+    """Samples data-plane reachability while the simulation runs."""
+
+    def __init__(
+        self,
+        protocol,
+        flows: Sequence[FlowSpec],
+        interval: float = 50.0,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("probe interval must be positive")
+        self.protocol = protocol
+        self.flows = list(flows)
+        self.interval = interval
+        self.samples: List[ProbeSample] = []
+        self.events_processed = 0
+
+    # ------------------------------------------------------------- sampling
+
+    def _classify(self, flow: FlowSpec) -> str:
+        network = self.protocol.network
+        if network.is_crashed(flow.src) or network.is_crashed(flow.dst):
+            return "blackhole"
+        loops_before = self.protocol.forwarding_loops
+        path = self.protocol.find_route(flow)
+        if path is None:
+            if self.protocol.forwarding_loops > loops_before:
+                return "loop"
+            return "blackhole"
+        # The protocol has a route; check the physical internet can carry
+        # it (ground truth may disagree with a stale believed topology).
+        graph = self.protocol.graph
+        for hop in path:
+            if network.is_crashed(hop):
+                return "stale"
+        for a, b in zip(path, path[1:]):
+            if not graph.has_link(a, b) or not graph.link(a, b).up:
+                return "stale"
+        return "ok"
+
+    def _sample_once(self) -> None:
+        now = self.protocol.network.sim.now
+        for i, flow in enumerate(self.flows):
+            self.samples.append(ProbeSample(now, i, self._classify(flow)))
+
+    def run(self, until: float, max_events: int = 5_000_000) -> bool:
+        """Advance the simulation to ``until``, probing every interval.
+
+        Returns whether the engine stayed within its event budget (the
+        per-episode quiescence analogue for a probed timeline).
+        """
+        network = self.protocol.network
+        hit_limit = False
+        t = network.sim.now
+        while t < until:
+            t = min(t + self.interval, until)
+            budget = max_events - self.events_processed
+            if budget <= 0:
+                hit_limit = True
+                break
+            self.events_processed += network.run(
+                until=t, max_events=budget, raise_on_limit=False
+            )
+            if network.sim.hit_event_limit:
+                hit_limit = True
+            self._sample_once()
+        return not hit_limit
+
+    # -------------------------------------------------------------- analysis
+
+    def outages(self) -> List[FlowOutage]:
+        """Maximal bad-sample runs, per flow, in (flow, start) order."""
+        by_flow: Dict[int, List[ProbeSample]] = {}
+        for sample in self.samples:
+            by_flow.setdefault(sample.flow_index, []).append(sample)
+        out: List[FlowOutage] = []
+        for flow_index in sorted(by_flow):
+            start: Optional[float] = None
+            count = 0
+            for sample in by_flow[flow_index]:
+                if sample.ok:
+                    if start is not None:
+                        out.append(FlowOutage(flow_index, start, sample.time, count))
+                        start, count = None, 0
+                else:
+                    if start is None:
+                        start = sample.time
+                    count += 1
+            if start is not None:
+                out.append(FlowOutage(flow_index, start, None, count))
+        return out
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-friendly rollup for ``RunRecord.robustness``."""
+        counts = {status: 0 for status in STATUSES}
+        for sample in self.samples:
+            counts[sample.status] += 1
+        total = len(self.samples)
+        outages = self.outages()
+        repaired: Tuple[float, ...] = tuple(
+            o.duration for o in outages if o.duration is not None
+        )
+        return {
+            "samples": total,
+            "flows": len(self.flows),
+            "probe_interval": self.interval,
+            "counts": counts,
+            "availability": (counts["ok"] / total) if total else 1.0,
+            "outages": len(outages),
+            "outages_repaired": len(repaired),
+            "outages_unrepaired": len(outages) - len(repaired),
+            "mean_ttr": (sum(repaired) / len(repaired)) if repaired else 0.0,
+            "max_ttr": max(repaired) if repaired else 0.0,
+        }

@@ -9,7 +9,8 @@ The harness is the single way experiments run in this repo:
 * :mod:`repro.harness.session` -- the executor (serial or
   multiprocessing fan-out with a deterministic merge);
 * :mod:`repro.harness.experiments` -- the named experiments (E1, E3,
-  E4, E7) the benches and the ``python -m repro experiments`` CLI share.
+  E4, E7, E11) the benches and the ``python -m repro experiments`` CLI
+  share.
 """
 
 from repro.harness.experiments import EXPERIMENTS, Experiment, run_experiment
@@ -25,6 +26,7 @@ from repro.harness.spec import (
     Cell,
     ExperimentSpec,
     FailureSpec,
+    FaultSpec,
     ProtocolSpec,
     ScenarioSpec,
 )
@@ -37,6 +39,7 @@ __all__ = [
     "ExperimentSession",
     "ExperimentSpec",
     "FailureSpec",
+    "FaultSpec",
     "ProtocolSpec",
     "RunRecord",
     "SCHEMA_VERSION",

@@ -26,6 +26,7 @@ from repro.harness.session import ExperimentSession
 from repro.harness.spec import (
     ExperimentSpec,
     FailureSpec,
+    FaultSpec,
     ProtocolSpec,
     ScenarioSpec,
 )
@@ -293,6 +294,84 @@ def _render_availability(spec: ExperimentSpec, records: Sequence[RunRecord]) -> 
 
 
 # --------------------------------------------------------------------------
+# E11 -- Robustness under loss and churn (bench_robustness)
+
+#: Loss levels of the sweep (the lossy points also jitter and duplicate).
+ROBUSTNESS_LOSSES: Tuple[float, ...] = (0.0, 0.05, 0.2)
+ROBUSTNESS_LOSSES_SMOKE: Tuple[float, ...] = (0.0, 0.05)
+
+
+def _robustness_fault(loss: float, smoke: bool) -> FaultSpec:
+    label = "clean" if loss == 0 else f"{loss:.0%} loss"
+    return FaultSpec(
+        loss=loss,
+        dup=0.01 if loss > 0 else 0.0,
+        jitter=2.0 if loss > 0 else 0.0,
+        flaps=1 if smoke else 2,
+        crashes=1,
+        retain_state=False,
+        seed=3,
+        label=label,
+    )
+
+
+def _robustness_protocols(smoke: bool) -> Tuple[ProtocolSpec, ...]:
+    """Every design point, plain and fully hardened (the ablation pair)."""
+    names = ("ls-hbh", "orwg") if smoke else DESIGN_POINT_NAMES
+    out: List[ProtocolSpec] = []
+    for name in names:
+        out.append(ProtocolSpec(name))
+        out.append(
+            ProtocolSpec(
+                name, label=f"{name}+h", options=(("hardening", "all"),)
+            )
+        )
+    return tuple(out)
+
+
+def _robustness_spec(smoke: bool) -> ExperimentSpec:
+    losses = ROBUSTNESS_LOSSES_SMOKE if smoke else ROBUSTNESS_LOSSES
+    return ExperimentSpec(
+        name="robustness",
+        scenarios=(
+            ScenarioSpec(kind="reference", seed=5, num_flows=12 if smoke else 24),
+        ),
+        protocols=_robustness_protocols(smoke),
+        faults=tuple(_robustness_fault(loss, smoke) for loss in losses),
+        evaluate=True,
+    )
+
+
+def _render_robustness(spec: ExperimentSpec, records: Sequence[RunRecord]) -> str:
+    num_ads = records[0].scenario["num_ads"]
+    fault = spec.faults[0]
+    columns = ["protocol"]
+    for f in spec.faults:
+        columns += [f"{f.display} avail", f"{f.display} ok%", f"{f.display} ttr"]
+    table = Table(
+        *columns,
+        title=(
+            "E11: robustness under loss and churn "
+            f"({num_ads} ADs; {fault.flaps} link flaps + {fault.crashes} AD "
+            "crash/restart, state lost; avail = legal routes found after "
+            "repair, ok% = probed data-plane reachability during churn, "
+            "ttr = mean time-to-repair; '*' = event budget hit)"
+        ),
+    )
+    n_faults = len(spec.faults)
+    for pi, protocol in enumerate(spec.protocols):
+        row = [protocol.display]
+        for fi in range(n_faults):
+            rec = records[pi * n_faults + fi]
+            star = "" if rec.quiesced else "*"
+            row.append(f"{rec.route_quality['availability']:.2f}{star}")
+            row.append(f"{100 * rec.robustness['availability']:.0f}")
+            row.append(f"{rec.robustness['mean_ttr']:.0f}")
+        table.add(*row)
+    return table.render()
+
+
+# --------------------------------------------------------------------------
 # Registry + one-call runner
 
 Renderer = Callable[[ExperimentSpec, Sequence[RunRecord]], str]
@@ -340,6 +419,13 @@ EXPERIMENTS: Dict[str, Experiment] = {
             build_spec=_scaling_spec,
             render=_render_scaling,
         ),
+        Experiment(
+            name="robustness",
+            eid="E11",
+            description="Robustness under message loss and churn",
+            build_spec=_robustness_spec,
+            render=_render_robustness,
+        ),
     )
 }
 
@@ -350,12 +436,17 @@ def run_experiment(
     smoke: bool = False,
     runs_dir: Optional[str] = None,
     trace: Optional[str] = None,
+    seed: Optional[int] = None,
+    loss: Optional[float] = None,
 ) -> Tuple[ExperimentSpec, List[RunRecord], str]:
     """Run a named experiment; returns (spec, records, rendered table).
 
     ``smoke`` switches to the reduced grid *and* renames the experiment
     to ``<name>_smoke`` so smoke artifacts never overwrite the full
-    (determinism-checked) ones.
+    (determinism-checked) ones.  ``seed`` replaces the spec's seed axis
+    with a single seed (re-seeding every scenario); ``loss`` overrides
+    the message-loss probability of every fault axis point (duplicate
+    points after the override collapse, preserving order).
     """
     try:
         experiment = EXPERIMENTS[name]
@@ -369,5 +460,14 @@ def run_experiment(
         spec = replace(spec, name=f"{spec.name}_smoke")
     if trace is not None:
         spec = replace(spec, trace=trace)
+    if seed is not None:
+        spec = replace(spec, seeds=(seed,))
+    if loss is not None:
+        overridden = []
+        for fault in spec.faults:
+            fault = replace(fault, loss=loss, label=None)
+            if fault not in overridden:
+                overridden.append(fault)
+        spec = replace(spec, faults=tuple(overridden))
     records = ExperimentSession(spec, out_dir=runs_dir).run(jobs=jobs)
     return spec, records, experiment.render(spec, records)

@@ -20,7 +20,10 @@ from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
 #: Bump on any incompatible change to RunRecord's shape.
-SCHEMA_VERSION = 1
+#: v2: added ``channel`` (impairment counters) and ``robustness``
+#: (RoutePulse summary) optional fields, plus ``fault`` in the cell key
+#: and ``"timeline"`` as an episode kind.
+SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -28,7 +31,9 @@ class EpisodeRecord:
     """One convergence episode: initial convergence or one status change.
 
     Attributes:
-        kind: ``"initial"``, ``"failure"`` or ``"repair"``.
+        kind: ``"initial"``, ``"failure"``, ``"repair"``, or
+            ``"timeline"`` (the whole probed fault-plan window of a
+            robustness cell, measured as one delta).
         link: The link whose status changed (None for initial).
         messages / bytes / time / events: Episode cost (see
             :class:`~repro.simul.runner.ConvergenceResult`).
@@ -82,6 +87,10 @@ class RunRecord:
         state: RIB occupancy summary (``max_rib``, ``total_rib``).
         route_quality: Availability evaluation summary, when the spec
             asked for one (``availability``, ``n_illegal``, ...).
+        channel: Impairment-channel counters (transmissions, dropped,
+            burst_dropped, duplicated), when a channel was attached.
+        robustness: RoutePulse summary (sample counts, availability,
+            outage/time-to-repair stats), when the cell had a fault axis.
         timings: Wall-clock phase seconds (``build``, ``converge``,
             ``engine.run``, ``failures``, ``evaluate``).  Never compare
             these for determinism -- they are honest wall-clock.
@@ -100,6 +109,8 @@ class RunRecord:
     computations_by_ad: Mapping[str, int]
     state: Mapping[str, int]
     route_quality: Optional[Mapping[str, Any]] = None
+    channel: Optional[Mapping[str, int]] = None
+    robustness: Optional[Mapping[str, Any]] = None
     timings: Mapping[str, float] = field(default_factory=dict)
     trace: Optional[Tuple[str, ...]] = None
 
@@ -164,6 +175,8 @@ class RunRecord:
             computations_by_ad=data["computations_by_ad"],
             state=data["state"],
             route_quality=data.get("route_quality"),
+            channel=data.get("channel"),
+            robustness=data.get("robustness"),
             timings=data.get("timings", {}),
             trace=tuple(trace) if trace is not None else None,
         )

@@ -27,6 +27,8 @@ import os
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.evaluation import evaluate_availability
+from repro.faults.channel import ImpairedChannel
+from repro.faults.prober import RoutePulse
 from repro.harness.record import (
     SCHEMA_VERSION,
     EpisodeRecord,
@@ -68,6 +70,12 @@ def execute_cell(cell: Cell) -> RunRecord:
             scenario.graph.copy(), scenario.policies.copy()
         )
         network = protocol.build()
+    if cell.fault.impaired:
+        # In force from t=0: initial convergence happens over the lossy
+        # channel too, which is the regime hardening is measured against.
+        network.set_channel(
+            ImpairedChannel(default=cell.fault.impairment(), seed=cell.fault.seed)
+        )
     network.set_profiler(profiler)
     tracer = Tracer.attach(network) if trace_filter is not None else None
 
@@ -96,6 +104,42 @@ def execute_cell(cell: Cell) -> RunRecord:
                         "repair" if ev.up else "failure", result, link=(ev.a, ev.b)
                     )
                 )
+
+    robustness = None
+    if cell.fault.active:
+        with profiler.phase("faults"):
+            fault_plan = cell.fault.build_plan(protocol.graph)
+            if len(fault_plan):
+                protocol.schedule_fault_plan(fault_plan)
+            # Probe only flows the converged protocol can route at all:
+            # flows with no legal route ever would read as permanent
+            # blackholes and drown the churn signal.
+            probe_flows = [
+                flow
+                for flow in scenario.flows
+                if protocol.find_route(flow) is not None
+            ][: cell.fault.probe_flows]
+            pulse = RoutePulse(
+                protocol,
+                probe_flows,
+                interval=cell.fault.probe_interval,
+            )
+            before = network.metrics.snapshot(network.sim.now)
+            horizon = network.sim.now + cell.fault.horizon
+            probed_ok = pulse.run(horizon, max_events=cell.max_events)
+            # Settle whatever the last fault left in flight.
+            drained = network.run(
+                max_events=cell.max_events, raise_on_limit=False
+            )
+            after = network.metrics.snapshot(network.sim.now)
+            result = ConvergenceResult.from_delta(
+                before,
+                after,
+                pulse.events_processed + drained,
+                quiesced=probed_ok and not network.sim.hit_event_limit,
+            )
+            episodes.append(EpisodeRecord.from_result("timeline", result))
+            robustness = pulse.summary()
 
     route_quality = None
     if cell.evaluate:
@@ -153,6 +197,8 @@ def execute_cell(cell: Cell) -> RunRecord:
             "total_rib": protocol.total_rib_size(),
         },
         route_quality=route_quality,
+        channel=network.channel.counters() if network.channel else None,
+        robustness=robustness,
         timings=profiler.as_dict(),
         trace=trace_lines,
     )

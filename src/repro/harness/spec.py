@@ -14,7 +14,7 @@ what makes parallel execution bit-identical to serial execution.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.adgraph.failures import (
@@ -25,6 +25,13 @@ from repro.adgraph.failures import (
 from repro.adgraph.generator import TopologyConfig, generate_internet
 from repro.adgraph.graph import InterADGraph
 from repro.core.evaluation import sample_flows
+from repro.faults.channel import Impairment
+from repro.faults.plan import (
+    FaultPlan,
+    ad_crash_plan,
+    link_flap_plan,
+    merge_plans,
+)
 from repro.policy.generators import restricted_policies
 from repro.workloads.scenarios import (
     Scenario,
@@ -176,6 +183,117 @@ class FailureSpec:
 
 
 @dataclass(frozen=True)
+class FaultSpec:
+    """Recipe for the robustness axis: channel impairment + churn timeline.
+
+    The impairment (``loss``/``dup``/``jitter``/burst parameters) is in
+    force for the whole run, including initial convergence -- that is the
+    regime the hardening toggles are measured against.  ``flaps`` and
+    ``crashes`` build a post-convergence churn timeline (link flaps
+    first, AD crash/restart cycles after), probed by RoutePulse every
+    ``probe_interval`` over the scenario's first ``probe_flows`` flows.
+
+    The default spec is completely inert: no channel is attached and no
+    timeline runs, keeping legacy cells byte-identical.
+    """
+
+    loss: float = 0.0
+    dup: float = 0.0
+    jitter: float = 0.0
+    burst_enter: float = 0.0
+    burst_exit: float = 0.5
+    flaps: int = 0
+    crashes: int = 0
+    retain_state: bool = False
+    seed: int = 0
+    start_time: float = 100.0
+    spacing: float = 400.0
+    probe_interval: float = 50.0
+    probe_flows: int = 8
+    label: Optional[str] = None
+
+    @property
+    def impaired(self) -> bool:
+        """Whether any channel impairment is configured."""
+        return (
+            self.loss > 0
+            or self.dup > 0
+            or self.jitter > 0
+            or self.burst_enter > 0
+        )
+
+    @property
+    def churns(self) -> bool:
+        """Whether a churn timeline (flaps/crashes) is configured."""
+        return self.flaps > 0 or self.crashes > 0
+
+    @property
+    def active(self) -> bool:
+        return self.impaired or self.churns
+
+    @property
+    def display(self) -> str:
+        if self.label:
+            return self.label
+        if not self.active:
+            return "none"
+        parts = []
+        if self.loss > 0:
+            parts.append(f"loss={self.loss:g}")
+        if self.dup > 0:
+            parts.append(f"dup={self.dup:g}")
+        if self.jitter > 0:
+            parts.append(f"jitter={self.jitter:g}")
+        if self.burst_enter > 0:
+            parts.append(f"burst={self.burst_enter:g}")
+        if self.flaps > 0:
+            parts.append(f"flaps={self.flaps}")
+        if self.crashes > 0:
+            parts.append(f"crashes={self.crashes}")
+        return ",".join(parts)
+
+    def impairment(self) -> Impairment:
+        return Impairment(
+            drop_prob=self.loss,
+            dup_prob=self.dup,
+            jitter=self.jitter,
+            burst_enter=self.burst_enter,
+            burst_exit=self.burst_exit,
+        )
+
+    def build_plan(self, graph: InterADGraph) -> FaultPlan:
+        """The churn timeline (empty when only impairment is configured)."""
+        plans = []
+        if self.flaps > 0:
+            plans.append(
+                link_flap_plan(
+                    graph,
+                    flaps=self.flaps,
+                    start_time=self.start_time,
+                    spacing=self.spacing,
+                    seed=self.seed,
+                )
+            )
+        if self.crashes > 0:
+            plans.append(
+                ad_crash_plan(
+                    graph,
+                    crashes=self.crashes,
+                    retain_state=self.retain_state,
+                    start_time=self.start_time + self.flaps * self.spacing,
+                    spacing=self.spacing,
+                    seed=self.seed + 1,
+                )
+            )
+        return merge_plans(*plans) if plans else FaultPlan(())
+
+    @property
+    def horizon(self) -> float:
+        """Probing window length: the timeline plus one settle period."""
+        return self.start_time + (self.flaps + self.crashes) * self.spacing
+
+
+@dataclass(frozen=True)
 class Cell:
     """One fully-specified run: the unit of parallel execution."""
 
@@ -184,6 +302,7 @@ class Cell:
     scenario: ScenarioSpec
     protocol: ProtocolSpec
     failure: FailureSpec
+    fault: FaultSpec = FaultSpec()
     evaluate: bool = False
     max_events: int = 5_000_000
     trace: Optional[str] = None
@@ -197,6 +316,7 @@ class Cell:
             "label": self.protocol.display,
             "options": dict(self.protocol.options),
             "failure": self.failure.display,
+            "fault": self.fault.display,
         }
 
 
@@ -215,6 +335,7 @@ class ExperimentSpec:
     protocols: Tuple[ProtocolSpec, ...]
     seeds: Tuple[int, ...] = ()
     failures: Tuple[FailureSpec, ...] = (FailureSpec(),)
+    faults: Tuple[FaultSpec, ...] = (FaultSpec(),)
     evaluate: bool = False
     max_events: int = 5_000_000
     trace: Optional[str] = None
@@ -233,17 +354,19 @@ class ExperimentSpec:
         for scenario in scenario_axis:
             for protocol in self.protocols:
                 for failure in self.failures:
-                    expanded.append(
-                        Cell(
-                            experiment=self.name,
-                            index=index,
-                            scenario=scenario,
-                            protocol=protocol,
-                            failure=failure,
-                            evaluate=self.evaluate,
-                            max_events=self.max_events,
-                            trace=self.trace,
+                    for fault in self.faults:
+                        expanded.append(
+                            Cell(
+                                experiment=self.name,
+                                index=index,
+                                scenario=scenario,
+                                protocol=protocol,
+                                failure=failure,
+                                fault=fault,
+                                evaluate=self.evaluate,
+                                max_events=self.max_events,
+                                trace=self.trace,
+                            )
                         )
-                    )
-                    index += 1
+                        index += 1
         return expanded

@@ -19,7 +19,7 @@ experiment (E3) compare all eight design points on equal footing.
 from __future__ import annotations
 
 import enum
-from typing import ClassVar, List, Optional, Tuple
+from typing import TYPE_CHECKING, ClassVar, Dict, List, Optional, Tuple
 
 from repro.adgraph.ad import ADId
 from repro.adgraph.graph import InterADGraph
@@ -27,8 +27,13 @@ from repro.core.design_space import DesignPoint
 from repro.policy.database import PolicyDatabase
 from repro.policy.flows import FlowSpec
 from repro.policy.selection import OPEN_SELECTION, RouteSelectionPolicy
+from repro.protocols.hardening import HardeningConfig
 from repro.simul.network import SimNetwork
+from repro.simul.node import ProtocolNode
 from repro.simul.runner import ConvergenceResult, converge
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.plan import FaultPlan
 
 
 class ForwardingMode(enum.Enum):
@@ -61,6 +66,10 @@ class RoutingProtocol:
         self.network: Optional[SimNetwork] = None
         #: Forwarding loops observed while walking hop-by-hop decisions.
         self.forwarding_loops = 0
+        #: Robustness features distributed to every node at build time.
+        self.hardening = HardeningConfig()
+        self._crashed_links: Dict[ADId, Tuple[Tuple[ADId, ADId], ...]] = {}
+        self._crash_retain: Dict[ADId, bool] = {}
 
     # --------------------------------------------------------- control plane
 
@@ -73,7 +82,13 @@ class RoutingProtocol:
         if self.network is None:
             self.network = SimNetwork(self.graph)
             self._make_nodes(self.network)
+            self._distribute_hardening(self.network)
         return self.network
+
+    def _distribute_hardening(self, network: SimNetwork) -> None:
+        """Stamp the protocol's hardening config onto every node."""
+        for node in network.nodes.values():
+            node.hardening = self.hardening
 
     def converge(self, max_events: int = 5_000_000) -> ConvergenceResult:
         """Build if needed and run the control plane to quiescence."""
@@ -95,6 +110,104 @@ class RoutingProtocol:
         spanning tree) override this to keep both views consistent.
         """
         self._require_network().set_link_status(a, b, up)
+
+    # -------------------------------------------------------------- crashes
+
+    def crash_node(self, ad_id: ADId, retain_state: bool = True) -> None:
+        """Crash an AD's routing process: all incident links drop, the
+        node goes silent, in-flight messages to it are lost.
+
+        ``retain_state`` decides what :meth:`restore_node` later brings
+        back: the same process (tables intact) or a fresh one that must
+        relearn the internet from its neighbours.
+        """
+        network = self._require_network()
+        if ad_id in self._crashed_links:
+            raise ValueError(f"AD {ad_id} is already crashed")
+        live = tuple(
+            link.key for link in self.graph.links_of(ad_id)
+        )
+        # Silence the node first so the teardown notifications below reach
+        # only the surviving neighbours, never the crashed process itself.
+        network.crash_node(ad_id)
+        for a, b in live:
+            self.apply_link_status(a, b, False)
+        self._crashed_links[ad_id] = live
+        self._crash_retain[ad_id] = retain_state
+
+    def restore_node(self, ad_id: ADId) -> None:
+        """Restart a crashed AD and bring its links back up.
+
+        State retention was fixed at crash time.  A state-losing restart
+        swaps in a freshly-constructed node (the old one is retired so its
+        stale timers never fire); either way the links come up *after* the
+        process is live, so up-notifications drive relearning.
+        """
+        network = self._require_network()
+        if ad_id not in self._crashed_links:
+            raise ValueError(f"AD {ad_id} is not crashed")
+        links = self._crashed_links.pop(ad_id)
+        retain = self._crash_retain.pop(ad_id)
+        fresh: Optional[ProtocolNode] = None
+        if not retain:
+            old = network.nodes[ad_id]
+            fresh = self._fresh_node(ad_id)
+            fresh.hardening = self.hardening
+            fresh.inherit_nonvolatile(old)
+            old.retire()
+        network.restore_node(ad_id, fresh)
+        if fresh is not None:
+            fresh.start()
+        for a, b in links:
+            self.apply_link_status(a, b, True)
+
+    def _fresh_node(self, ad_id: ADId) -> ProtocolNode:
+        """A newly-constructed node for one AD, detached from any network.
+
+        Built by running :meth:`_make_nodes` against a scratch network --
+        node constructors are pure (no events scheduled until ``start``),
+        so the siblings built alongside are garbage-collected harmlessly.
+        """
+        scratch = SimNetwork(self.graph)
+        self._make_nodes(scratch)
+        node = scratch.nodes[ad_id]
+        node.detach()
+        return node
+
+    def is_crashed(self, ad_id: ADId) -> bool:
+        return ad_id in self._crashed_links
+
+    # ----------------------------------------------------------- fault plans
+
+    def schedule_fault_plan(self, plan: "FaultPlan") -> None:
+        """Schedule a fault plan's events, relative to the current time."""
+        network = self._require_network()
+        for ev in plan:
+            network.sim.schedule(ev.time, self._apply_fault_event, ev)
+
+    def _apply_fault_event(self, ev: object) -> None:
+        from repro.faults.plan import ImpairmentChange, LinkFault, NodeFault
+
+        network = self._require_network()
+        if isinstance(ev, LinkFault):
+            self.apply_link_status(ev.a, ev.b, ev.up)
+        elif isinstance(ev, NodeFault):
+            if ev.up:
+                self.restore_node(ev.ad)
+            else:
+                self.crash_node(ev.ad, retain_state=ev.retain_state)
+        elif isinstance(ev, ImpairmentChange):
+            network.set_impairment(ev.link, ev.spec)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown fault event {ev!r}")
+
+    def duplicates_ignored(self) -> int:
+        """Control-plane duplicates suppressed by hardening, network-wide."""
+        network = self._require_network()
+        return sum(
+            getattr(node, "duplicates_ignored", 0)
+            for node in network.nodes.values()
+        )
 
     # ------------------------------------------------------------ data plane
 

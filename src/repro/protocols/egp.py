@@ -30,6 +30,7 @@ from repro.adgraph.graph import InterADGraph
 from repro.policy.database import PolicyDatabase
 from repro.policy.flows import FlowSpec
 from repro.protocols.base import ForwardingMode, RoutingProtocol
+from repro.protocols.hardening import SOFT, HardeningConfig
 from repro.simul.messages import AD_ID_BYTES, Message
 from repro.simul.network import SimNetwork
 from repro.simul.node import ProtocolNode
@@ -44,29 +45,72 @@ class TopologyViolationError(ValueError):
 
 @dataclass(frozen=True)
 class NRUpdate(Message):
-    """A network-reachability advertisement: destinations only, no metric."""
+    """A network-reachability advertisement: destinations only, no metric.
+
+    ``seq`` (nonzero only under hardening) lets the receiver suppress
+    duplicates and acknowledge receipt; its four bytes are only charged
+    when carried, so unhardened runs keep legacy byte counts.
+    """
 
     dests: Tuple[ADId, ...]
+    seq: int = 0
 
     def size_bytes(self) -> int:
-        return super().size_bytes() + len(self.dests) * AD_ID_BYTES
+        return (
+            super().size_bytes()
+            + len(self.dests) * AD_ID_BYTES
+            + (4 if self.seq else 0)
+        )
+
+
+@dataclass(frozen=True)
+class NRAck(Message):
+    """Acknowledges a sequenced :class:`NRUpdate` (hardening only)."""
+
+    seq: int
+
+    def size_bytes(self) -> int:
+        return super().size_bytes() + 4
 
 
 class EGPNode(ProtocolNode):
     """Per-AD reachability process over the (tree) topology."""
+
+    hardening: HardeningConfig = SOFT
 
     def __init__(self, ad_id: ADId) -> None:
         super().__init__(ad_id)
         self.table: Dict[ADId, ADId] = {ad_id: ad_id}
         self._pending: Set[ADId] = set()
         self._flush_scheduled = False
+        #: Updates suppressed as already-seen (dedup hardening).
+        self.duplicates_ignored = 0
+        self._update_seq = 0
+        # Sequence numbers already processed, per sender.  Sets rather
+        # than a high-water mark: jitter reorders, and a reordered update
+        # is new content, not a duplicate.
+        self._seen: Dict[ADId, Set[int]] = {}
+        self._unacked: Dict[Tuple[ADId, int], NRUpdate] = {}
 
     def start(self) -> None:
         self._pending.add(self.ad_id)
         self._schedule_flush()
 
     def on_message(self, sender: ADId, msg: Message) -> None:
+        if isinstance(msg, NRAck):
+            self._unacked.pop((sender, msg.seq), None)
+            return
         assert isinstance(msg, NRUpdate)
+        if msg.seq:
+            # Always re-ack: the retransmission we are answering may be
+            # there because our previous ack was itself lost.
+            self.send(sender, NRAck(msg.seq))
+            if self.hardening.dedup:
+                seen = self._seen.setdefault(sender, set())
+                if msg.seq in seen:
+                    self.duplicates_ignored += 1
+                    return
+                seen.add(msg.seq)
         for dest in msg.dests:
             if dest not in self.table:
                 self.table[dest] = sender
@@ -100,10 +144,42 @@ class EGPNode(ProtocolNode):
         self._pending.clear()
         if not dests:
             return
+        sequenced = self.hardening.dedup or self.hardening.retransmit
         for nbr in self.neighbors():
             advertise = tuple(d for d in dests if self.table.get(d) != nbr)
-            if advertise:
-                self.send(nbr, NRUpdate(advertise))
+            if not advertise:
+                continue
+            if sequenced:
+                self._update_seq += 1
+                update = NRUpdate(advertise, seq=self._update_seq)
+                if self.hardening.retransmit:
+                    self._unacked[(nbr, update.seq)] = update
+                    self.schedule(
+                        self.hardening.retransmit_timeout,
+                        self._retry_update,
+                        nbr,
+                        update.seq,
+                        self.hardening.max_retries,
+                    )
+            else:
+                update = NRUpdate(advertise)
+            self.send(nbr, update)
+
+    def _retry_update(self, nbr: ADId, seq: int, retries_left: int) -> None:
+        update = self._unacked.get((nbr, seq))
+        if update is None:
+            return
+        if retries_left <= 0:
+            del self._unacked[(nbr, seq)]
+            return
+        self.send(nbr, update)
+        self.schedule(
+            self.hardening.retransmit_timeout,
+            self._retry_update,
+            nbr,
+            seq,
+            retries_left - 1,
+        )
 
     def route_to(self, dest: ADId) -> Optional[ADId]:
         nxt = self.table.get(dest)
@@ -165,6 +241,7 @@ class EGPProtocol(RoutingProtocol):
         self.tree_graph, self.excluded_links = _spanning_tree(self.graph)
         self.network = SimNetwork(self.tree_graph)
         self._make_nodes(self.network)
+        self._distribute_hardening(self.network)
         return self.network
 
     def _make_nodes(self, network: SimNetwork) -> None:

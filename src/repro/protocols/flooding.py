@@ -30,6 +30,7 @@ from repro.adgraph.ad import AD, ADId, ADKind, InterADLink, Level, LinkKind
 from repro.adgraph.graph import InterADGraph
 from repro.policy.database import PolicyDatabase
 from repro.policy.terms import PolicyTerm
+from repro.protocols.hardening import SOFT, HardeningConfig
 from repro.simul.messages import AD_ID_BYTES, METRIC_BYTES, Message
 from repro.simul.node import ProtocolNode
 
@@ -69,25 +70,49 @@ class LinkStateAd(Message):
             + AD_ID_BYTES  # origin
             + 4  # sequence number
             + 1  # origin level
-            + sum(l.size_bytes() for l in self.links)
+            + sum(rec.size_bytes() for rec in self.links)
             + sum(t.size_bytes() for t in self.terms)
         )
 
 
 @dataclass(frozen=True)
 class LSDBExchange(Message):
-    """Full-database exchange sent across a newly-up adjacency."""
+    """Full-database exchange sent across a newly-up adjacency.
+
+    ``token`` (nonzero only under retransmit hardening) identifies the
+    exchange for acknowledgement; the extra four bytes are only charged
+    when it is carried, so unhardened runs keep legacy byte counts.
+    """
 
     ads: Tuple[LinkStateAd, ...]
+    token: int = 0
 
     def size_bytes(self) -> int:
         from repro.simul.messages import HEADER_BYTES
 
-        return HEADER_BYTES + sum(a.size_bytes() - HEADER_BYTES for a in self.ads)
+        return (
+            HEADER_BYTES
+            + sum(a.size_bytes() - HEADER_BYTES for a in self.ads)
+            + (4 if self.token else 0)
+        )
+
+
+@dataclass(frozen=True)
+class ExchangeAck(Message):
+    """Acknowledges a tokened :class:`LSDBExchange` (hardening only)."""
+
+    token: int
+
+    def size_bytes(self) -> int:
+        return super().size_bytes() + 4
 
 
 class LSNode(ProtocolNode):
     """A flooding participant with a link-state database."""
+
+    #: Robustness features; the protocol driver stamps its own config at
+    #: build time, so directly-constructed nodes default to legacy mode.
+    hardening: HardeningConfig = SOFT
 
     def __init__(
         self,
@@ -114,6 +139,15 @@ class LSNode(ProtocolNode):
         self.db_version = 0
         self._seq = 0
         self._view_cache: Optional[Tuple[int, InterADGraph, PolicyDatabase]] = None
+        #: Stale/duplicate LSAs suppressed (the flooding dedup at work).
+        self.duplicates_ignored = 0
+        # Refresh hardening: re-originations left in the current burst,
+        # and whether a tick is already scheduled (at most one in flight).
+        self._refresh_left = 0
+        self._refresh_pending = False
+        # Retransmit hardening: token generator and unacked DB exchanges.
+        self._exchange_seq = 0
+        self._pending_exchanges: Dict[int, Tuple[ADId, LSDBExchange]] = {}
 
     def _flood(self, msg: Message, exclude: Optional[ADId] = None) -> None:
         """Send to flooding-scope neighbours (all, or scoped links only)."""
@@ -149,11 +183,35 @@ class LSNode(ProtocolNode):
             origin_level=self.level,
         )
 
-    def originate(self) -> None:
-        """(Re)build our own LSA and flood it."""
+    def _originate(self) -> None:
+        """(Re)build our own LSA and flood it (no refresh re-arming)."""
         lsa = self._build_own_lsa()
         self._install(lsa)
         self._flood(lsa)
+
+    def originate(self) -> None:
+        """(Re)build our own LSA and flood it.
+
+        Under refresh hardening every change-driven origination also arms
+        a bounded burst of periodic re-originations, so a flood lost to
+        channel impairment heals at the next tick.
+        """
+        self._originate()
+        if self.hardening.refresh:
+            self._refresh_left = self.hardening.refresh_count
+            if not self._refresh_pending:
+                self._refresh_pending = True
+                self.schedule(self.hardening.refresh_interval, self._refresh_tick)
+
+    def _refresh_tick(self) -> None:
+        self._refresh_pending = False
+        if self._refresh_left <= 0:
+            return
+        self._refresh_left -= 1
+        self._originate()
+        if self._refresh_left > 0:
+            self._refresh_pending = True
+            self.schedule(self.hardening.refresh_interval, self._refresh_tick)
 
     # --------------------------------------------------------------- control
 
@@ -164,6 +222,7 @@ class LSNode(ProtocolNode):
         """Store an LSA if newer; returns whether the LSDB changed."""
         current = self.lsdb.get(lsa.origin)
         if current is not None and current.seq >= lsa.seq:
+            self.duplicates_ignored += 1
             return False
         self.lsdb[lsa.origin] = lsa
         self.db_version += 1
@@ -175,6 +234,8 @@ class LSNode(ProtocolNode):
                 self._flood(msg, exclude=sender)
                 self.on_lsdb_change()
         elif isinstance(msg, LSDBExchange):
+            if msg.token:
+                self.send(sender, ExchangeAck(msg.token))
             changed = False
             for lsa in msg.ads:
                 if self._install(lsa):
@@ -182,6 +243,8 @@ class LSNode(ProtocolNode):
                     changed = True
             if changed:
                 self.on_lsdb_change()
+        elif isinstance(msg, ExchangeAck):
+            self._pending_exchanges.pop(msg.token, None)
         else:
             super().on_message(sender, msg)
 
@@ -191,8 +254,47 @@ class LSNode(ProtocolNode):
             # Database exchange across the new adjacency.
             nbr = link.other(self.ad_id)
             ads = tuple(self.lsdb[o] for o in sorted(self.lsdb))
-            self.send(nbr, LSDBExchange(ads))
+            if self.hardening.retransmit:
+                self._exchange_seq += 1
+                token = self._exchange_seq
+                exchange = LSDBExchange(ads, token=token)
+                self._pending_exchanges[token] = (nbr, exchange)
+                self.send(nbr, exchange)
+                self.schedule(
+                    self.hardening.retransmit_timeout,
+                    self._retry_exchange,
+                    token,
+                    self.hardening.max_retries,
+                )
+            else:
+                self.send(nbr, LSDBExchange(ads))
         self.on_lsdb_change()
+
+    def _retry_exchange(self, token: int, retries_left: int) -> None:
+        pending = self._pending_exchanges.get(token)
+        if pending is None:
+            return
+        if retries_left <= 0:
+            del self._pending_exchanges[token]
+            return
+        nbr, exchange = pending
+        self.send(nbr, exchange)
+        self.schedule(
+            self.hardening.retransmit_timeout,
+            self._retry_exchange,
+            token,
+            retries_left - 1,
+        )
+
+    def inherit_nonvolatile(self, previous: ProtocolNode) -> None:
+        """Keep the LSA sequence counter across a state-losing restart.
+
+        Without this (the NVRAM register real routers keep for exactly
+        this reason) the reborn node's seq-1 LSA would be rejected as
+        stale by every neighbour still holding its pre-crash LSA.
+        """
+        if isinstance(previous, LSNode):
+            self._seq = previous._seq
 
     def on_lsdb_change(self) -> None:
         """Hook for subclasses (cache invalidation etc.).  Default: none."""

@@ -42,6 +42,8 @@ class LSHbHNode(LSNode):
         # whole cache, and stale routes never linger past an LSDB change.
         self._route_cache: Dict[FlowSpec, Optional[Tuple[ADId, ...]]] = {}
         self._route_cache_version = -1
+        #: Wholesale invalidations (each LSDB change under churn pays one).
+        self.cache_rebuilds = 0
 
     def flow_route(self, flow: FlowSpec) -> Optional[Tuple[ADId, ...]]:
         """The canonical route for ``flow``, from this node's view.
@@ -53,6 +55,8 @@ class LSHbHNode(LSNode):
         (Section 5.3) affordable enough to measure at scale.
         """
         if self._route_cache_version != self.db_version:
+            if self._route_cache:
+                self.cache_rebuilds += 1
             self._route_cache.clear()
             self._route_cache_version = self.db_version
         elif flow in self._route_cache:
@@ -106,3 +110,12 @@ class LinkStateHopByHopProtocol(RoutingProtocol):
     def computation_burden(self, ad_id: ADId) -> int:
         """Route computations this AD has performed (E5 metric)."""
         return self.network.metrics.computations.get((ad_id, "policy_route"), 0)
+
+    def cache_rebuilds(self) -> int:
+        """Route-cache wholesale invalidations, network-wide (churn cost)."""
+        network = self._require_network()
+        return sum(
+            node.cache_rebuilds
+            for node in network.nodes.values()
+            if isinstance(node, LSHbHNode)
+        )

@@ -220,15 +220,42 @@ class ORWGNode(LSNode):
                 expires_at=self._expiry(),
             ),
         )
-        self.send(
-            route.path[1],
-            SetupPacket(
-                handle=attempt.handle,
-                flow=attempt.flow,
-                route=route.path,
-                term_refs=tuple(refs),
-                hop=1,
-            ),
+        packet = SetupPacket(
+            handle=attempt.handle,
+            flow=attempt.flow,
+            route=route.path,
+            term_refs=tuple(refs),
+            hop=1,
+        )
+        self.send(route.path[1], packet)
+        if self.hardening.retransmit:
+            self.schedule(
+                self.hardening.retransmit_timeout,
+                self._retry_setup,
+                attempt,
+                packet,
+                self.hardening.max_retries,
+            )
+
+    def _retry_setup(
+        self, attempt: SetupAttempt, packet: SetupPacket, retries_left: int
+    ) -> None:
+        """Resend a setup packet whose ack never came (hardening only)."""
+        if attempt.state != "pending":
+            return
+        if retries_left <= 0:
+            attempt.state = "failed"
+            attempt.reason = "setup timed out after retransmissions"
+            attempt.end_time = self.now
+            self.pg.remove(attempt.handle)
+            return
+        self.send(packet.route[1], packet)
+        self.schedule(
+            self.hardening.retransmit_timeout,
+            self._retry_setup,
+            attempt,
+            packet,
+            retries_left - 1,
         )
 
     # ------------------------------------------------------------- messaging
@@ -267,6 +294,21 @@ class ORWGNode(LSNode):
             self.delivered.setdefault(msg.handle, 0)
             self.send(route[i - 1], SetupAck(msg.handle, route, hop=i - 1))
             return
+        if self.hardening.dedup:
+            # A retransmitted (or channel-duplicated) setup we already
+            # validated: skip revalidation, just forward it along.
+            existing = self.pg.lookup(msg.handle)
+            if (
+                existing is not None
+                and existing.flow == msg.flow
+                and existing.next == route[i + 1]
+            ):
+                self.duplicates_ignored += 1
+                self.send(
+                    route[i + 1],
+                    SetupPacket(msg.handle, msg.flow, route, msg.term_refs, hop=i + 1),
+                )
+                return
         ref = msg.term_refs[i - 1]
         cited = self._own_term(ref)
         result = self.pg.validate_setup(msg.flow, route[i - 1], route[i + 1], cited)
@@ -409,6 +451,13 @@ class ORWGNode(LSNode):
         self.own_terms = self.live_policies.terms_of(self.ad_id)
         self.originate()
         self.on_lsdb_change()
+
+    def inherit_nonvolatile(self, previous) -> None:
+        """Also keep the handle id counter, so post-restart setups never
+        collide with handles still cached along pre-crash routes."""
+        super().inherit_nonvolatile(previous)
+        if isinstance(previous, ORWGNode):
+            self._next_local_id = previous._next_local_id
 
 
 class ORWGProtocol(RoutingProtocol):

@@ -31,6 +31,7 @@ from repro.policy.database import PolicyDatabase
 from repro.policy.qos import QOS
 from repro.protocols.base import RoutingProtocol
 from repro.protocols.dv import DistanceVectorProtocol
+from repro.protocols.hardening import hardening_from
 from repro.protocols.ecma import ECMAProtocol
 from repro.protocols.egp import EGPProtocol
 from repro.protocols.idrp import BGP2Protocol, IDRPProtocol
@@ -99,6 +100,12 @@ def make_protocol(
     ``infinity=16`` for ``"naive-dv"``, ``qos_classes=("default",)`` for
     ``"ecma"``, ``flooding="tree"`` for ``"orwg"``); values may be given
     as serializable primitives and are normalized here.
+
+    The pseudo-option ``hardening`` is handled here for every protocol
+    (it is protocol-independent): ``"all"``, a feature name, a
+    ``+``/``,``-joined list, or a :class:`~repro.protocols.hardening.
+    HardeningConfig`; the resulting config is stamped onto the driver and
+    distributed to nodes at build time.
     """
     if isinstance(point_or_name, DesignPoint):
         factory = PROTOCOL_FOR_POINT[point_or_name]
@@ -110,7 +117,12 @@ def make_protocol(
                 f"unknown protocol {point_or_name!r}; "
                 f"available: {', '.join(available_protocols())}"
             ) from None
-    return factory(graph, policies, **_normalize_options(dict(options)))
+    opts = _normalize_options(dict(options))
+    hardening = opts.pop("hardening", None)
+    protocol = factory(graph, policies, **opts)
+    if hardening is not None:
+        protocol.hardening = hardening_from(hardening)
+    return protocol
 
 
 def available_protocols() -> List[str]:

@@ -34,6 +34,8 @@ class MetricsSnapshot:
     dropped: int
     computations: Mapping[Tuple[ADId, str], int]
     last_activity: float
+    channel_dropped: int = 0
+    duplicated: int = 0
 
     @property
     def total_messages(self) -> int:
@@ -59,6 +61,8 @@ class MetricsSnapshot:
             dropped=self.dropped - earlier.dropped,
             computations=comps,
             last_activity=self.last_activity,
+            channel_dropped=self.channel_dropped - earlier.channel_dropped,
+            duplicated=self.duplicated - earlier.duplicated,
         )
 
 
@@ -80,6 +84,8 @@ class MetricsCollector:
         self.dropped = 0
         self.computations: Counter = Counter()
         self.last_activity = 0.0
+        self.channel_dropped = 0
+        self.duplicated = 0
 
     def count_message(self, type_name: str, size: int, time: float) -> None:
         """Record one delivered control message."""
@@ -90,6 +96,14 @@ class MetricsCollector:
     def count_drop(self) -> None:
         """Record a message lost to a dead link."""
         self.dropped += 1
+
+    def count_channel_drop(self) -> None:
+        """Record a message lost to channel impairment (not a dead link)."""
+        self.channel_dropped += 1
+
+    def count_duplicated(self, n: int = 1) -> None:
+        """Record extra copies injected by channel duplication."""
+        self.duplicated += n
 
     def note_computation(self, ad_id: ADId, kind: str, count: int = 1) -> None:
         """Record protocol computation work at an AD (e.g. one SPF run)."""
@@ -112,4 +126,6 @@ class MetricsCollector:
             dropped=self.dropped,
             computations=dict(self.computations),
             last_activity=self.last_activity,
+            channel_dropped=self.channel_dropped,
+            duplicated=self.duplicated,
         )

@@ -12,7 +12,7 @@ nodes synchronously at the scheduled time.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Set, Tuple
 
 from repro.adgraph.ad import ADId
 from repro.adgraph.failures import FailurePlan
@@ -22,6 +22,9 @@ from repro.simul.messages import Message
 from repro.simul.metrics import MetricsCollector
 from repro.simul.node import ProtocolNode
 from repro.simul.profiling import PhaseProfiler
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.channel import ChannelModel, Impairment
 
 
 class SimNetwork:
@@ -38,6 +41,8 @@ class SimNetwork:
         self.metrics = MetricsCollector()
         self.nodes: Dict[ADId, ProtocolNode] = {}
         self.profiler = profiler
+        self.channel: Optional["ChannelModel"] = None
+        self._crashed: Set[ADId] = set()
 
     def set_profiler(self, profiler: Optional[PhaseProfiler]) -> None:
         """Attach (or detach) a wall-clock profiler to network and engine."""
@@ -83,13 +88,42 @@ class SimNetwork:
             self.metrics.count_drop()
             return
         delay = link.metric("delay")
-        self.sim.schedule(delay, self._deliver, src, dst, msg)
+        if self.channel is None:
+            self.sim.schedule(delay, self._deliver, src, dst, msg)
+            return
+        copies = self.channel.transmit(src, dst)
+        if not copies:
+            self.metrics.count_channel_drop()
+            return
+        if len(copies) > 1:
+            self.metrics.count_duplicated(len(copies) - 1)
+        for extra in copies:
+            self.sim.schedule(delay + extra, self._deliver, src, dst, msg)
 
     def _deliver(self, src: ADId, dst: ADId, msg: Message) -> None:
         # A link that died in flight still delivers what was already sent;
         # the failure notification races the last messages, as in reality.
+        if dst in self._crashed:
+            self.metrics.count_drop()
+            return
         self.metrics.count_message(msg.type_name, msg.size_bytes(), self.sim.now)
         self.nodes[dst].on_message(src, msg)
+
+    # -------------------------------------------------------------- channel
+
+    def set_channel(self, model: Optional["ChannelModel"]) -> None:
+        """Attach an impairment channel (``None`` restores perfect links)."""
+        self.channel = model
+
+    def set_impairment(
+        self, link: Optional[Tuple[ADId, ADId]], spec: "Impairment"
+    ) -> None:
+        """Change impairment parameters, attaching a channel if needed."""
+        if self.channel is None:
+            from repro.faults.channel import ImpairedChannel
+
+            self.channel = ImpairedChannel()
+        self.channel.set_impairment(link, spec)
 
     # ------------------------------------------------------------ failures
 
@@ -97,9 +131,44 @@ class SimNetwork:
         """Change a link's status now and notify both endpoint nodes."""
         link = self.graph.set_link_status(a, b, up)
         for end in (a, b):
+            if end in self._crashed:
+                continue
             node = self.nodes.get(end)
             if node is not None:
                 node.on_link_change(link, up)
+
+    # --------------------------------------------------------------- crashes
+
+    def crash_node(self, ad_id: ADId) -> None:
+        """Silence an AD: in-flight deliveries to it drop, no notifications.
+
+        Link teardown is the protocol driver's job
+        (:meth:`~repro.protocols.base.RoutingProtocol.crash_node`), since
+        only it knows how to propagate link-status changes consistently.
+        """
+        if ad_id not in self.nodes:
+            raise ValueError(f"AD {ad_id} has no node to crash")
+        if ad_id in self._crashed:
+            raise ValueError(f"AD {ad_id} is already crashed")
+        self._crashed.add(ad_id)
+
+    def restore_node(
+        self, ad_id: ADId, node: Optional[ProtocolNode] = None
+    ) -> None:
+        """Un-silence a crashed AD, optionally swapping in a fresh node."""
+        if ad_id not in self._crashed:
+            raise ValueError(f"AD {ad_id} is not crashed")
+        self._crashed.discard(ad_id)
+        if node is not None:
+            if node.ad_id != ad_id:
+                raise ValueError(
+                    f"replacement node is for AD {node.ad_id}, not AD {ad_id}"
+                )
+            self.nodes[ad_id] = node
+            node.attach(self)
+
+    def is_crashed(self, ad_id: ADId) -> bool:
+        return ad_id in self._crashed
 
     def schedule_failure_plan(self, plan: FailurePlan) -> None:
         """Schedule every status change of a failure plan on the engine."""

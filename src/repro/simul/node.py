@@ -29,12 +29,34 @@ class ProtocolNode:
     def __init__(self, ad_id: ADId) -> None:
         self.ad_id = ad_id
         self._network: Optional["SimNetwork"] = None
+        self._defunct = False
 
     # ----------------------------------------------------------- plumbing
 
     def attach(self, network: "SimNetwork") -> None:
         """Called by the network when the node is registered."""
         self._network = network
+
+    def detach(self) -> None:
+        """Disconnect from the network (used when built on a scratch one)."""
+        self._network = None
+
+    def retire(self) -> None:
+        """Permanently silence this node: pending timers become no-ops.
+
+        Used when a crashed AD is restarted *without* state -- the old
+        process is replaced, so its outstanding retransmission and refresh
+        timers must never fire against the live network.
+        """
+        self._defunct = True
+
+    def inherit_nonvolatile(self, previous: "ProtocolNode") -> None:
+        """Copy non-volatile state from the node this one replaces.
+
+        Real routing processes keep a few things across a state-losing
+        restart (e.g. an LSA sequence counter in NVRAM, so post-restart
+        originations are not rejected as stale).  Default: nothing.
+        """
 
     @property
     def network(self) -> "SimNetwork":
@@ -66,8 +88,17 @@ class ProtocolNode:
         self.network.metrics.note_computation(self.ad_id, kind, count)
 
     def schedule(self, delay: float, fn, *args) -> "object":
-        """Schedule a local timer on the simulation engine."""
-        return self.network.sim.schedule(delay, fn, *args)
+        """Schedule a local timer on the simulation engine.
+
+        The timer is bound to this node's lifetime: if the node has been
+        :meth:`retire`\\ d by the time it fires, it does nothing.
+        """
+
+        def fire() -> None:
+            if not self._defunct:
+                fn(*args)
+
+        return self.network.sim.schedule(delay, fire)
 
     # --------------------------------------------------------------- hooks
 

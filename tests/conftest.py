@@ -6,7 +6,7 @@ import pytest
 
 from repro.adgraph.generator import TopologyConfig, generate_internet
 from repro.policy.generators import hierarchical_policies, restricted_policies
-from tests.helpers import diamond_graph, line_graph, open_db, small_hierarchy
+from tests.helpers import diamond_graph, line_graph, small_hierarchy
 
 
 @pytest.fixture

@@ -2,14 +2,7 @@
 
 import pytest
 
-from repro.adgraph.ad import (
-    AD,
-    ADKind,
-    InterADLink,
-    Level,
-    LinkKind,
-    canonical_link_key,
-)
+from repro.adgraph.ad import ADKind, InterADLink, Level, LinkKind, canonical_link_key
 
 
 class TestLevel:

@@ -10,7 +10,7 @@ from repro.adgraph.expansion import (
     RouterExpansion,
 )
 from repro.adgraph.generator import TopologyConfig, generate_internet
-from tests.helpers import diamond_graph, small_hierarchy
+from tests.helpers import diamond_graph
 
 
 @pytest.fixture

@@ -31,13 +31,13 @@ class TestGeneration:
         a = generate_internet(TopologyConfig(seed=11))
         b = generate_internet(TopologyConfig(seed=11))
         assert a.ad_ids() == b.ad_ids()
-        assert [l.key for l in a.links()] == [l.key for l in b.links()]
-        assert [l.metrics for l in a.links()] == [l.metrics for l in b.links()]
+        assert [ln.key for ln in a.links()] == [ln.key for ln in b.links()]
+        assert [ln.metrics for ln in a.links()] == [ln.metrics for ln in b.links()]
 
     def test_different_seeds_differ(self):
         a = generate_internet(TopologyConfig(seed=1, lateral_prob=0.5))
         b = generate_internet(TopologyConfig(seed=2, lateral_prob=0.5))
-        assert [l.key for l in a.links()] != [l.key for l in b.links()]
+        assert [ln.key for ln in a.links()] != [ln.key for ln in b.links()]
 
     def test_always_connected(self):
         for seed in range(10):
@@ -70,7 +70,7 @@ class TestGeneration:
 
     def test_bypass_links_touch_backbone_and_campus(self):
         g = generate_internet(TopologyConfig(bypass_prob=0.8, seed=3))
-        bypasses = [l for l in g.links() if l.kind is LinkKind.BYPASS]
+        bypasses = [ln for ln in g.links() if ln.kind is LinkKind.BYPASS]
         assert bypasses, "high bypass probability produced no bypass links"
         for link in bypasses:
             levels = {g.ad(link.a).level, g.ad(link.b).level}

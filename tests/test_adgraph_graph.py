@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.adgraph.ad import AD, ADKind, InterADLink, Level, LinkKind
+from repro.adgraph.ad import AD, ADKind, Level, LinkKind
 from repro.adgraph.graph import InterADGraph
-from tests.helpers import mk_graph, small_hierarchy
+from tests.helpers import mk_graph
 
 
 class TestNodeManagement:

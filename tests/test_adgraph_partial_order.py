@@ -12,7 +12,6 @@ from repro.adgraph.partial_order import (
     order_from_constraints,
     try_order_from_constraints,
 )
-from tests.helpers import small_hierarchy
 
 
 class TestHierarchyOrder:

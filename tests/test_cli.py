@@ -1,6 +1,6 @@
 """Tests for the command-line interface."""
 
-import pytest
+from types import SimpleNamespace
 
 from repro.cli import main
 
@@ -103,3 +103,42 @@ class TestReport:
         text = out.read_text()
         assert "REPRODUCTION REPORT" in text
         assert "experiment tables" in capsys.readouterr().out
+
+
+class TestExperimentsRun:
+    def test_unknown_experiment_rejected(self, capsys):
+        assert main(["experiments", "run", "nope"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_seed_and_loss_flags_reach_harness(self, monkeypatch, capsys, tmp_path):
+        calls = {}
+
+        def fake_run(name, **kwargs):
+            calls["name"] = name
+            calls.update(kwargs)
+            return SimpleNamespace(name=name), [], "table"
+
+        monkeypatch.setattr("repro.harness.run_experiment", fake_run)
+        code = main([
+            "experiments", "run", "robustness",
+            "--loss", "0.1", "--seed", "7", "--runs-dir", str(tmp_path),
+        ])
+        assert code == 0
+        assert calls["name"] == "robustness"
+        assert calls["seed"] == 7
+        assert calls["loss"] == 0.1
+        assert "table" in capsys.readouterr().out
+
+    def test_overrides_default_to_none(self, monkeypatch, tmp_path):
+        calls = {}
+
+        def fake_run(name, **kwargs):
+            calls.update(kwargs)
+            return SimpleNamespace(name=name), [], ""
+
+        monkeypatch.setattr("repro.harness.run_experiment", fake_run)
+        assert main([
+            "experiments", "run", "robustness", "--runs-dir", str(tmp_path),
+        ]) == 0
+        assert calls["seed"] is None
+        assert calls["loss"] is None

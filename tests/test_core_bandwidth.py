@@ -15,7 +15,6 @@ from repro.policy.generators import restricted_policies
 from repro.policy.legality import is_legal_path, path_metric
 from repro.policy.qos import QOS
 from repro.policy.selection import RouteSelectionPolicy
-from repro.policy.sets import ADSet
 from repro.policy.terms import PolicyTerm
 from tests.helpers import mk_graph, open_db
 
@@ -102,18 +101,18 @@ class TestGeneratedBandwidth:
 
         g = generate_internet(TopologyConfig(num_backbones=3, seed=5))
         bb_links = [
-            l
-            for l in g.links()
-            if g.ad(l.a).level is Level.BACKBONE and g.ad(l.b).level is Level.BACKBONE
+            ln
+            for ln in g.links()
+            if g.ad(ln.a).level is Level.BACKBONE and g.ad(ln.b).level is Level.BACKBONE
         ]
         edge_links = [
-            l
-            for l in g.links()
-            if Level.CAMPUS in (g.ad(l.a).level, g.ad(l.b).level)
-            and Level.BACKBONE not in (g.ad(l.a).level, g.ad(l.b).level)
+            ln
+            for ln in g.links()
+            if Level.CAMPUS in (g.ad(ln.a).level, g.ad(ln.b).level)
+            and Level.BACKBONE not in (g.ad(ln.a).level, g.ad(ln.b).level)
         ]
-        assert min(l.metric("bandwidth") for l in bb_links) > max(
-            l.metric("bandwidth") for l in edge_links
+        assert min(ln.metric("bandwidth") for ln in bb_links) > max(
+            ln.metric("bandwidth") for ln in edge_links
         )
 
     def test_bandwidth_stream_does_not_perturb_delay(self):

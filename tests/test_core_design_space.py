@@ -21,9 +21,9 @@ class TestEnumeration:
     def test_covers_full_cross_product(self):
         points = set(enumerate_design_space())
         expected = {
-            DesignPoint(a, l, e)
+            DesignPoint(a, loc, e)
             for a in Algorithm
-            for l in DecisionLocation
+            for loc in DecisionLocation
             for e in PolicyExpression
         }
         assert points == expected

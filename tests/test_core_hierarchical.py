@@ -14,7 +14,6 @@ from repro.core.synthesis import synthesize_route
 from repro.policy.generators import hierarchical_policies, restricted_policies
 from repro.policy.legality import is_legal_path
 from repro.policy.selection import RouteSelectionPolicy
-from tests.helpers import small_hierarchy
 
 
 class TestPartition:

@@ -1,6 +1,5 @@
 """Tests for policy route synthesis, including exactness properties."""
 
-import itertools
 import random
 
 import networkx as nx
@@ -8,13 +7,10 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.adgraph.ad import AD, ADKind, InterADLink, Level, LinkKind
 from repro.adgraph.generator import TopologyConfig, generate_internet
-from repro.adgraph.graph import InterADGraph
 from repro.core.synthesis import (
     RouteSynthesizer,
     SynthesisStats,
-    constrained_dijkstra,
     exhaustive_best_path,
     k_alternative_routes,
     route_charges,

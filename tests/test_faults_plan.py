@@ -1,0 +1,139 @@
+"""Tests for the fault-plan DSL and its seeded generators."""
+
+import pytest
+
+from repro.adgraph.failures import FailurePlan, LinkFailure, safe_failure_candidates
+from repro.adgraph.generator import TopologyConfig, generate_internet
+from repro.faults.channel import PERFECT, Impairment
+from repro.faults.plan import (
+    FaultPlan,
+    ImpairmentChange,
+    LinkFault,
+    NodeFault,
+    ad_crash_plan,
+    crash_candidates,
+    link_flap_plan,
+    lossy_period_plan,
+    merge_plans,
+)
+from tests.helpers import line_graph, mk_graph
+
+
+@pytest.fixture(scope="module")
+def internet():
+    return generate_internet(TopologyConfig(seed=1, lateral_prob=0.6))
+
+
+class TestFaultPlan:
+    def test_events_must_be_time_ordered(self):
+        with pytest.raises(ValueError):
+            FaultPlan((LinkFault(10, 1, 2), NodeFault(5, 3)))
+
+    def test_iteration_len_horizon(self):
+        plan = FaultPlan((LinkFault(1, 1, 2), NodeFault(7, 3, up=True)))
+        assert len(plan) == 2
+        assert [e.time for e in plan] == [1, 7]
+        assert plan.horizon == 7
+
+    def test_empty_plan(self):
+        plan = FaultPlan(())
+        assert len(plan) == 0
+        assert plan.horizon == 0.0
+
+    def test_from_failure_plan(self):
+        legacy = FailurePlan(
+            (LinkFailure(5, 1, 2, up=False), LinkFailure(10, 1, 2, up=True))
+        )
+        plan = FaultPlan.from_failure_plan(legacy)
+        assert all(isinstance(e, LinkFault) for e in plan)
+        assert [(e.time, e.a, e.b, e.up) for e in plan] == [
+            (5, 1, 2, False),
+            (10, 1, 2, True),
+        ]
+
+    def test_merge_orders_by_time(self):
+        a = FaultPlan((LinkFault(5, 1, 2), LinkFault(20, 1, 2, up=True)))
+        b = FaultPlan((NodeFault(10, 3),))
+        merged = merge_plans(a, b)
+        assert [e.time for e in merged] == [5, 10, 20]
+
+    def test_merge_is_stable_for_equal_times(self):
+        a = FaultPlan((LinkFault(5, 1, 2),))
+        b = FaultPlan((NodeFault(5, 3),))
+        merged = merge_plans(a, b)
+        assert isinstance(merged.events[0], LinkFault)
+        assert isinstance(merged.events[1], NodeFault)
+
+
+class TestLinkFlapPlan:
+    def test_each_flap_is_down_then_up(self, internet):
+        plan = link_flap_plan(internet, flaps=3, seed=2)
+        events = list(plan)
+        assert len(events) == 6
+        for down, up in zip(events[0::2], events[1::2]):
+            assert (down.a, down.b) == (up.a, up.b)
+            assert not down.up and up.up
+            assert up.time == down.time + 200.0  # half the default spacing
+
+    def test_flapped_links_are_safe(self, internet):
+        plan = link_flap_plan(internet, flaps=3, seed=2)
+        safe = set(safe_failure_candidates(internet))
+        for ev in plan:
+            assert (ev.a, ev.b) in safe
+
+    def test_down_for_override(self, internet):
+        plan = link_flap_plan(internet, flaps=1, start_time=50, down_for=30, seed=0)
+        assert [e.time for e in plan] == [50, 80]
+
+    def test_deterministic(self, internet):
+        assert list(link_flap_plan(internet, flaps=2, seed=5)) == list(
+            link_flap_plan(internet, flaps=2, seed=5)
+        )
+
+    def test_raises_when_candidates_run_out(self):
+        with pytest.raises(ValueError, match="safe candidate links"):
+            link_flap_plan(line_graph(4), flaps=1)
+
+
+class TestCrashPlans:
+    def test_articulation_points_excluded(self):
+        # In a line 0-1-2-3 the interior nodes are articulation points.
+        g = line_graph(4)
+        assert crash_candidates(g) == [0, 3]
+
+    def test_cycle_has_all_candidates(self):
+        g = mk_graph([(0, "Rt"), (1, "Rt"), (2, "Rt")], [(0, 1), (1, 2), (0, 2)])
+        assert crash_candidates(g) == [0, 1, 2]
+
+    def test_crash_then_restart(self, internet):
+        plan = ad_crash_plan(internet, crashes=2, retain_state=True, seed=1)
+        events = list(plan)
+        assert len(events) == 4
+        for down, up in zip(events[0::2], events[1::2]):
+            assert down.ad == up.ad
+            assert not down.up and up.up
+            assert down.retain_state and up.retain_state
+        assert all(e.ad in crash_candidates(internet) for e in events)
+
+    def test_state_loss_flag(self, internet):
+        plan = ad_crash_plan(internet, crashes=1, retain_state=False, seed=0)
+        assert all(not e.retain_state for e in plan)
+
+    def test_raises_when_not_enough_safe_ads(self):
+        g = line_graph(3)  # only the two endpoints are crash-safe
+        with pytest.raises(ValueError, match="crash-safe ADs"):
+            ad_crash_plan(g, crashes=3)
+
+
+class TestLossyPeriodPlan:
+    def test_window_then_restore(self):
+        spec = Impairment(drop_prob=0.5)
+        plan = lossy_period_plan(spec, start_time=100, duration=50, link=(1, 2))
+        first, second = list(plan)
+        assert isinstance(first, ImpairmentChange)
+        assert first.time == 100 and first.spec == spec and first.link == (1, 2)
+        assert second.time == 150 and second.spec == PERFECT and second.link == (1, 2)
+
+    def test_default_scope_is_all_links(self):
+        plan = lossy_period_plan(Impairment(drop_prob=0.1))
+        assert all(e.link is None for e in plan)

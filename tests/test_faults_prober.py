@@ -1,0 +1,171 @@
+"""Tests for RoutePulse, the data-plane reachability sampler."""
+
+import pytest
+
+from repro.faults.prober import FlowOutage, ProbeSample, RoutePulse
+from repro.policy.flows import FlowSpec
+from repro.protocols.lshbh import LinkStateHopByHopProtocol
+from tests.helpers import mk_graph, open_db
+
+
+def ring4():
+    return mk_graph(
+        [(0, "Rt"), (1, "Rt"), (2, "Rt"), (3, "Rt")],
+        [(0, 1), (1, 2), (2, 3), (0, 3)],
+    )
+
+
+def converged_proto():
+    g = ring4()
+    proto = LinkStateHopByHopProtocol(g, open_db(g))
+    proto.converge()
+    return proto
+
+
+class TestClassification:
+    def test_converged_flow_is_ok(self):
+        proto = converged_proto()
+        pulse = RoutePulse(proto, [FlowSpec(0, 2)])
+        assert pulse._classify(FlowSpec(0, 2)) == "ok"
+
+    def test_crashed_endpoint_is_blackhole(self):
+        proto = converged_proto()
+        proto.crash_node(2, retain_state=True)
+        pulse = RoutePulse(proto, [])
+        assert pulse._classify(FlowSpec(0, 2)) == "blackhole"
+        assert pulse._classify(FlowSpec(2, 0)) == "blackhole"
+
+    def test_unroutable_flow_is_blackhole(self):
+        from repro.policy.database import PolicyDatabase
+
+        g = ring4()
+        proto = LinkStateHopByHopProtocol(g, PolicyDatabase())
+        proto.converge()
+        # No AD offers transit: multi-hop flows have no legal route.
+        pulse = RoutePulse(proto, [])
+        assert pulse._classify(FlowSpec(0, 2)) == "blackhole"
+
+    def test_stale_route_detected(self):
+        proto = converged_proto()
+        pulse = RoutePulse(proto, [])
+        # Ground truth changes behind the protocol's back: the believed
+        # route (0, 1, 2) now crosses a dead link.
+        proto.graph.set_link_status(1, 2, False)
+        assert pulse._classify(FlowSpec(0, 2)) == "stale"
+
+    def test_crashed_transit_makes_route_stale(self):
+        proto = converged_proto()
+        pulse = RoutePulse(proto, [])
+        # Silence AD 1 without tearing its links down: the protocol still
+        # believes in (0, 1, 2) but the hop is dead.
+        proto.network.crash_node(1)
+        assert pulse._classify(FlowSpec(0, 2)) == "stale"
+
+
+class TestRun:
+    def test_samples_taken_every_interval(self):
+        proto = converged_proto()
+        flows = [FlowSpec(0, 2), FlowSpec(1, 3)]
+        pulse = RoutePulse(proto, flows, interval=10.0)
+        t0 = proto.network.sim.now
+        assert pulse.run(t0 + 50.0)
+        assert len(pulse.samples) == 5 * len(flows)
+        assert all(s.ok for s in pulse.samples)
+        assert proto.network.sim.now == t0 + 50.0
+
+    def test_probes_see_mid_churn_state(self):
+        proto = converged_proto()
+        pulse = RoutePulse(proto, [FlowSpec(0, 2)], interval=10.0)
+        # Fail (0, 1) mid-window; the ring reroutes via 3 after repair.
+        proto.network.sim.schedule(
+            15.0, proto.apply_link_status, 0, 1, False
+        )
+        t0 = proto.network.sim.now
+        assert pulse.run(t0 + 50.0)
+        assert pulse.samples[0].ok  # before the failure
+        assert all(s.ok for s in pulse.samples[2:])  # rerouted via AD 3
+
+    def test_interval_must_be_positive(self):
+        proto = converged_proto()
+        with pytest.raises(ValueError):
+            RoutePulse(proto, [], interval=0.0)
+
+    def test_event_budget_reported(self):
+        proto = converged_proto()
+        # Make the control plane busy, then run with a 1-event budget.
+        proto.network.sim.schedule(
+            5.0, proto.apply_link_status, 0, 1, False
+        )
+        pulse = RoutePulse(proto, [FlowSpec(0, 2)], interval=10.0)
+        assert pulse.run(proto.network.sim.now + 50.0, max_events=1) is False
+
+
+class _StubPulse(RoutePulse):
+    """A pulse with hand-authored samples (analysis-only tests)."""
+
+    def __init__(self, samples):
+        self.protocol = None
+        self.flows = [FlowSpec(0, 1)]
+        self.interval = 10.0
+        self.samples = list(samples)
+        self.events_processed = 0
+
+
+class TestOutageAnalysis:
+    def test_outage_segmentation(self):
+        pulse = _StubPulse(
+            [
+                ProbeSample(0.0, 0, "ok"),
+                ProbeSample(10.0, 0, "stale"),
+                ProbeSample(20.0, 0, "blackhole"),
+                ProbeSample(30.0, 0, "ok"),
+                ProbeSample(40.0, 0, "loop"),
+            ]
+        )
+        outages = pulse.outages()
+        assert outages == [
+            FlowOutage(0, 10.0, 30.0, 2),
+            FlowOutage(0, 40.0, None, 1),
+        ]
+        assert outages[0].repaired and outages[0].duration == 20.0
+        assert not outages[1].repaired and outages[1].duration is None
+
+    def test_outages_are_per_flow(self):
+        pulse = _StubPulse(
+            [
+                ProbeSample(0.0, 0, "stale"),
+                ProbeSample(0.0, 1, "ok"),
+                ProbeSample(10.0, 0, "ok"),
+                ProbeSample(10.0, 1, "stale"),
+            ]
+        )
+        outages = pulse.outages()
+        assert [(o.flow_index, o.repaired) for o in outages] == [
+            (0, True),
+            (1, False),
+        ]
+
+    def test_summary_rollup(self):
+        pulse = _StubPulse(
+            [
+                ProbeSample(0.0, 0, "ok"),
+                ProbeSample(10.0, 0, "stale"),
+                ProbeSample(20.0, 0, "ok"),
+                ProbeSample(30.0, 0, "ok"),
+            ]
+        )
+        summary = pulse.summary()
+        assert summary["samples"] == 4
+        assert summary["availability"] == 0.75
+        assert summary["counts"]["stale"] == 1
+        assert summary["outages"] == 1
+        assert summary["outages_repaired"] == 1
+        assert summary["outages_unrepaired"] == 0
+        assert summary["mean_ttr"] == 10.0
+        assert summary["max_ttr"] == 10.0
+
+    def test_empty_summary(self):
+        summary = _StubPulse([]).summary()
+        assert summary["samples"] == 0
+        assert summary["availability"] == 1.0
+        assert summary["outages"] == 0

@@ -1,6 +1,5 @@
 """Tests for the data plane: enforcement, loops, blackholes."""
 
-import pytest
 
 from repro.forwarding.dataplane import DataPlaneReport, forward_flow, run_traffic
 from repro.policy.database import PolicyDatabase
@@ -9,7 +8,7 @@ from repro.policy.sets import ADSet
 from repro.policy.terms import PolicyTerm
 from repro.protocols.dv import DistanceVectorProtocol
 from repro.protocols.orwg import ORWGProtocol
-from tests.helpers import diamond_graph, line_graph, mk_graph, open_db
+from tests.helpers import diamond_graph, line_graph, open_db
 
 
 class TestForwardFlow:

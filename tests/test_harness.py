@@ -7,11 +7,11 @@ import pytest
 
 from repro.harness import (
     SCHEMA_VERSION,
-    Cell,
     EpisodeRecord,
     ExperimentSession,
     ExperimentSpec,
     FailureSpec,
+    FaultSpec,
     ProtocolSpec,
     RunRecord,
     ScenarioSpec,
@@ -77,6 +77,86 @@ class TestSpec:
     def test_custom_scenario_needs_topology(self):
         with pytest.raises(ValueError, match="topology"):
             ScenarioSpec(kind="custom").build()
+
+
+class TestFaultSpec:
+    def test_default_is_inert(self):
+        fault = FaultSpec()
+        assert not fault.impaired
+        assert not fault.churns
+        assert not fault.active
+        assert fault.display == "none"
+
+    def test_display_summarizes_parameters(self):
+        fault = FaultSpec(loss=0.05, flaps=2, crashes=1)
+        assert fault.display == "loss=0.05,flaps=2,crashes=1"
+        assert FaultSpec(loss=0.05, label="5% loss").display == "5% loss"
+
+    def test_impairment_mirrors_channel_fields(self):
+        fault = FaultSpec(loss=0.1, dup=0.01, jitter=2.0)
+        spec = fault.impairment()
+        assert spec.drop_prob == 0.1
+        assert spec.dup_prob == 0.01
+        assert spec.jitter == 2.0
+
+    def test_horizon_covers_the_timeline(self):
+        fault = FaultSpec(flaps=2, crashes=1, start_time=100, spacing=400)
+        assert fault.horizon == 100 + 3 * 400
+
+    def test_build_plan_orders_flaps_before_crashes(self):
+        from repro.faults.plan import LinkFault, NodeFault
+
+        graph = ScenarioSpec(kind="small", seed=3).build().graph
+        plan = FaultSpec(flaps=1, crashes=1).build_plan(graph)
+        kinds = [type(ev) for ev in plan]
+        assert kinds == [LinkFault, LinkFault, NodeFault, NodeFault]
+
+    def test_fault_axis_is_innermost(self):
+        spec = small_spec(
+            faults=(FaultSpec(), FaultSpec(loss=0.05)),
+        )
+        cells = spec.cells()
+        assert len(cells) == 2 * 1 * 2
+        assert cells[0].fault.display == "none"
+        assert cells[1].fault.display == "loss=0.05"
+        assert cells[0].protocol.name == cells[1].protocol.name
+
+    def test_cell_key_carries_fault(self):
+        spec = small_spec(faults=(FaultSpec(loss=0.2, label="lossy"),))
+        assert all(c.key()["fault"] == "lossy" for c in spec.cells())
+
+
+class TestRobustnessCell:
+    def test_timeline_episode_and_robustness_summary(self):
+        [cell] = small_spec(
+            protocols=(ProtocolSpec("ls-hbh"),),
+            failures=(FailureSpec(),),
+            faults=(FaultSpec(loss=0.02, flaps=1, seed=4, probe_flows=4),),
+        ).cells()
+        record = execute_cell(cell)
+        assert record.episodes[-1].kind == "timeline"
+        assert record.channel is not None
+        assert record.channel["transmissions"] > 0
+        rob = record.robustness
+        assert rob is not None
+        assert rob["samples"] > 0
+        assert 0.0 <= rob["availability"] <= 1.0
+        assert set(rob["counts"]) == {"ok", "stale", "loop", "blackhole"}
+
+    def test_inert_fault_leaves_record_byte_identical(self):
+        base = small_spec(
+            protocols=(ProtocolSpec("ls-hbh"),),
+            failures=(FailureSpec(),),
+        )
+        explicit = small_spec(
+            protocols=(ProtocolSpec("ls-hbh"),),
+            failures=(FailureSpec(),),
+            faults=(FaultSpec(),),
+        )
+        [a] = (execute_cell(c) for c in base.cells())
+        [b] = (execute_cell(c) for c in explicit.cells())
+        assert a.comparable() == b.comparable()
+        assert a.channel is None and a.robustness is None
 
 
 class TestExecuteCell:

@@ -7,8 +7,7 @@ import pytest
 from repro.adgraph.failures import random_failure_plan
 from repro.adgraph.generator import TopologyConfig, generate_internet
 from repro.core.evaluation import evaluate_availability, sample_flows
-from repro.policy.generators import hierarchical_policies, restricted_policies
-from repro.protocols.base import ForwardingMode
+from repro.policy.generators import restricted_policies
 from repro.protocols.dv import DistanceVectorProtocol
 from repro.protocols.ecma import ECMAProtocol
 from repro.protocols.egp import EGPProtocol
@@ -22,7 +21,6 @@ from repro.protocols.variants import (
     LSHbHTopologyProtocol,
     LSSourceTopologyProtocol,
 )
-from repro.simul.runner import run_with_failures
 
 ALL_PROTOCOLS = [
     DistanceVectorProtocol,

@@ -3,13 +3,13 @@
 import pytest
 
 from repro.mgmt.audit import connectivity_audit
-from repro.mgmt.impact import ImpactReport, PolicyChange, PolicyImpactAnalyzer
+from repro.mgmt.impact import PolicyChange, PolicyImpactAnalyzer
 from repro.policy.database import PolicyDatabase
 from repro.policy.flows import FlowSpec
 from repro.policy.generators import hierarchical_policies, restricted_policies
 from repro.policy.sets import ADSet
 from repro.policy.terms import PolicyTerm
-from tests.helpers import diamond_graph, line_graph, open_db, small_hierarchy
+from tests.helpers import diamond_graph, line_graph, open_db
 
 
 class TestPolicyChange:

@@ -8,7 +8,7 @@ from repro.policy.database import PolicyDatabase
 from repro.policy.flows import FlowSpec
 from repro.policy.terms import PolicyTerm
 from repro.workloads.traffic import TrafficMatrix
-from tests.helpers import line_graph, open_db
+from tests.helpers import line_graph
 
 
 class TestNegotiation:

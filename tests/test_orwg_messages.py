@@ -1,6 +1,5 @@
 """Tests for ORWG message wire-size models and the flooding message sizes."""
 
-import pytest
 
 from repro.policy.flows import FlowSpec
 from repro.policy.terms import PolicyTerm, TermRef

@@ -14,7 +14,6 @@ from repro.policy.generators import (
     source_class_of,
     source_class_policies,
 )
-from tests.helpers import small_hierarchy
 
 
 @pytest.fixture

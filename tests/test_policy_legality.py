@@ -12,7 +12,7 @@ from repro.policy.legality import (
 )
 from repro.policy.sets import ADSet
 from repro.policy.terms import PolicyTerm
-from tests.helpers import diamond_graph, line_graph, open_db
+from tests.helpers import line_graph, open_db
 
 
 @pytest.fixture

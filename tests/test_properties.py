@@ -12,16 +12,13 @@ checked with hypothesis over random topologies, policies and flows:
   propagation relies on.
 """
 
-import random
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.adgraph.generator import TopologyConfig, generate_internet
 from repro.core.evaluation import legal_route_exists, sample_flows
 from repro.core.hierarchical import HierarchicalSynthesizer
-from repro.policy.flows import FlowSpec
 from repro.policy.generators import restricted_policies, source_class_policies
 from repro.policy.legality import is_legal_path
 from repro.policy.sets import ADSet

@@ -1,11 +1,10 @@
 """Tests for the naive distance-vector baseline."""
 
-import pytest
 
 from repro.policy.database import PolicyDatabase
 from repro.policy.flows import FlowSpec
-from repro.protocols.dv import DistanceVectorProtocol, DVNode
-from tests.helpers import line_graph, mk_graph, open_db
+from repro.protocols.dv import DistanceVectorProtocol
+from tests.helpers import line_graph, mk_graph
 
 
 def ring(n):

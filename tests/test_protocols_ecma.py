@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.adgraph.partial_order import PartialOrder
 from repro.policy.database import PolicyDatabase
 from repro.policy.flows import FlowSpec
 from repro.policy.generators import hierarchical_policies
@@ -10,7 +9,7 @@ from repro.policy.qos import QOS
 from repro.policy.terms import PolicyTerm
 from repro.protocols.dv import DistanceVectorProtocol
 from repro.protocols.ecma import ECMAProtocol, supported_qos_classes
-from tests.helpers import mk_graph, open_db, small_hierarchy
+from tests.helpers import mk_graph, open_db
 
 
 @pytest.fixture

@@ -6,7 +6,7 @@ from repro.adgraph.ad import LinkKind
 from repro.policy.database import PolicyDatabase
 from repro.policy.flows import FlowSpec
 from repro.protocols.egp import EGPProtocol, TopologyViolationError, _spanning_tree
-from tests.helpers import line_graph, mk_graph, small_hierarchy
+from tests.helpers import line_graph
 
 
 class TestTreeRestriction:

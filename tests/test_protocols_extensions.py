@@ -14,7 +14,7 @@ from repro.protocols.idrp import IDRPProtocol
 from repro.protocols.orwg import ORWGProtocol
 from repro.protocols.orwg.gateway import PolicyGatewayCache
 from repro.protocols.orwg.messages import Handle
-from tests.helpers import line_graph, mk_graph, open_db, small_hierarchy
+from tests.helpers import line_graph, mk_graph, open_db
 
 
 class TestSpanningTreeLinks:

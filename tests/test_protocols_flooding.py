@@ -1,13 +1,11 @@
 """Tests for the link-state flooding substrate."""
 
-import pytest
 
 from repro.policy.database import PolicyDatabase
-from repro.policy.flows import FlowSpec
 from repro.policy.terms import PolicyTerm
 from repro.protocols.flooding import LSNode
 from repro.simul.network import SimNetwork
-from tests.helpers import line_graph, mk_graph, open_db, small_hierarchy
+from tests.helpers import line_graph, mk_graph, open_db
 
 
 def build_ls_network(graph, policies=None, include_terms=True):

@@ -1,10 +1,9 @@
 """Tests for IDRP / BGP-2 (path vector + policy attributes)."""
 
-import pytest
 
 from repro.policy.database import PolicyDatabase
 from repro.policy.flows import FlowSpec
-from repro.policy.generators import hierarchical_policies, source_class_policies
+from repro.policy.generators import source_class_policies
 from repro.policy.legality import is_legal_path
 from repro.policy.sets import ADSet
 from repro.policy.terms import PolicyTerm

@@ -1,6 +1,5 @@
 """Tests for the LS / hop-by-hop / policy-terms design point."""
 
-import pytest
 
 from repro.core.evaluation import evaluate_availability, sample_flows
 from repro.policy.database import PolicyDatabase
@@ -9,7 +8,7 @@ from repro.policy.generators import source_class_policies
 from repro.policy.sets import ADSet
 from repro.policy.terms import PolicyTerm
 from repro.protocols.lshbh import LinkStateHopByHopProtocol
-from tests.helpers import diamond_graph, mk_graph, open_db
+from tests.helpers import mk_graph, open_db
 
 
 class TestRouting:

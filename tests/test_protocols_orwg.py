@@ -9,8 +9,8 @@ from repro.policy.selection import RouteSelectionPolicy
 from repro.policy.sets import ADSet
 from repro.policy.terms import PolicyTerm
 from repro.protocols.orwg import ORWGProtocol
-from repro.protocols.orwg.messages import DataPacket, SetupPacket
-from tests.helpers import diamond_graph, line_graph, mk_graph, open_db
+from repro.protocols.orwg.messages import DataPacket
+from tests.helpers import line_graph, open_db
 
 
 @pytest.fixture

@@ -1,12 +1,11 @@
 """Tests for the plain link-state SPF baseline."""
 
-import pytest
 
 from repro.policy.database import PolicyDatabase
 from repro.policy.flows import FlowSpec
 from repro.policy.qos import QOS
 from repro.protocols.spf import PlainLinkStateProtocol, spf_next_hops
-from tests.helpers import diamond_graph, line_graph, mk_graph
+from tests.helpers import line_graph
 
 
 class TestSpfNextHops:

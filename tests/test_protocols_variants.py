@@ -3,8 +3,7 @@
 import pytest
 
 from repro.adgraph.partial_order import PartialOrder
-from repro.core.evaluation import evaluate_availability, sample_flows
-from repro.policy.database import PolicyDatabase
+from repro.core.evaluation import sample_flows
 from repro.policy.flows import FlowSpec
 from repro.policy.generators import hierarchical_policies
 from repro.policy.selection import RouteSelectionPolicy
@@ -15,7 +14,6 @@ from repro.protocols.variants import (
     LSSourceTopologyProtocol,
     valley_free_shortest_path,
 )
-from tests.helpers import open_db, small_hierarchy
 
 
 class TestValleyFreeDijkstra:

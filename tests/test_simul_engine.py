@@ -115,3 +115,65 @@ class TestRun:
             sim.schedule(1.0, lambda: None)
         assert sim.run() == 5
         assert sim.events_processed == 5
+
+
+class TestCancellationSemantics:
+    """Pin the budget/cancellation contract: cancelled events are popped
+    and skipped without counting toward any budget or counter."""
+
+    def test_cancelled_events_do_not_count_toward_budget(self):
+        sim = Simulator()
+        log = []
+        for _ in range(10):
+            sim.schedule(1.0, log.append, "dead").cancel()
+        sim.schedule(2.0, log.append, "live")
+        # Budget of one: the ten cancelled events ahead of the live one
+        # must be skipped for free, not starve it.
+        processed = sim.run(max_events=1)
+        assert log == ["live"]
+        assert processed == 1
+        assert sim.events_processed == 1
+        assert not sim.hit_event_limit
+
+    def test_trailing_cancelled_events_do_not_trip_the_limit(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, log.append, "a")
+        for _ in range(5):
+            sim.schedule(2.0, lambda: None).cancel()
+        # The budget is exactly consumed by the live event; the cancelled
+        # tail drains without raising or setting hit_event_limit.
+        processed = sim.run(max_events=1)
+        assert log == ["a"]
+        assert processed == 1
+        assert not sim.hit_event_limit
+        assert sim.pending == 0
+
+    def test_live_event_beyond_budget_sets_limit(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run(max_events=1, raise_on_limit=False)
+        assert sim.hit_event_limit
+        assert sim.pending == 1  # the over-budget event is still queued
+
+    def test_pending_includes_cancelled(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        assert sim.pending == 1
+        sim.run()
+        assert sim.pending == 0
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_cancelled_events_still_advance_the_clock(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None).cancel()
+        sim.run()
+        assert sim.now == 5.0
