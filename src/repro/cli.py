@@ -222,10 +222,11 @@ def cmd_experiments_run(args: argparse.Namespace) -> int:
 
     from repro.harness import EXPERIMENTS, run_experiment
 
-    if args.name == "all":
+    name = args.name.replace("-", "_")
+    if name == "all":
         names = sorted(EXPERIMENTS, key=lambda n: EXPERIMENTS[n].eid)
-    elif args.name in EXPERIMENTS:
-        names = [args.name]
+    elif name in EXPERIMENTS:
+        names = [name]
     else:
         print(
             f"error: unknown experiment {args.name!r}; harness-driven "
@@ -242,6 +243,8 @@ def cmd_experiments_run(args: argparse.Namespace) -> int:
             trace=args.trace,
             seed=args.exp_seed,
             loss=args.loss,
+            liar=args.liar,
+            lie=args.lie,
         )
         print(text)
         jsonl = os.path.join(args.runs_dir, f"{spec.name}.jsonl")
@@ -278,6 +281,8 @@ def cmd_experiments(args: argparse.Namespace) -> int:
          "bench_synthesis_strategies.py"),
         ("E11", "Robustness under message loss and churn",
          "bench_robustness.py"),
+        ("E12", "Misbehaving-AD blast radius and containment",
+         "bench_robustness_misbehavior.py"),
         ("A1-A4", "Ablations: fast path, flooding scope, PG caches, "
          "multi-route IDRP", "bench_ablations.py"),
     ]
@@ -380,6 +385,13 @@ def build_parser() -> argparse.ArgumentParser:
     ep.add_argument("--loss", type=float, default=None,
                     help="override message-loss probability on the fault "
                          "axis (robustness sweeps)")
+    ep.add_argument("--liar", default=None, metavar="WHO",
+                    help="override the misbehaving AD: 'ad=<id>' or a "
+                         "role (stub, regional, backbone)")
+    ep.add_argument("--lie", default=None, metavar="KIND",
+                    help="override the lie told on the misbehavior axis "
+                         "(route-leak, bogus-origin, stale-replay, "
+                         "metric-lie, term-forgery)")
     ep.set_defaults(fn=cmd_experiments_run)
 
     return parser

@@ -14,8 +14,12 @@ measurable sweeps (experiment E11):
   ``FailurePlan`` with AD crash/restart events and scheduled impairment
   changes, plus seeded generators;
 * :mod:`repro.faults.prober` -- :class:`RoutePulse`, a data-plane
-  reachability sampler producing blackhole-time, loop-count, and
-  time-to-repair distributions.
+  reachability sampler producing blackhole-time, loop-count, hijack, and
+  time-to-repair distributions;
+* :mod:`repro.faults.misbehavior` -- :class:`MisbehaviorPlan`, the
+  Byzantine axis (experiment E12): scheduled lies (route leaks, bogus
+  origins, stale replays, metric lying, policy-term forgery) told by a
+  single misbehaving AD, with seeded role-based liar selection.
 
 Everything is seeded: the same plan on the same scenario replays the
 same impairment decisions message for message, so E11's tables are as
@@ -39,10 +43,22 @@ from repro.faults.plan import (
     lossy_period_plan,
     merge_plans,
 )
+from repro.faults.misbehavior import (
+    LIES,
+    ROLES,
+    MisbehaviorPlan,
+    MisbehaviorStart,
+    MisbehaviorStop,
+    liar_by_role,
+    misbehavior_plan,
+    pick_victim_stub,
+)
 from repro.faults.prober import FlowOutage, ProbeSample, RoutePulse
 
 __all__ = [
+    "LIES",
     "PERFECT",
+    "ROLES",
     "ChannelModel",
     "FaultPlan",
     "FlowOutage",
@@ -50,12 +66,18 @@ __all__ = [
     "Impairment",
     "ImpairmentChange",
     "LinkFault",
+    "MisbehaviorPlan",
+    "MisbehaviorStart",
+    "MisbehaviorStop",
     "NodeFault",
     "ProbeSample",
     "RoutePulse",
     "ad_crash_plan",
     "crash_candidates",
+    "liar_by_role",
     "link_flap_plan",
     "lossy_period_plan",
     "merge_plans",
+    "misbehavior_plan",
+    "pick_victim_stub",
 ]

@@ -1,0 +1,189 @@
+"""Misbehaving-AD injection: turn one AD into a liar on a schedule.
+
+Benign faults (:mod:`repro.faults.plan`) stress the substrate; this
+module injects the adversarial half of the paper's robustness story --
+the route leaks and bogus advertisements that motivated policy-aware
+interdomain designs in the first place.  A :class:`MisbehaviorPlan` is a
+time-ordered sequence of :class:`MisbehaviorStart`/:class:`MisbehaviorStop`
+events with the same shape as :class:`~repro.faults.plan.FaultPlan`
+(relative times, ``__iter__``/``__len__``/``horizon``), so the existing
+``schedule_fault_plan`` path in the protocol driver schedules it
+unchanged.
+
+The lie vocabulary (:data:`LIES`) spans the protocol families:
+
+* ``route-leak``   -- offer transit beyond the AD's configured policy.
+  For path-vector protocols this is re-advertising learned routes past
+  the export scope; for the LS+PT designs it is flooding a forged
+  ultra-permissive policy term of one's own (advertising transit the
+  registry never authorized) -- the same violation expressed in each
+  protocol's native currency.
+* ``bogus-origin`` -- claim a stub the liar does not own (a fabricated
+  adjacency/origination that attracts the victim's traffic).
+* ``stale-replay`` -- re-flood obsolete state under inflated sequence
+  numbers so fresh honest updates are rejected as old.
+* ``metric-lie``   -- advertise impossibly low costs to attract transit.
+* ``term-forgery`` -- flood policy terms owned by *another* AD
+  (PT-carrying protocols only).
+
+Not every lie is expressible in every family (DV has no terms to forge);
+``ProtocolNode.misbehave`` returns whether the lie applied, and the
+driver records the outcome instead of failing the run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from repro.adgraph.ad import ADId, Level
+from repro.adgraph.graph import InterADGraph
+
+#: The lie vocabulary, in canonical order.
+LIES: Tuple[str, ...] = (
+    "route-leak",
+    "bogus-origin",
+    "stale-replay",
+    "metric-lie",
+    "term-forgery",
+)
+
+#: Liar-role names accepted by :func:`liar_by_role`.
+ROLES: Tuple[str, ...] = ("stub", "regional", "backbone")
+
+
+@dataclass(frozen=True)
+class MisbehaviorStart:
+    """AD ``ad`` begins telling lie ``lie``, ``time`` after scheduling.
+
+    ``target`` is the victim AD for lies that need one (bogus-origin
+    claims this stub); ``None`` lets the liar pick a deterministic
+    victim from its own vantage point.
+    """
+
+    time: float
+    ad: ADId
+    lie: str
+    target: Optional[ADId] = None
+
+
+@dataclass(frozen=True)
+class MisbehaviorStop:
+    """AD ``ad`` reverts to honest behaviour (stops originating lies).
+
+    Already-flooded lies are *not* withdrawn -- containment of the
+    residue is exactly what the validation layer is measured on.
+    """
+
+    time: float
+    ad: ADId
+
+
+MisbehaviorEvent = Union[MisbehaviorStart, MisbehaviorStop]
+
+
+@dataclass(frozen=True)
+class MisbehaviorPlan:
+    """A time-ordered sequence of misbehavior events."""
+
+    events: Tuple[MisbehaviorEvent, ...]
+
+    def __post_init__(self) -> None:
+        times = [e.time for e in self.events]
+        if times != sorted(times):
+            raise ValueError("misbehavior events must be time-ordered")
+        for ev in self.events:
+            if isinstance(ev, MisbehaviorStart) and ev.lie not in LIES:
+                raise ValueError(
+                    f"unknown lie {ev.lie!r}; choose from {LIES}"
+                )
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def horizon(self) -> float:
+        """Time of the last event (0 for an empty plan)."""
+        return self.events[-1].time if self.events else 0.0
+
+
+def liar_by_role(graph: InterADGraph, role: str, seed: int = 0) -> ADId:
+    """Pick the liar for a role, deterministically.
+
+    Candidates are ordered by descending live degree (a well-connected
+    liar is the interesting adversary), ties broken by AD id; ``seed``
+    rotates through that order so seed sweeps vary the liar without
+    losing determinism.  Raises loudly when the topology has no AD of
+    the requested role rather than silently substituting one.
+    """
+    if role == "backbone":
+        candidates = graph.ads_by_level(Level.BACKBONE)
+    elif role == "regional":
+        candidates = graph.ads_by_level(Level.REGIONAL)
+    elif role == "stub":
+        candidates = graph.stub_ads()
+    else:
+        raise ValueError(f"unknown liar role {role!r}; choose from {ROLES}")
+    if not candidates:
+        raise ValueError(f"topology has no {role} AD to turn into a liar")
+    ordered = sorted(
+        candidates, key=lambda ad: (-graph.degree(ad.ad_id), ad.ad_id)
+    )
+    return ordered[seed % len(ordered)].ad_id
+
+
+def pick_victim_stub(
+    graph: InterADGraph, liar: ADId, seed: int = 0
+) -> ADId:
+    """A stub the liar does *not* own and is not adjacent to.
+
+    Non-adjacency matters: a bogus-origin claim about a directly
+    attached stub would be indistinguishable from legitimate
+    origination, so it would neither mislead nor be detectable.
+    """
+    rng = random.Random(seed)
+    stubs = [
+        ad.ad_id
+        for ad in graph.stub_ads()
+        if ad.ad_id != liar and not graph.has_link(liar, ad.ad_id)
+    ]
+    if not stubs:
+        raise ValueError(f"no non-adjacent stub victim for liar AD {liar}")
+    return stubs[rng.randrange(len(stubs))]
+
+
+def misbehavior_plan(
+    graph: InterADGraph,
+    lie: str,
+    liar: Optional[ADId] = None,
+    role: str = "backbone",
+    start_time: float = 150.0,
+    duration: float = 0.0,
+    seed: int = 0,
+) -> MisbehaviorPlan:
+    """Build a one-liar plan: start at ``start_time``, optionally stop.
+
+    ``liar`` overrides the role-based pick; ``duration=0`` means the AD
+    lies until the end of the run (the steady-state regime E12
+    measures).  Victim selection for ``bogus-origin`` is seeded here so
+    the plan is self-contained and picklable.
+    """
+    if lie not in LIES:
+        raise ValueError(f"unknown lie {lie!r}; choose from {LIES}")
+    if liar is None:
+        liar = liar_by_role(graph, role, seed=seed)
+    elif not graph.has_ad(liar):
+        raise ValueError(f"liar AD {liar} is not in the topology")
+    target: Optional[ADId] = None
+    if lie == "bogus-origin":
+        target = pick_victim_stub(graph, liar, seed=seed)
+    events: List[MisbehaviorEvent] = [
+        MisbehaviorStart(start_time, liar, lie, target)
+    ]
+    if duration > 0:
+        events.append(MisbehaviorStop(start_time + duration, liar))
+    return MisbehaviorPlan(tuple(events))

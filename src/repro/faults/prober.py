@@ -13,7 +13,20 @@ a packet take right now?" and classifies the answer:
 * ``blackhole`` -- no route at all (or an endpoint is crashed);
 * ``stale`` -- the protocol still answers with a route the physical
   internet can no longer carry (a down link or crashed transit AD),
-  which is a blackhole wearing a route's clothes.
+  which is a blackhole wearing a route's clothes;
+* ``hijacked`` -- the forwarded path transits a poison suspect (a liar,
+  or the victim a lie impersonated) that the flow's own pre-lie
+  reference route did not.  The reference is the *protocol's* converged
+  answer, not synthesized ground truth: design points legitimately
+  differ in which routes they find (that is Table 1), and a flow that
+  always routed through the future liar is not hijacked just because
+  the liar later started lying to someone else.
+
+A flow whose *source* AD is crashed is not sampled at all: there is no
+vantage point to probe from, and counting it as an outage would charge
+the routing protocol for a failure it cannot observe, let alone repair.
+A crashed destination stays ``blackhole`` (the network genuinely cannot
+deliver, and the protocol is expected to learn that).
 
 From the per-flow sample streams it derives outage episodes and
 time-to-repair distributions; :meth:`RoutePulse.summary` flattens them
@@ -28,7 +41,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.policy.flows import FlowSpec
 
 #: Sample statuses, worst first (everything but "ok" counts as bad).
-STATUSES = ("ok", "stale", "loop", "blackhole")
+STATUSES = ("ok", "stale", "loop", "blackhole", "hijacked")
 
 
 @dataclass(frozen=True)
@@ -75,20 +88,30 @@ class RoutePulse:
         protocol,
         flows: Sequence[FlowSpec],
         interval: float = 50.0,
+        reference_routes: Optional[
+            Dict[FlowSpec, Optional[Tuple[int, ...]]]
+        ] = None,
     ) -> None:
         if interval <= 0:
             raise ValueError("probe interval must be positive")
         self.protocol = protocol
         self.flows = list(flows)
         self.interval = interval
+        #: Pre-lie reference for the hijack verdict: the route the
+        #: protocol itself answered for each flow before misbehavior was
+        #: scheduled (None value = the flow had no route then; absent /
+        #: None mapping = hijack detection off).
+        self.reference_routes = reference_routes
         self.samples: List[ProbeSample] = []
         self.events_processed = 0
 
     # ------------------------------------------------------------- sampling
 
-    def _classify(self, flow: FlowSpec) -> str:
+    def _classify(self, flow: FlowSpec) -> Optional[str]:
         network = self.protocol.network
-        if network.is_crashed(flow.src) or network.is_crashed(flow.dst):
+        if network.is_crashed(flow.src):
+            return None  # no vantage point: not a routing outcome at all
+        if network.is_crashed(flow.dst):
             return "blackhole"
         loops_before = self.protocol.forwarding_loops
         path = self.protocol.find_route(flow)
@@ -96,6 +119,8 @@ class RoutePulse:
             if self.protocol.forwarding_loops > loops_before:
                 return "loop"
             return "blackhole"
+        if self._hijacked(flow, path):
+            return "hijacked"
         # The protocol has a route; check the physical internet can carry
         # it (ground truth may disagree with a stale believed topology).
         graph = self.protocol.graph
@@ -107,10 +132,27 @@ class RoutePulse:
                 return "stale"
         return "ok"
 
+    def _hijacked(self, flow: FlowSpec, path: Tuple[int, ...]) -> bool:
+        """Does the forwarded path transit a poison suspect that the
+        flow's pre-lie reference route did not?"""
+        if self.reference_routes is None:
+            return False
+        suspect_fn = getattr(self.protocol, "poison_suspects", None)
+        if suspect_fn is None:
+            return False
+        suspects = suspect_fn()
+        if not suspects:
+            return False
+        reference = self.reference_routes.get(flow)
+        tainted = set(reference[1:-1]) if reference else set()
+        return any(h in suspects and h not in tainted for h in path[1:-1])
+
     def _sample_once(self) -> None:
         now = self.protocol.network.sim.now
         for i, flow in enumerate(self.flows):
-            self.samples.append(ProbeSample(now, i, self._classify(flow)))
+            status = self._classify(flow)
+            if status is not None:
+                self.samples.append(ProbeSample(now, i, status))
 
     def run(self, until: float, max_events: int = 5_000_000) -> bool:
         """Advance the simulation to ``until``, probing every interval.
@@ -158,6 +200,33 @@ class RoutePulse:
             if start is not None:
                 out.append(FlowOutage(flow_index, start, None, count))
         return out
+
+    def blast_series(self, start_time: float) -> List[Tuple[float, int]]:
+        """Per-round count of flows a lie impacted, from ``start_time`` on.
+
+        A flow counts as impacted in a round when it samples ``hijacked``,
+        or when it samples any other bad status despite having been ``ok``
+        at its last pre-``start_time`` sample (so structural outages --
+        flows that never had a legal route -- do not inflate the blast
+        radius).
+        """
+        baseline: Dict[int, str] = {}
+        rounds: Dict[float, List[ProbeSample]] = {}
+        for sample in self.samples:
+            if sample.time < start_time:
+                baseline[sample.flow_index] = sample.status
+            else:
+                rounds.setdefault(sample.time, []).append(sample)
+        series: List[Tuple[float, int]] = []
+        for time in sorted(rounds):
+            blast = 0
+            for sample in rounds[time]:
+                if sample.status == "hijacked":
+                    blast += 1
+                elif not sample.ok and baseline.get(sample.flow_index, "ok") == "ok":
+                    blast += 1
+            series.append((time, blast))
+        return series
 
     def summary(self) -> Dict[str, object]:
         """JSON-friendly rollup for ``RunRecord.robustness``."""

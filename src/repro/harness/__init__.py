@@ -9,8 +9,8 @@ The harness is the single way experiments run in this repo:
 * :mod:`repro.harness.session` -- the executor (serial or
   multiprocessing fan-out with a deterministic merge);
 * :mod:`repro.harness.experiments` -- the named experiments (E1, E3,
-  E4, E7, E11) the benches and the ``python -m repro experiments`` CLI
-  share.
+  E4, E7, E11, E12) the benches and the ``python -m repro experiments``
+  CLI share.
 """
 
 from repro.harness.experiments import EXPERIMENTS, Experiment, run_experiment
@@ -27,6 +27,7 @@ from repro.harness.spec import (
     ExperimentSpec,
     FailureSpec,
     FaultSpec,
+    MisbehaviorSpec,
     ProtocolSpec,
     ScenarioSpec,
 )
@@ -40,6 +41,7 @@ __all__ = [
     "ExperimentSpec",
     "FailureSpec",
     "FaultSpec",
+    "MisbehaviorSpec",
     "ProtocolSpec",
     "RunRecord",
     "SCHEMA_VERSION",

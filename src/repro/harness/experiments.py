@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.tables import Table
 from repro.harness.record import RunRecord
@@ -27,6 +27,7 @@ from repro.harness.spec import (
     ExperimentSpec,
     FailureSpec,
     FaultSpec,
+    MisbehaviorSpec,
     ProtocolSpec,
     ScenarioSpec,
 )
@@ -372,6 +373,127 @@ def _render_robustness(spec: ExperimentSpec, records: Sequence[RunRecord]) -> st
 
 
 # --------------------------------------------------------------------------
+# E12 -- Misbehaving-AD blast radius and containment
+# (bench_robustness_misbehavior)
+
+#: The factored lie grid: the role axis is swept for the canonical route
+#: leak; every other lie is told by the backbone (the worst-placed liar).
+#: A full roles x lies cross would quadruple the grid for rows that only
+#: repeat the role effect the leak sweep already shows.
+MISBEHAVIOR_LIE_SWEEP: Tuple[str, ...] = (
+    "bogus-origin",
+    "stale-replay",
+    "metric-lie",
+    "term-forgery",
+)
+
+
+def _misbehavior_points(smoke: bool) -> Tuple[MisbehaviorSpec, ...]:
+    baseline = MisbehaviorSpec(label="baseline")
+    leak_backbone = MisbehaviorSpec(lie="route-leak", liar_role="backbone")
+    if smoke:
+        return (baseline, leak_backbone)
+    points = [baseline]
+    for role in ("stub", "regional", "backbone"):
+        points.append(MisbehaviorSpec(lie="route-leak", liar_role=role))
+    for lie in MISBEHAVIOR_LIE_SWEEP:
+        points.append(MisbehaviorSpec(lie=lie, liar_role="backbone"))
+    return tuple(points)
+
+
+def _misbehavior_protocols(smoke: bool) -> Tuple[ProtocolSpec, ...]:
+    """Every design point, plain and validating (the containment pair)."""
+    names = ("ls-hbh", "orwg") if smoke else DESIGN_POINT_NAMES
+    out: List[ProtocolSpec] = []
+    for name in names:
+        out.append(ProtocolSpec(name))
+        out.append(
+            ProtocolSpec(
+                name, label=f"{name}+v", options=(("validation", "all"),)
+            )
+        )
+    return tuple(out)
+
+
+def _misbehavior_spec(smoke: bool) -> ExperimentSpec:
+    # Restrictiveness 0.5 gives the top-degree backbone a genuinely
+    # restrictive registered policy, so a route leak has something to
+    # leak: flows that legally detour (or are unroutable) divert through
+    # the liar once it forges an open term.
+    return ExperimentSpec(
+        name="robustness_misbehavior",
+        scenarios=(
+            ScenarioSpec(
+                kind="reference", seed=11, num_flows=24, restrictiveness=0.5
+            ),
+        ),
+        protocols=_misbehavior_protocols(smoke),
+        misbehaviors=_misbehavior_points(smoke),
+    )
+
+
+def _render_misbehavior(spec: ExperimentSpec, records: Sequence[RunRecord]) -> str:
+    num_ads = records[0].scenario["num_ads"]
+    table = Table(
+        "protocol",
+        "lie",
+        "liar",
+        "told",
+        "peak",
+        "steady",
+        "poisoned",
+        "contain",
+        "viol",
+        "quar",
+        "false-q",
+        title=(
+            "E12: single misbehaving AD -- blast radius and containment "
+            f"({num_ads} ADs; told = lie expressible at this design point; "
+            "peak/steady = probed flows hijacked or newly broken, at worst "
+            "and at end; poisoned = source ADs left holding a route through "
+            "the liar; contain = time from lie to a lasting zero blast; "
+            "'-' = no validation state, 'never' = blast outlasted the run)"
+        ),
+    )
+    n_mis = len(spec.misbehaviors)
+    for pi, protocol in enumerate(spec.protocols):
+        for mi, point in enumerate(spec.misbehaviors):
+            rec = records[pi * n_mis + mi]
+            block = rec.misbehavior
+            if block is None:
+                table.add(protocol.display, point.display, *["-"] * 9)
+                continue
+            counters = block["counters"]
+            if not point.active:
+                told, peak, steady, poisoned, contain = "-", "-", "-", "-", "-"
+            else:
+                told = "yes" if block["applied"] else "no"
+                peak, steady = block["peak_blast"], block["steady_blast"]
+                poisoned = block["ads_poisoned"]
+                latency = block["containment_latency"]
+                if not block["applied"]:
+                    contain = "-"
+                elif latency is None:
+                    contain = "never"
+                else:
+                    contain = f"{latency:.0f}"
+            table.add(
+                protocol.display,
+                point.display,
+                "-" if block["liar"] is None else block["liar"],
+                told,
+                peak,
+                steady,
+                poisoned,
+                contain,
+                counters["violations"],
+                counters["quarantines"],
+                counters["false_quarantines"],
+            )
+    return table.render()
+
+
+# --------------------------------------------------------------------------
 # Registry + one-call runner
 
 Renderer = Callable[[ExperimentSpec, Sequence[RunRecord]], str]
@@ -426,8 +548,31 @@ EXPERIMENTS: Dict[str, Experiment] = {
             build_spec=_robustness_spec,
             render=_render_robustness,
         ),
+        Experiment(
+            name="robustness_misbehavior",
+            eid="E12",
+            description="Misbehaving-AD blast radius and containment",
+            build_spec=_misbehavior_spec,
+            render=_render_misbehavior,
+        ),
     )
 }
+
+
+def _parse_liar(value: str) -> Dict[str, Any]:
+    """Parse a ``--liar`` override: a role name or ``ad=<id>``."""
+    from repro.faults.misbehavior import ROLES
+
+    if value.startswith("ad="):
+        try:
+            return {"liar_ad": int(value[3:]), "liar_role": "backbone"}
+        except ValueError:
+            pass
+    elif value in ROLES:
+        return {"liar_ad": -1, "liar_role": value}
+    raise ValueError(
+        f"bad liar {value!r} (expected 'ad=<id>' or one of {', '.join(ROLES)})"
+    )
 
 
 def run_experiment(
@@ -438,6 +583,8 @@ def run_experiment(
     trace: Optional[str] = None,
     seed: Optional[int] = None,
     loss: Optional[float] = None,
+    liar: Optional[str] = None,
+    lie: Optional[str] = None,
 ) -> Tuple[ExperimentSpec, List[RunRecord], str]:
     """Run a named experiment; returns (spec, records, rendered table).
 
@@ -446,7 +593,10 @@ def run_experiment(
     (determinism-checked) ones.  ``seed`` replaces the spec's seed axis
     with a single seed (re-seeding every scenario); ``loss`` overrides
     the message-loss probability of every fault axis point (duplicate
-    points after the override collapse, preserving order).
+    points after the override collapse, preserving order).  ``liar``
+    (``'ad=<id>'`` or a role name) and ``lie`` (a lie kind, applied to
+    the active misbehavior points only) override the misbehavior axis
+    the same way.
     """
     try:
         experiment = EXPERIMENTS[name]
@@ -469,5 +619,25 @@ def run_experiment(
             if fault not in overridden:
                 overridden.append(fault)
         spec = replace(spec, faults=tuple(overridden))
+    if liar is not None or lie is not None:
+        from repro.faults.misbehavior import LIES
+
+        if lie is not None and lie not in LIES:
+            raise ValueError(
+                f"bad lie {lie!r} (expected one of {', '.join(LIES)})"
+            )
+        liar_fields = {} if liar is None else _parse_liar(liar)
+        overridden = []
+        for point in spec.misbehaviors:
+            fields = dict(liar_fields)
+            # A lie override turns inert baseline points into liars too;
+            # a liar override alone leaves the baseline lie-free.
+            if lie is not None:
+                fields["lie"] = lie
+            if point.active or "lie" in fields:
+                point = replace(point, label=None, **fields)
+            if point not in overridden:
+                overridden.append(point)
+        spec = replace(spec, misbehaviors=tuple(overridden))
     records = ExperimentSession(spec, out_dir=runs_dir).run(jobs=jobs)
     return spec, records, experiment.render(spec, records)

@@ -23,7 +23,10 @@ from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 #: v2: added ``channel`` (impairment counters) and ``robustness``
 #: (RoutePulse summary) optional fields, plus ``fault`` in the cell key
 #: and ``"timeline"`` as an episode kind.
-SCHEMA_VERSION = 2
+#: v3: added the optional ``misbehavior`` block (liar identity, blast
+#: radius, containment latency, validation counters) and ``misbehavior``
+#: in the cell key; v2 lines load with both defaulted.
+SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -91,6 +94,9 @@ class RunRecord:
             burst_dropped, duplicated), when a channel was attached.
         robustness: RoutePulse summary (sample counts, availability,
             outage/time-to-repair stats), when the cell had a fault axis.
+        misbehavior: Misbehaving-AD block (liar, lie, whether the lie was
+            expressible, blast-radius series stats, containment latency,
+            validation counters), when the cell had a misbehavior axis.
         timings: Wall-clock phase seconds (``build``, ``converge``,
             ``engine.run``, ``failures``, ``evaluate``).  Never compare
             these for determinism -- they are honest wall-clock.
@@ -111,6 +117,7 @@ class RunRecord:
     route_quality: Optional[Mapping[str, Any]] = None
     channel: Optional[Mapping[str, int]] = None
     robustness: Optional[Mapping[str, Any]] = None
+    misbehavior: Optional[Mapping[str, Any]] = None
     timings: Mapping[str, float] = field(default_factory=dict)
     trace: Optional[Tuple[str, ...]] = None
 
@@ -144,6 +151,11 @@ class RunRecord:
     def from_json(cls, line: str) -> "RunRecord":
         data = json.loads(line)
         version = data.get("schema_version")
+        if version == 2:
+            # v2 -> v3: the misbehavior axis did not exist; default it.
+            data.setdefault("misbehavior", None)
+            data.setdefault("cell", {}).setdefault("misbehavior", "none")
+            version = SCHEMA_VERSION
         if version != SCHEMA_VERSION:
             raise ValueError(
                 f"RunRecord schema {version!r} unsupported "
@@ -177,6 +189,7 @@ class RunRecord:
             route_quality=data.get("route_quality"),
             channel=data.get("channel"),
             robustness=data.get("robustness"),
+            misbehavior=data.get("misbehavior"),
             timings=data.get("timings", {}),
             trace=tuple(trace) if trace is not None else None,
         )

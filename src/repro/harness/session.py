@@ -45,6 +45,60 @@ from repro.simul.trace import Tracer
 TRACE_LINE_LIMIT = 500
 
 
+def _misbehavior_block(cell, protocol, pulse, scenario, reference_routes, lie_start):
+    """The RunRecord ``misbehavior`` mapping: blast radius + containment."""
+    suspects = protocol.poison_suspects()
+    liar = None
+    for entry in protocol.misbehavior_log:
+        if entry["lie"] is not None:
+            liar = entry["ad"]
+            break
+    applied = any(
+        e["applied"] for e in protocol.misbehavior_log if e["lie"] is not None
+    )
+    series = pulse.blast_series(lie_start)
+    blasts = [b for _, b in series]
+    peak = max(blasts, default=0)
+    steady = blasts[-1] if blasts else 0
+    # Containment latency: time from the lie's start until the blast
+    # radius reaches zero *and stays there*; None if it never does.
+    containment = None
+    if blasts:
+        trailing_zeros = 0
+        for _, blast in reversed(series):
+            if blast > 0:
+                break
+            trailing_zeros += 1
+        if peak == 0:
+            containment = 0.0
+        elif trailing_zeros:
+            containment = series[len(series) - trailing_zeros][0] - lie_start
+    # Poisoned ADs: sources left holding a route through a suspect their
+    # pre-lie route (the protocol's own converged answer) did not use.
+    poisoned = set()
+    for flow in scenario.flows:
+        path = protocol.find_route(flow)
+        if path is None:
+            continue
+        reference = reference_routes.get(flow)
+        tainted = set(reference[1:-1]) if reference else set()
+        if any(h in suspects and h not in tainted for h in path[1:-1]):
+            poisoned.add(flow.src)
+    return {
+        "liar": liar,
+        "lie": cell.misbehavior.lie,
+        "applied": applied,
+        "suspects": sorted(suspects),
+        "ads_poisoned": len(poisoned),
+        "peak_blast": peak,
+        "steady_blast": steady,
+        "containment_latency": containment,
+        "blast_series": [[t, b] for t, b in series],
+        "validation": str(protocol.validation),
+        "counters": protocol.validation_summary(),
+    }
+
+
 def _parse_trace(trace: Optional[str]) -> Optional[Dict[str, Optional[int]]]:
     """Parse a ``--trace`` flag: ``"all"`` or ``"ad=<id>"``."""
     if trace is None:
@@ -106,26 +160,50 @@ def execute_cell(cell: Cell) -> RunRecord:
                 )
 
     robustness = None
-    if cell.fault.active:
+    misbehavior = None
+    if cell.fault.active or cell.misbehavior.active:
         with profiler.phase("faults"):
             fault_plan = cell.fault.build_plan(protocol.graph)
             if len(fault_plan):
                 protocol.schedule_fault_plan(fault_plan)
+            reference_routes = None
+            lie_start = network.sim.now + cell.misbehavior.start_time
+            if cell.misbehavior.active:
+                # Capture the converged pre-lie routes first: they are
+                # the hijack verdict's per-flow reference.
+                reference_routes = {
+                    flow: protocol.find_route(flow) for flow in scenario.flows
+                }
+                mis_plan = cell.misbehavior.build_plan(scenario.graph)
+                if len(mis_plan):
+                    protocol.schedule_fault_plan(mis_plan)
             # Probe only flows the converged protocol can route at all:
             # flows with no legal route ever would read as permanent
-            # blackholes and drown the churn signal.
-            probe_flows = [
-                flow
-                for flow in scenario.flows
-                if protocol.find_route(flow) is not None
-            ][: cell.fault.probe_flows]
+            # blackholes and drown the churn signal.  Misbehavior cells
+            # probe *everything* instead: a route leak's blast radius is
+            # exactly the flows that gain a route they should not have,
+            # which the routability filter would hide.
+            if cell.misbehavior.active:
+                probe_flows = list(scenario.flows)
+            else:
+                probe_flows = [
+                    flow
+                    for flow in scenario.flows
+                    if protocol.find_route(flow) is not None
+                ][: cell.fault.probe_flows]
             pulse = RoutePulse(
                 protocol,
                 probe_flows,
                 interval=cell.fault.probe_interval,
+                reference_routes=reference_routes,
             )
             before = network.metrics.snapshot(network.sim.now)
-            horizon = network.sim.now + cell.fault.horizon
+            horizons = []
+            if cell.fault.active:
+                horizons.append(cell.fault.horizon)
+            if cell.misbehavior.active:
+                horizons.append(cell.misbehavior.horizon)
+            horizon = network.sim.now + max(horizons)
             probed_ok = pulse.run(horizon, max_events=cell.max_events)
             # Settle whatever the last fault left in flight.
             drained = network.run(
@@ -140,6 +218,26 @@ def execute_cell(cell: Cell) -> RunRecord:
             )
             episodes.append(EpisodeRecord.from_result("timeline", result))
             robustness = pulse.summary()
+            if cell.misbehavior.active:
+                misbehavior = _misbehavior_block(
+                    cell, protocol, pulse, scenario, reference_routes, lie_start
+                )
+    if misbehavior is None and protocol.validation.any_enabled:
+        # Lie-free cell of a validating protocol: record the counters
+        # anyway, so the false-quarantine-at-baseline claim is checkable.
+        misbehavior = {
+            "liar": None,
+            "lie": "",
+            "applied": False,
+            "suspects": [],
+            "ads_poisoned": 0,
+            "peak_blast": 0,
+            "steady_blast": 0,
+            "containment_latency": None,
+            "blast_series": [],
+            "validation": str(protocol.validation),
+            "counters": protocol.validation_summary(),
+        }
 
     route_quality = None
     if cell.evaluate:
@@ -199,6 +297,7 @@ def execute_cell(cell: Cell) -> RunRecord:
         route_quality=route_quality,
         channel=network.channel.counters() if network.channel else None,
         robustness=robustness,
+        misbehavior=misbehavior,
         timings=profiler.as_dict(),
         trace=trace_lines,
     )

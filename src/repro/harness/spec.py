@@ -26,6 +26,7 @@ from repro.adgraph.generator import TopologyConfig, generate_internet
 from repro.adgraph.graph import InterADGraph
 from repro.core.evaluation import sample_flows
 from repro.faults.channel import Impairment
+from repro.faults.misbehavior import MisbehaviorPlan, misbehavior_plan
 from repro.faults.plan import (
     FaultPlan,
     ad_crash_plan,
@@ -294,6 +295,61 @@ class FaultSpec:
 
 
 @dataclass(frozen=True)
+class MisbehaviorSpec:
+    """Recipe for the misbehaving-AD axis: who lies, how, and when.
+
+    The default spec is inert (no liar).  ``liar_ad`` pins the liar
+    explicitly; otherwise ``liar_role`` picks the seeded highest-degree
+    AD of that role (``"stub"``, ``"regional"``, ``"backbone"``) inside
+    the cell, so the same spec names a comparable liar in every
+    scenario.  ``duration`` > 0 schedules a reversion to honesty.
+    """
+
+    lie: str = ""
+    liar_role: str = "backbone"
+    liar_ad: int = -1
+    start_time: float = 150.0
+    duration: float = 0.0
+    seed: int = 0
+    label: Optional[str] = None
+
+    #: How long after the lie starts RoutePulse keeps probing: covers
+    #: the liar's bounded re-assertion window plus containment settling.
+    PROBE_WINDOW: float = 600.0
+
+    @property
+    def active(self) -> bool:
+        return bool(self.lie)
+
+    @property
+    def display(self) -> str:
+        if self.label:
+            return self.label
+        if not self.active:
+            return "none"
+        who = f"ad={self.liar_ad}" if self.liar_ad >= 0 else self.liar_role
+        return f"{self.lie}@{who}"
+
+    def build_plan(self, graph: InterADGraph) -> MisbehaviorPlan:
+        if not self.active:
+            return MisbehaviorPlan(())
+        return misbehavior_plan(
+            graph,
+            self.lie,
+            liar=self.liar_ad if self.liar_ad >= 0 else None,
+            role=self.liar_role,
+            start_time=self.start_time,
+            duration=self.duration,
+            seed=self.seed,
+        )
+
+    @property
+    def horizon(self) -> float:
+        """Probing window length when the spec is active."""
+        return self.start_time + max(self.duration, 0.0) + self.PROBE_WINDOW
+
+
+@dataclass(frozen=True)
 class Cell:
     """One fully-specified run: the unit of parallel execution."""
 
@@ -303,6 +359,7 @@ class Cell:
     protocol: ProtocolSpec
     failure: FailureSpec
     fault: FaultSpec = FaultSpec()
+    misbehavior: MisbehaviorSpec = MisbehaviorSpec()
     evaluate: bool = False
     max_events: int = 5_000_000
     trace: Optional[str] = None
@@ -317,6 +374,7 @@ class Cell:
             "options": dict(self.protocol.options),
             "failure": self.failure.display,
             "fault": self.fault.display,
+            "misbehavior": self.misbehavior.display,
         }
 
 
@@ -336,6 +394,7 @@ class ExperimentSpec:
     seeds: Tuple[int, ...] = ()
     failures: Tuple[FailureSpec, ...] = (FailureSpec(),)
     faults: Tuple[FaultSpec, ...] = (FaultSpec(),)
+    misbehaviors: Tuple[MisbehaviorSpec, ...] = (MisbehaviorSpec(),)
     evaluate: bool = False
     max_events: int = 5_000_000
     trace: Optional[str] = None
@@ -355,18 +414,20 @@ class ExperimentSpec:
             for protocol in self.protocols:
                 for failure in self.failures:
                     for fault in self.faults:
-                        expanded.append(
-                            Cell(
-                                experiment=self.name,
-                                index=index,
-                                scenario=scenario,
-                                protocol=protocol,
-                                failure=failure,
-                                fault=fault,
-                                evaluate=self.evaluate,
-                                max_events=self.max_events,
-                                trace=self.trace,
+                        for misbehavior in self.misbehaviors:
+                            expanded.append(
+                                Cell(
+                                    experiment=self.name,
+                                    index=index,
+                                    scenario=scenario,
+                                    protocol=protocol,
+                                    failure=failure,
+                                    fault=fault,
+                                    misbehavior=misbehavior,
+                                    evaluate=self.evaluate,
+                                    max_events=self.max_events,
+                                    trace=self.trace,
+                                )
                             )
-                        )
-                        index += 1
+                            index += 1
         return expanded

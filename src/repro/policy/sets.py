@@ -112,6 +112,17 @@ class ADSet:
             return ADSet.excluding(a.members - b.members)
         return ADSet.excluding(a.members & b.members)
 
+    def is_subset_of(self, other: "ADSet") -> bool:
+        """Whether every AD this set admits is admitted by ``other``."""
+        a, b = self._as_exclude(), other._as_exclude()
+        if a.mode is _SetMode.INCLUDE:
+            if b.mode is _SetMode.INCLUDE:
+                return a.members <= b.members
+            return not (a.members & b.members)
+        if b.mode is _SetMode.INCLUDE:
+            return False  # a cofinite set never fits in a finite one
+        return b.members <= a.members
+
     @classmethod
     def none(cls) -> "ADSet":
         """The empty set."""

@@ -19,7 +19,7 @@ experiment (E3) compare all eight design points on equal footing.
 from __future__ import annotations
 
 import enum
-from typing import TYPE_CHECKING, ClassVar, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, ClassVar, Dict, List, Optional, Tuple
 
 from repro.adgraph.ad import ADId
 from repro.adgraph.graph import InterADGraph
@@ -28,6 +28,7 @@ from repro.policy.database import PolicyDatabase
 from repro.policy.flows import FlowSpec
 from repro.policy.selection import OPEN_SELECTION, RouteSelectionPolicy
 from repro.protocols.hardening import HardeningConfig
+from repro.protocols.validation import NeighborGuard, ValidationConfig
 from repro.simul.network import SimNetwork
 from repro.simul.node import ProtocolNode
 from repro.simul.runner import ConvergenceResult, converge
@@ -68,6 +69,15 @@ class RoutingProtocol:
         self.forwarding_loops = 0
         #: Robustness features distributed to every node at build time.
         self.hardening = HardeningConfig()
+        #: Receiver-side validation checks, distributed the same way.
+        self.validation = ValidationConfig()
+        #: ADs that have (ever) been turned into liars: ad -> lie kind.
+        #: Never pruned -- already-flooded lies outlive the liar's change
+        #: of heart, and blast-radius attribution must outlive it too.
+        self.liars: Dict[ADId, str] = {}
+        #: Chronological record of misbehavior start/stop applications.
+        self.misbehavior_log: List[Dict[str, Any]] = []
+        self._trusted_policies: Optional[PolicyDatabase] = None
         self._crashed_links: Dict[ADId, Tuple[Tuple[ADId, ADId], ...]] = {}
         self._crash_retain: Dict[ADId, bool] = {}
 
@@ -83,12 +93,35 @@ class RoutingProtocol:
             self.network = SimNetwork(self.graph)
             self._make_nodes(self.network)
             self._distribute_hardening(self.network)
+            self._distribute_validation(self.network)
         return self.network
 
     def _distribute_hardening(self, network: SimNetwork) -> None:
         """Stamp the protocol's hardening config onto every node."""
         for node in network.nodes.values():
             node.hardening = self.hardening
+
+    def _distribute_validation(self, network: SimNetwork) -> None:
+        """Stamp the validation config and trusted registries onto nodes.
+
+        The trusted policy registry is snapshotted *at build time*, before
+        any scheduled misbehavior can pollute the live database (ORWG's
+        liar plants its forged term in the shared ``live_policies``), so
+        validators always judge claims against registered ground truth.
+        """
+        if self.validation.any_enabled and self._trusted_policies is None:
+            self._trusted_policies = self.policies.copy()
+        for node in network.nodes.values():
+            self._stamp_validation(node)
+
+    def _stamp_validation(self, node: ProtocolNode) -> None:
+        node.validation = self.validation
+        node.trusted_policies = self._trusted_policies
+        node.trusted_graph = self.graph
+        if self.validation.any_enabled:
+            node.guard = NeighborGuard(self.validation, lambda: node.now)
+        else:
+            node.guard = None
 
     def converge(self, max_events: int = 5_000_000) -> ConvergenceResult:
         """Build if needed and run the control plane to quiescence."""
@@ -130,6 +163,12 @@ class RoutingProtocol:
         # Silence the node first so the teardown notifications below reach
         # only the surviving neighbours, never the crashed process itself.
         network.crash_node(ad_id)
+        if not retain_state:
+            # The process is gone, not merely isolated: retransmit/refresh
+            # timers it armed die with it.  Retiring here (not at restore)
+            # is what guarantees no pre-crash timer ever fires, during the
+            # outage or after the fresh process takes over.
+            network.nodes[ad_id].retire()
         for a, b in live:
             self.apply_link_status(a, b, False)
         self._crashed_links[ad_id] = live
@@ -154,9 +193,10 @@ class RoutingProtocol:
             fresh = self._fresh_node(ad_id)
             fresh.hardening = self.hardening
             fresh.inherit_nonvolatile(old)
-            old.retire()
+            old.retire()  # idempotent; the node was retired at crash time
         network.restore_node(ad_id, fresh)
         if fresh is not None:
+            self._stamp_validation(fresh)
             fresh.start()
         for a, b in links:
             self.apply_link_status(a, b, True)
@@ -186,6 +226,7 @@ class RoutingProtocol:
             network.sim.schedule(ev.time, self._apply_fault_event, ev)
 
     def _apply_fault_event(self, ev: object) -> None:
+        from repro.faults.misbehavior import MisbehaviorStart, MisbehaviorStop
         from repro.faults.plan import ImpairmentChange, LinkFault, NodeFault
 
         network = self._require_network()
@@ -198,8 +239,82 @@ class RoutingProtocol:
                 self.crash_node(ev.ad, retain_state=ev.retain_state)
         elif isinstance(ev, ImpairmentChange):
             network.set_impairment(ev.link, ev.spec)
+        elif isinstance(ev, MisbehaviorStart):
+            self.start_misbehavior(ev.ad, ev.lie, ev.target)
+        elif isinstance(ev, MisbehaviorStop):
+            self.stop_misbehavior(ev.ad)
         else:  # pragma: no cover - defensive
             raise TypeError(f"unknown fault event {ev!r}")
+
+    # ------------------------------------------------------------ misbehavior
+
+    def start_misbehavior(
+        self, ad_id: ADId, lie: str, target: Optional[ADId] = None
+    ) -> bool:
+        """Turn an AD into a liar now; returns whether the lie applied.
+
+        A lie the protocol family cannot express (``term-forgery`` on a
+        DV speaker) is logged as not applied rather than failing the
+        run: "this design cannot even tell this lie" is itself a result.
+        """
+        network = self._require_network()
+        node = network.nodes[ad_id]
+        applied = bool(node.misbehave(lie, target))
+        if applied:
+            self.liars[ad_id] = lie
+        self.misbehavior_log.append(
+            {
+                "time": network.sim.now,
+                "ad": ad_id,
+                "lie": lie,
+                "target": target,
+                "applied": applied,
+            }
+        )
+        return applied
+
+    def stop_misbehavior(self, ad_id: ADId) -> None:
+        """The liar reverts to honesty (flooded residue stays out there)."""
+        network = self._require_network()
+        network.nodes[ad_id].behave()
+        self.misbehavior_log.append(
+            {"time": network.sim.now, "ad": ad_id, "lie": None,
+             "target": None, "applied": True}
+        )
+
+    def poison_suspects(self) -> "set":
+        """ADs whose routing claims may be tainted: every liar, plus the
+        victims its applied lies impersonated (a bogus-origin victim's
+        address is the thing being hijacked)."""
+        suspects = set(self.liars)
+        for entry in self.misbehavior_log:
+            if entry["applied"] and entry["target"] is not None:
+                suspects.add(entry["target"])
+        return suspects
+
+    def validation_summary(self) -> Dict[str, Any]:
+        """Network-wide validation counters for the run record.
+
+        ``false_quarantines`` counts penalty-timer activations against
+        ADs that never lied -- the collateral-damage metric E12's
+        lie-free baseline pins at zero.
+        """
+        network = self._require_network()
+        guards = [
+            node.guard
+            for node in network.nodes.values()
+            if getattr(node, "guard", None) is not None
+        ]
+        events = [ev for g in guards for ev in g.quarantine_events]
+        return {
+            "violations": sum(g.total_violations for g in guards),
+            "quarantines": len(events),
+            "false_quarantines": sum(
+                1 for ev in events if ev.neighbor not in self.liars
+            ),
+            "suppressed": sum(g.suppressed for g in guards),
+            "quarantined_ads": sorted({ev.neighbor for ev in events}),
+        }
 
     def duplicates_ignored(self) -> int:
         """Control-plane duplicates suppressed by hardening, network-wide."""

@@ -25,6 +25,7 @@ from repro.adgraph.graph import InterADGraph
 from repro.policy.database import PolicyDatabase
 from repro.policy.flows import FlowSpec
 from repro.protocols.base import ForwardingMode, RoutingProtocol
+from repro.protocols.validation import OFF, NeighborGuard, ValidationConfig
 from repro.simul.messages import AD_ID_BYTES, METRIC_BYTES, Message
 from repro.simul.network import SimNetwork
 from repro.simul.node import ProtocolNode
@@ -67,6 +68,13 @@ class _TableEntry:
 class DVNode(ProtocolNode):
     """The per-AD Bellman-Ford process."""
 
+    validation: ValidationConfig = OFF
+    guard: Optional[NeighborGuard] = None
+    trusted_graph: Optional[InterADGraph] = None
+
+    LIE_REASSERT_INTERVAL = 60.0
+    LIE_REASSERT_COUNT = 6
+
     def __init__(
         self,
         ad_id: ADId,
@@ -82,6 +90,9 @@ class DVNode(ProtocolNode):
         self.trigger_delay = trigger_delay
         self.table: Dict[ADId, _TableEntry] = {ad_id: _TableEntry(0, ad_id)}
         self._flush_pending = False
+        self._active_lies: Dict[str, Optional[ADId]] = {}
+        self._lie_ticks_left = 0
+        self._lie_tick_pending = False
 
     # --------------------------------------------------------------- control
 
@@ -90,6 +101,8 @@ class DVNode(ProtocolNode):
 
     def on_message(self, sender: ADId, msg: Message) -> None:
         assert isinstance(msg, DVUpdate)
+        if self.guard is not None and self.guard.suppresses(sender):
+            return
         changed = False
         have_better_news = False
         for dest in msg.poisons:
@@ -100,6 +113,8 @@ class DVNode(ProtocolNode):
                     changed = True
         for dest, metric in msg.entries:
             if dest == self.ad_id:
+                continue
+            if self._rejects(sender, dest, metric):
                 continue
             candidate = min(metric + 1, self.infinity)
             entry = self.table.get(dest)
@@ -144,6 +159,84 @@ class DVNode(ProtocolNode):
         if changed:
             self._schedule_flush()
 
+    # ------------------------------------------------------------ validation
+
+    def _rejects(self, sender: ADId, dest: ADId, metric: int) -> bool:
+        if not self.validation.checks_enabled:
+            return False
+        reason = self._check_entry(sender, dest, metric)
+        if reason is None:
+            return False
+        if self.guard is not None:
+            self.guard.violation(sender, reason)
+        return True
+
+    def _check_entry(self, sender: ADId, dest: ADId, metric: int) -> Optional[str]:
+        """Hop-count sanity: metric 0 means "I am the destination" and
+        metric 1 means "I am adjacent to it" -- both are checkable
+        against the registry; anything deeper is not (DV hides paths)."""
+        cfg = self.validation
+        if cfg.metric_guard and metric == 0 and dest != sender:
+            return "zero metric for foreign destination"
+        if cfg.origin_check and self.trusted_graph is not None:
+            if not self.trusted_graph.has_ad(dest):
+                return "unregistered destination"
+            if metric == 1 and not self.trusted_graph.has_link(sender, dest):
+                return "claimed adjacency is unregistered"
+        return None
+
+    # ----------------------------------------------------------- misbehavior
+
+    def misbehave(self, lie: str, target: Optional[ADId] = None) -> bool:
+        applied = self._tell_lie(lie, target)
+        if applied and self._lie_ticks_left == 0:
+            self._lie_ticks_left = self.LIE_REASSERT_COUNT
+            self._arm_lie_tick()
+        return applied
+
+    def _tell_lie(self, lie: str, target: Optional[ADId] = None) -> bool:
+        if lie == "metric-lie":
+            self._active_lies[lie] = None
+            self._schedule_flush()
+            return True
+        if lie == "bogus-origin":
+            if target is None:
+                return False
+            self._active_lies[lie] = target
+            self._schedule_flush()
+            return True
+        # DV is policy-blind (nothing to leak) and carries no sequence
+        # numbers or terms (nothing to replay or forge).
+        return False
+
+    def behave(self) -> None:
+        self._active_lies.clear()
+        self._lie_ticks_left = 0
+
+    def _arm_lie_tick(self) -> None:
+        if not self._lie_tick_pending:
+            self._lie_tick_pending = True
+            self.schedule(self.LIE_REASSERT_INTERVAL, self._lie_tick)
+
+    def _lie_tick(self) -> None:
+        self._lie_tick_pending = False
+        if not self._active_lies or self._lie_ticks_left <= 0:
+            return
+        self._lie_ticks_left -= 1
+        self._schedule_flush()
+        if self._lie_ticks_left > 0:
+            self._arm_lie_tick()
+
+    def _apply_lies(self, entries: "list") -> "list":
+        if "metric-lie" in self._active_lies:
+            entries = [(d, 0) for d, _m in entries]
+        victim = self._active_lies.get("bogus-origin")
+        if victim is not None and victim != self.ad_id:
+            entries = [(d, m) for d, m in entries if d != victim]
+            entries.append((victim, 0))
+            entries.sort()
+        return entries
+
     # ------------------------------------------------------------- advertise
 
     def _schedule_flush(self) -> None:
@@ -163,6 +256,8 @@ class DVNode(ProtocolNode):
                         poisons.append(dest)
                     continue
                 entries.append((dest, entry.metric))
+            if self._active_lies:
+                entries = self._apply_lies(entries)
             if entries or poisons:
                 self.send(nbr, DVUpdate(tuple(entries), tuple(poisons)))
 

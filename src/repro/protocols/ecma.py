@@ -28,13 +28,14 @@ import math
 from dataclasses import dataclass
 from typing import ClassVar, Dict, FrozenSet, List, Optional, Set, Tuple
 
-from repro.adgraph.ad import ADId, InterADLink
+from repro.adgraph.ad import ADId, ADKind, InterADLink
 from repro.adgraph.graph import InterADGraph
 from repro.adgraph.partial_order import Direction, PartialOrder
 from repro.policy.database import PolicyDatabase
 from repro.policy.flows import FlowSpec
 from repro.policy.qos import QOS
 from repro.protocols.base import ForwardingMode, RoutingProtocol
+from repro.protocols.validation import OFF, NeighborGuard, ValidationConfig
 from repro.simul.messages import AD_ID_BYTES, METRIC_BYTES, Message
 from repro.simul.network import SimNetwork
 from repro.simul.node import ProtocolNode
@@ -107,6 +108,13 @@ def supported_qos_classes(policies: PolicyDatabase, ad_id: ADId) -> FrozenSet[QO
 class ECMANode(ProtocolNode):
     """Per-AD ECMA process."""
 
+    validation: ValidationConfig = OFF
+    guard: Optional[NeighborGuard] = None
+    trusted_graph: Optional[InterADGraph] = None
+
+    LIE_REASSERT_INTERVAL = 60.0
+    LIE_REASSERT_COUNT = 6
+
     def __init__(
         self,
         ad_id: ADId,
@@ -129,6 +137,11 @@ class ECMANode(ProtocolNode):
             self.table[(ad_id, q)] = _Entry(0.0, 0, False, ad_id)
         self._pending: Set[Tuple[ADId, QOS]] = set()
         self._flush_scheduled = False
+        self._active_lies: Dict[str, Optional[ADId]] = {}
+        self._honest_transit = (may_transit, down_only_transit)
+        self._lie_ticks_left = 0
+        self._lie_tick_pending = False
+        self._trusted_cones: Dict[ADId, FrozenSet[ADId]] = {}
 
     # --------------------------------------------------------------- control
 
@@ -143,6 +156,8 @@ class ECMANode(ProtocolNode):
         link = self.network.graph.link(self.ad_id, sender)
         if not link.up:
             return
+        if self.guard is not None and self.guard.suppresses(sender):
+            return
         # Direction the *data* would travel: from us toward the sender.
         data_dir = self.order.direction(self.ad_id, sender)
         changed = False
@@ -155,6 +170,8 @@ class ECMANode(ProtocolNode):
                 changed = True
         for dest, qos, metric, hops, contains_up in msg.entries:
             if dest == self.ad_id or qos not in self.supported_qos:
+                continue
+            if not math.isinf(metric) and self._rejects(sender, dest, metric):
                 continue
             key = (dest, qos)
             entry = self.table.get(key)
@@ -217,6 +234,112 @@ class ECMANode(ProtocolNode):
         if lost:
             self._schedule_flush()
 
+    # ------------------------------------------------------------ validation
+
+    def _rejects(self, sender: ADId, dest: ADId, metric: float) -> bool:
+        if not self.validation.checks_enabled:
+            return False
+        reason = self._check_entry(sender, dest, metric)
+        if reason is None:
+            return False
+        if self.guard is not None:
+            self.guard.violation(sender, reason)
+        return True
+
+    def _check_entry(self, sender: ADId, dest: ADId, metric: float) -> Optional[str]:
+        """Policy-in-topology is registry-checkable: the sender's transit
+        offer must be consistent with its *registered* role (stubs never
+        transit; hybrids only toward their down-side for destinations
+        outside their registered customer cone)."""
+        cfg = self.validation
+        if cfg.origin_check and self.trusted_graph is not None:
+            if not self.trusted_graph.has_ad(dest):
+                return "unregistered destination"
+        if cfg.metric_guard and metric == 0.0 and dest != sender:
+            return "zero metric for foreign destination"
+        if cfg.path_check and self.trusted_graph is not None and dest != sender:
+            kind = self.trusted_graph.ad(sender).kind
+            if not kind.may_transit:
+                return "registered stub AD offers transit"
+            if kind is ADKind.HYBRID and dest not in self._trusted_cone(sender):
+                if self.order.direction(sender, self.ad_id) is not Direction.DOWN:
+                    return "registered hybrid AD transits upward"
+        return None
+
+    def _trusted_cone(self, sender: ADId) -> FrozenSet[ADId]:
+        cone = self._trusted_cones.get(sender)
+        if cone is None:
+            from repro.policy.generators import customer_cone
+
+            cone = customer_cone(self.trusted_graph, sender)
+            self._trusted_cones[sender] = cone
+        return cone
+
+    # ----------------------------------------------------------- misbehavior
+
+    def misbehave(self, lie: str, target: Optional[ADId] = None) -> bool:
+        applied = self._tell_lie(lie, target)
+        if applied and self._lie_ticks_left == 0:
+            self._lie_ticks_left = self.LIE_REASSERT_COUNT
+            self._arm_lie_tick()
+        return applied
+
+    def _tell_lie(self, lie: str, target: Optional[ADId] = None) -> bool:
+        if lie == "route-leak":
+            if self.may_transit and not self.down_only_transit:
+                # Already a full-transit AD in the topology regime.
+                return False
+            self._active_lies[lie] = None
+            self.may_transit = True
+            self.down_only_transit = False
+            self._pending.update(self.table)
+            self._schedule_flush()
+            return True
+        if lie == "metric-lie":
+            self._active_lies[lie] = None
+            self._pending.update(self.table)
+            self._schedule_flush()
+            return True
+        if lie == "bogus-origin":
+            if target is None:
+                return False
+            self._active_lies[lie] = target
+            self._advertise_bogus_origin(target)
+            return True
+        return False
+
+    def behave(self) -> None:
+        self._active_lies.clear()
+        self._lie_ticks_left = 0
+        self.may_transit, self.down_only_transit = self._honest_transit
+
+    def _advertise_bogus_origin(self, victim: ADId) -> None:
+        entries = tuple(
+            (victim, q, 0.0, 0, False)
+            for q in sorted(self.supported_qos, key=lambda q: q.value)
+        )
+        if entries:
+            self.broadcast(ECMAUpdate(entries))
+
+    def _arm_lie_tick(self) -> None:
+        if not self._lie_tick_pending:
+            self._lie_tick_pending = True
+            self.schedule(self.LIE_REASSERT_INTERVAL, self._lie_tick)
+
+    def _lie_tick(self) -> None:
+        self._lie_tick_pending = False
+        if not self._active_lies or self._lie_ticks_left <= 0:
+            return
+        self._lie_ticks_left -= 1
+        if "route-leak" in self._active_lies or "metric-lie" in self._active_lies:
+            self._pending.update(self.table)
+            self._schedule_flush()
+        victim = self._active_lies.get("bogus-origin")
+        if victim is not None:
+            self._advertise_bogus_origin(victim)
+        if self._lie_ticks_left > 0:
+            self._arm_lie_tick()
+
     # ------------------------------------------------------------- advertise
 
     def _schedule_flush(self) -> None:
@@ -263,8 +386,13 @@ class ECMANode(ProtocolNode):
                 if not self._exportable(key, nbr):
                     continue
                 if entry.next_hop != nbr:  # split horizon
+                    metric = (
+                        0.0
+                        if "metric-lie" in self._active_lies
+                        else entry.metric
+                    )
                     entries.append(
-                        (key[0], key[1], entry.metric, entry.hops, entry.contains_up)
+                        (key[0], key[1], metric, entry.hops, entry.contains_up)
                     )
                 else:
                     poisons.append(key)
@@ -302,7 +430,6 @@ class ECMAProtocol(RoutingProtocol):
         self.qos_classes = qos_classes
 
     def _make_nodes(self, network: SimNetwork) -> None:
-        from repro.adgraph.ad import ADKind
         from repro.policy.generators import customer_cone
 
         max_hops = min(self.order.max_valid_path_len(), 2 * self.graph.num_ads)

@@ -31,6 +31,7 @@ from repro.policy.database import PolicyDatabase
 from repro.policy.flows import FlowSpec
 from repro.protocols.base import ForwardingMode, RoutingProtocol
 from repro.protocols.hardening import SOFT, HardeningConfig
+from repro.protocols.validation import OFF, NeighborGuard, ValidationConfig
 from repro.simul.messages import AD_ID_BYTES, Message
 from repro.simul.network import SimNetwork
 from repro.simul.node import ProtocolNode
@@ -77,6 +78,12 @@ class EGPNode(ProtocolNode):
     """Per-AD reachability process over the (tree) topology."""
 
     hardening: HardeningConfig = SOFT
+    validation: ValidationConfig = OFF
+    guard: Optional[NeighborGuard] = None
+    trusted_graph: Optional[InterADGraph] = None
+
+    LIE_REASSERT_INTERVAL = 60.0
+    LIE_REASSERT_COUNT = 6
 
     def __init__(self, ad_id: ADId) -> None:
         super().__init__(ad_id)
@@ -91,16 +98,27 @@ class EGPNode(ProtocolNode):
         # is new content, not a duplicate.
         self._seen: Dict[ADId, Set[int]] = {}
         self._unacked: Dict[Tuple[ADId, int], NRUpdate] = {}
+        # Highest sequence number observed per sender (seq-guard state;
+        # independent of the dedup hardening's seen-sets).
+        self._last_seq: Dict[ADId, int] = {}
+        self._active_lies: Dict[str, Optional[ADId]] = {}
+        self._replay_seq = 0
+        self._lie_ticks_left = 0
+        self._lie_tick_pending = False
 
     def start(self) -> None:
         self._pending.add(self.ad_id)
         self._schedule_flush()
 
     def on_message(self, sender: ADId, msg: Message) -> None:
+        if self.guard is not None and self.guard.suppresses(sender):
+            return
         if isinstance(msg, NRAck):
             self._unacked.pop((sender, msg.seq), None)
             return
         assert isinstance(msg, NRUpdate)
+        if self._rejects(sender, msg):
+            return
         if msg.seq:
             # Always re-ack: the retransmission we are answering may be
             # there because our previous ack was itself lost.
@@ -132,6 +150,96 @@ class EGPNode(ProtocolNode):
         # ADs learn of losses only through timeouts in the real protocol.
         # We model the loss locally and let the tree remain silently stale,
         # matching the paper's dim view of EGP adaptivity.
+
+    # ------------------------------------------------------------ validation
+
+    def _rejects(self, sender: ADId, msg: NRUpdate) -> bool:
+        if not self.validation.checks_enabled:
+            return False
+        reason = self._check_update(sender, msg)
+        if reason is None:
+            return False
+        if self.guard is not None:
+            self.guard.violation(sender, reason)
+        return True
+
+    def _check_update(self, sender: ADId, msg: NRUpdate) -> Optional[str]:
+        """EGP's only checkable claims: destinations must be registered
+        ADs, and sequence numbers must advance plausibly.  Which *paths*
+        reachability flows over is invisible -- the protocol's structural
+        blindness, which the threat-model table records."""
+        cfg = self.validation
+        if cfg.origin_check and self.trusted_graph is not None:
+            for dest in msg.dests:
+                if not self.trusted_graph.has_ad(dest):
+                    return "unregistered destination"
+        if cfg.seq_guard and msg.seq:
+            last = self._last_seq.get(sender, 0)
+            if last and msg.seq > last + self.validation.max_seq_jump:
+                return "implausible sequence jump"
+            self._last_seq[sender] = max(last, msg.seq)
+        return None
+
+    # ----------------------------------------------------------- misbehavior
+
+    def misbehave(self, lie: str, target: Optional[ADId] = None) -> bool:
+        applied = self._tell_lie(lie, target)
+        if applied and self._lie_ticks_left == 0:
+            self._lie_ticks_left = self.LIE_REASSERT_COUNT
+            self._arm_lie_tick()
+        return applied
+
+    def _tell_lie(self, lie: str, target: Optional[ADId] = None) -> bool:
+        if lie == "bogus-origin":
+            if target is None:
+                return False
+            self._active_lies[lie] = target
+            self._advertise_bogus_origin(target)
+            return True
+        if lie == "stale-replay":
+            self._active_lies[lie] = None
+            self._flood_replay()
+            return True
+        # No metrics to lie about, no paths or terms to forge, and every
+        # destination is exported to every neighbour already.
+        return False
+
+    def behave(self) -> None:
+        self._active_lies.clear()
+        self._lie_ticks_left = 0
+
+    def _advertise_bogus_origin(self, victim: ADId) -> None:
+        """Claim direct reachability of the victim (no provenance exists
+        to contradict us -- but first-heard-wins limits the audience)."""
+        self.broadcast(NRUpdate((victim,)))
+
+    def _flood_replay(self) -> None:
+        """Re-send our full reachability snapshot far above the honest
+        sequence range (inert when unsequenced; a seq-guard trips it)."""
+        self._replay_seq += 1_000
+        dests = tuple(sorted(self.table))
+        if dests:
+            self.broadcast(NRUpdate(dests, seq=self._update_seq + self._replay_seq))
+
+    def _arm_lie_tick(self) -> None:
+        if not self._lie_tick_pending:
+            self._lie_tick_pending = True
+            self.schedule(self.LIE_REASSERT_INTERVAL, self._lie_tick)
+
+    def _lie_tick(self) -> None:
+        self._lie_tick_pending = False
+        if not self._active_lies or self._lie_ticks_left <= 0:
+            return
+        self._lie_ticks_left -= 1
+        victim = self._active_lies.get("bogus-origin")
+        if victim is not None:
+            self._advertise_bogus_origin(victim)
+        if "stale-replay" in self._active_lies:
+            self._flood_replay()
+        if self._lie_ticks_left > 0:
+            self._arm_lie_tick()
+
+    # ------------------------------------------------------------- advertise
 
     def _schedule_flush(self) -> None:
         if not self._flush_scheduled:
@@ -242,6 +350,7 @@ class EGPProtocol(RoutingProtocol):
         self.network = SimNetwork(self.tree_graph)
         self._make_nodes(self.network)
         self._distribute_hardening(self.network)
+        self._distribute_validation(self.network)
         return self.network
 
     def _make_nodes(self, network: SimNetwork) -> None:

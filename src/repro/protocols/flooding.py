@@ -31,8 +31,13 @@ from repro.adgraph.graph import InterADGraph
 from repro.policy.database import PolicyDatabase
 from repro.policy.terms import PolicyTerm
 from repro.protocols.hardening import SOFT, HardeningConfig
+from repro.protocols.validation import OFF, NeighborGuard, ValidationConfig
 from repro.simul.messages import AD_ID_BYTES, METRIC_BYTES, Message
 from repro.simul.node import ProtocolNode
+
+#: Term id used by a lying LS node for terms it fabricates; far above any
+#: id the policy generators assign, so forgeries never shadow real terms.
+FORGED_TERM_ID = 9_999
 
 
 @dataclass(frozen=True)
@@ -113,6 +118,12 @@ class LSNode(ProtocolNode):
     #: Robustness features; the protocol driver stamps its own config at
     #: build time, so directly-constructed nodes default to legacy mode.
     hardening: HardeningConfig = SOFT
+    #: Receiver-side validation; the driver stamps config, guard, and the
+    #: trusted registries at build time (defaults keep legacy behaviour).
+    validation: ValidationConfig = OFF
+    guard: Optional[NeighborGuard] = None
+    trusted_graph: Optional[InterADGraph] = None
+    trusted_policies: Optional[PolicyDatabase] = None
 
     def __init__(
         self,
@@ -148,6 +159,12 @@ class LSNode(ProtocolNode):
         # Retransmit hardening: token generator and unacked DB exchanges.
         self._exchange_seq = 0
         self._pending_exchanges: Dict[int, Tuple[ADId, LSDBExchange]] = {}
+        # Misbehavior state: active lie -> victim (None when honest, which
+        # keeps every honest-path branch below a single falsy check).
+        self._active_lies: Dict[str, Optional[ADId]] = {}
+        self._forged_terms: Tuple[PolicyTerm, ...] = ()
+        self._lie_ticks_left = 0
+        self._lie_tick_pending = False
 
     def _flood(self, msg: Message, exclude: Optional[ADId] = None) -> None:
         """Send to flooding-scope neighbours (all, or scoped links only)."""
@@ -175,12 +192,40 @@ class LSNode(ProtocolNode):
                     bandwidth=link.metric("bandwidth"),
                 )
             )
-        return LinkStateAd(
+        lsa = LinkStateAd(
             origin=self.ad_id,
             seq=self._seq,
             links=tuple(records),
             terms=self.own_terms,
             origin_level=self.level,
+        )
+        if self._active_lies:
+            lsa = self._apply_lies(lsa)
+        return lsa
+
+    def _apply_lies(self, lsa: LinkStateAd) -> LinkStateAd:
+        """Rewrite our own LSA according to the active lies."""
+        links = lsa.links
+        terms = lsa.terms
+        level = lsa.origin_level
+        if "metric-lie" in self._active_lies:
+            links = tuple(
+                LinkRecord(r.neighbor, 0.0, 0.0, r.up, r.bandwidth)
+                for r in links
+            )
+        victim = self._active_lies.get("bogus-origin")
+        if victim is not None:
+            # The reciprocal half of the fabricated adjacency: the local
+            # view believes a link only if both endpoints advertise it.
+            links = links + (LinkRecord(victim, 1.0, 1.0, True),)
+        if self._forged_terms:
+            terms = terms + self._forged_terms
+        return LinkStateAd(
+            origin=lsa.origin,
+            seq=lsa.seq,
+            links=links,
+            terms=terms,
+            origin_level=level,
         )
 
     def _originate(self) -> None:
@@ -229,7 +274,12 @@ class LSNode(ProtocolNode):
         return True
 
     def on_message(self, sender: ADId, msg: Message) -> None:
+        if isinstance(msg, (LinkStateAd, LSDBExchange)):
+            if self.guard is not None and self.guard.suppresses(sender):
+                return
         if isinstance(msg, LinkStateAd):
+            if self._rejects(sender, msg):
+                return
             if self._install(msg):
                 self._flood(msg, exclude=sender)
                 self.on_lsdb_change()
@@ -238,6 +288,8 @@ class LSNode(ProtocolNode):
                 self.send(sender, ExchangeAck(msg.token))
             changed = False
             for lsa in msg.ads:
+                if self._rejects(sender, lsa):
+                    continue
                 if self._install(lsa):
                     self._flood(lsa, exclude=sender)
                     changed = True
@@ -247,6 +299,188 @@ class LSNode(ProtocolNode):
             self._pending_exchanges.pop(msg.token, None)
         else:
             super().on_message(sender, msg)
+
+    # ------------------------------------------------------------ validation
+
+    def _rejects(self, sender: ADId, lsa: LinkStateAd) -> bool:
+        """Validate an LSA against the trusted registries; charge failures.
+
+        Rejection happens *before* install-and-reflood, so a validating
+        receiver never propagates a lie and every violation is charged
+        to the AD that actually injected it.
+        """
+        if not self.validation.checks_enabled:
+            return False
+        reason = self._check_lsa(lsa)
+        if reason is None:
+            return False
+        if self.guard is not None:
+            self.guard.violation(sender, reason)
+        return True
+
+    def _check_lsa(self, lsa: LinkStateAd) -> Optional[str]:
+        v = self.validation
+        graph = self.trusted_graph
+        if v.origin_check and graph is not None:
+            if not graph.has_ad(lsa.origin):
+                return f"unknown origin AD {lsa.origin}"
+            for rec in lsa.links:
+                if not graph.has_link(lsa.origin, rec.neighbor):
+                    return (
+                        f"unregistered adjacency "
+                        f"{lsa.origin}-{rec.neighbor}"
+                    )
+        if v.metric_guard and graph is not None:
+            for rec in lsa.links:
+                if not graph.has_link(lsa.origin, rec.neighbor):
+                    continue  # origin_check's department
+                link = graph.link(lsa.origin, rec.neighbor)
+                if (
+                    rec.delay < link.metric("delay")
+                    or rec.cost < link.metric("cost")
+                ):
+                    return (
+                        f"metric below registered cost on "
+                        f"{lsa.origin}-{rec.neighbor}"
+                    )
+        if v.seq_guard:
+            current = self.lsdb.get(lsa.origin)
+            if (
+                current is not None
+                and lsa.seq > current.seq + v.max_seq_jump
+            ):
+                return f"implausible sequence jump from AD {lsa.origin}"
+        if v.term_guard and self.trusted_policies is not None:
+            for term in lsa.terms:
+                if term.owner != lsa.origin:
+                    return (
+                        f"AD {lsa.origin} advertises a term owned by "
+                        f"AD {term.owner}"
+                    )
+                if term not in self.trusted_policies.terms_of(term.owner):
+                    return f"unregistered policy term from AD {lsa.origin}"
+        return None
+
+    # ----------------------------------------------------------- misbehavior
+
+    #: A liar re-asserts its lies periodically (a leaking AD keeps
+    #: leaking); the burst is bounded so runs still quiesce.
+    LIE_REASSERT_INTERVAL = 60.0
+    LIE_REASSERT_COUNT = 6
+
+    def misbehave(self, lie: str, target: Optional[ADId] = None) -> bool:
+        applied = self._tell_lie(lie, target)
+        if applied:
+            self._lie_ticks_left = self.LIE_REASSERT_COUNT
+            if not self._lie_tick_pending:
+                self._lie_tick_pending = True
+                self.schedule(self.LIE_REASSERT_INTERVAL, self._lie_tick)
+        return applied
+
+    def _tell_lie(self, lie: str, target: Optional[ADId]) -> bool:
+        if lie == "route-leak":
+            if not self.include_terms:
+                # Term-free LS variants never advertise transit
+                # willingness at all (policy lives in the static
+                # hierarchy ordering), so there is nothing to leak.
+                return False
+            # Advertise transit the registry never authorized: one
+            # forged own-owned term permitting everything for free.
+            self._active_lies[lie] = None
+            self._forged_terms = self._forged_terms + (
+                PolicyTerm(owner=self.ad_id, term_id=FORGED_TERM_ID),
+            )
+            self.originate()
+            return True
+        if lie == "metric-lie":
+            self._active_lies[lie] = None
+            self.originate()
+            return True
+        if lie == "bogus-origin":
+            if target is None:
+                return False
+            self._active_lies[lie] = target
+            self.originate()  # our half of the fabricated adjacency
+            self._flood_bogus_origin(target)
+            return True
+        if lie == "stale-replay":
+            self._active_lies[lie] = None
+            self._flood_replays()
+            return True
+        if lie == "term-forgery":
+            victim = target
+            if not self.include_terms:
+                return False
+            if victim is None:
+                nbrs = self.neighbors()
+                if not nbrs:
+                    return False
+                victim = min(nbrs)
+            self._active_lies[lie] = victim
+            self._forged_terms = self._forged_terms + (
+                PolicyTerm(owner=victim, term_id=FORGED_TERM_ID),
+            )
+            self.originate()
+            return True
+        return False
+
+    def _flood_bogus_origin(self, victim: ADId) -> None:
+        """Forge the victim's LSA: it now connects only to us."""
+        stored = self.lsdb.get(victim)
+        fake = LinkStateAd(
+            origin=victim,
+            seq=(stored.seq if stored is not None else 0) + 1,
+            links=(LinkRecord(self.ad_id, 1.0, 1.0, True),),
+            terms=stored.terms if stored is not None else (),
+            origin_level=(
+                stored.origin_level if stored is not None else Level.CAMPUS
+            ),
+        )
+        self._install(fake)
+        self._flood(fake)
+        self.on_lsdb_change()
+
+    def _flood_replays(self) -> None:
+        """Re-flood "old" LSAs under sequence numbers outranking fresh ones."""
+        for origin in sorted(self.lsdb):
+            if origin == self.ad_id:
+                continue
+            old = self.lsdb[origin]
+            # An LSA from before the origin's links came up: the stale
+            # snapshot the inflated sequence number lets win.
+            self._flood(
+                LinkStateAd(
+                    origin=origin,
+                    seq=old.seq + 1_000,
+                    links=(),
+                    terms=old.terms,
+                    origin_level=old.origin_level,
+                )
+            )
+
+    def _lie_tick(self) -> None:
+        self._lie_tick_pending = False
+        if self._lie_ticks_left <= 0 or not self._active_lies:
+            return
+        self._lie_ticks_left -= 1
+        if any(
+            lie in self._active_lies
+            for lie in ("route-leak", "metric-lie", "term-forgery")
+        ):
+            self.originate()
+        victim = self._active_lies.get("bogus-origin")
+        if victim is not None:
+            self._flood_bogus_origin(victim)
+        if "stale-replay" in self._active_lies:
+            self._flood_replays()
+        if self._lie_ticks_left > 0:
+            self._lie_tick_pending = True
+            self.schedule(self.LIE_REASSERT_INTERVAL, self._lie_tick)
+
+    def behave(self) -> None:
+        self._active_lies.clear()
+        self._forged_terms = ()
+        self._lie_ticks_left = 0
 
     def on_link_change(self, link: InterADLink, up: bool) -> None:
         self.originate()

@@ -38,6 +38,7 @@ from repro.policy.sets import ADSet
 from repro.policy.terms import PolicyTerm
 from repro.policy.uci import UCI
 from repro.protocols.base import ForwardingMode, RoutingProtocol
+from repro.protocols.validation import OFF, NeighborGuard, ValidationConfig
 from repro.simul.messages import AD_ID_BYTES, METRIC_BYTES, Message
 from repro.simul.network import SimNetwork
 from repro.simul.node import ProtocolNode
@@ -49,6 +50,10 @@ TRIGGER_DELAY = 1.0
 #: control plane (updates are not replicated per UCI or per hour).
 TEMPLATE_UCI = UCI.DEFAULT
 TEMPLATE_HOUR = 12
+
+#: Sentinel term id for terms a misbehaving AD forged locally (never
+#: produced by the policy generators, so ``behave`` can strip them).
+FORGED_TERM_ID = 9_999
 
 
 @dataclass(frozen=True)
@@ -118,6 +123,17 @@ _Key = Tuple[ADId, QOS, int]
 class IDRPNode(ProtocolNode):
     """Per-AD path-vector process."""
 
+    #: Receiver-side validation; the driver stamps config, guard, and the
+    #: trusted registries at build time (defaults keep legacy behaviour).
+    validation: ValidationConfig = OFF
+    guard: Optional[NeighborGuard] = None
+    trusted_graph: Optional[InterADGraph] = None
+    trusted_policies: Optional[PolicyDatabase] = None
+
+    #: A liar re-advertises periodically (bounded, so runs quiesce).
+    LIE_REASSERT_INTERVAL = 60.0
+    LIE_REASSERT_COUNT = 6
+
     def __init__(
         self,
         ad_id: ADId,
@@ -143,6 +159,10 @@ class IDRPNode(ProtocolNode):
         self._advertised: Dict[ADId, set] = {}
         self._pending: set = set()
         self._flush_scheduled = False
+        # Active misbehaviors: lie name -> optional target AD.
+        self._active_lies: Dict[str, Optional[ADId]] = {}
+        self._lie_ticks_left = 0
+        self._lie_tick_pending = False
 
     # --------------------------------------------------------------- control
 
@@ -162,9 +182,13 @@ class IDRPNode(ProtocolNode):
         assert isinstance(msg, IDRPUpdate)
         if not self.network.graph.has_link(self.ad_id, sender):
             return
+        if self.guard is not None and self.guard.suppresses(sender):
+            return
         changed_keys = []
         for ad in msg.routes:
             if not 0 <= ad.cls < len(self.class_sets):
+                continue
+            if not ad.is_withdrawal and self._rejects(sender, ad):
                 continue
             key = (ad.dest, ad.qos, ad.cls)
             per_nbr = self.rib_in.setdefault(key, {})
@@ -201,6 +225,80 @@ class IDRPNode(ProtocolNode):
         if changed:
             self._pending.update(changed)
             self._schedule_flush()
+
+    # ------------------------------------------------------------ validation
+
+    def _rejects(self, sender: ADId, ad: RouteAd) -> bool:
+        """Receiver-side plausibility screen for one advertisement."""
+        if not self.validation.checks_enabled:
+            return False
+        reason = self._check_ad(sender, ad)
+        if reason is None:
+            return False
+        if self.guard is not None:
+            self.guard.violation(sender, reason)
+        return True
+
+    def _check_ad(self, sender: ADId, ad: RouteAd) -> Optional[str]:
+        cfg = self.validation
+        path = ad.path
+        if cfg.origin_check and self.trusted_graph is not None:
+            if path[0] != sender:
+                return "path does not start at the advertiser"
+            if len(set(path)) != len(path):
+                return "looping path"
+            for hop in path:
+                if not self.trusted_graph.has_ad(hop):
+                    return "unregistered AD on path"
+            for a, b in zip(path, path[1:]):
+                if not self.trusted_graph.has_link(a, b):
+                    return "unregistered adjacency on path"
+        if cfg.path_check:
+            reason = self._path_implausible(ad)
+            if reason is not None:
+                return reason
+        if cfg.metric_guard and self.trusted_graph is not None:
+            floor = 0.0
+            for a, b in zip(path, path[1:]):
+                if self.trusted_graph.has_link(a, b):
+                    floor += self.trusted_graph.link(a, b).metric(ad.qos.metric)
+            if ad.metric < floor - 1e-9:
+                return "metric below registered path cost"
+        return None
+
+    def _path_implausible(self, ad: RouteAd) -> Optional[str]:
+        """Check every transit hop against the *registered* policy terms.
+
+        Mirrors the advertiser-side :meth:`_export_scope` template exactly
+        (hop ``path[i]`` exported this route to ``path[i-1]`` -- or to us,
+        for ``i == 0`` -- with next hop ``path[i+1]``), so an honest ad
+        can never trip it: each hop's own terms are a subset of the
+        registry, and its exported source scope is the intersection of
+        their source sets with the downstream scope.  A leaked route
+        rests on a term the registry lacks -- either wholesale (no
+        registered term matches the traversal) or on the source axis
+        alone (the advertised scope admits sources no registered term
+        of some hop does).
+        """
+        if self.trusted_policies is None:
+            return None
+        scope_bound = ADSet.everyone()
+        for i in range(len(ad.path) - 1):
+            hop = ad.path[i]
+            prev = self.ad_id if i == 0 else ad.path[i - 1]
+            nxt = ad.path[i + 1]
+            admitted = ADSet.none()
+            for term in self.trusted_policies.terms_of(hop):
+                if term.matches_except_source(
+                    ad.dest, prev, nxt, ad.qos, TEMPLATE_UCI, TEMPLATE_HOUR
+                ):
+                    admitted = admitted.union(term.sources)
+            if admitted.is_empty:
+                return "transit hop has no registered policy term"
+            scope_bound = scope_bound.intersect(admitted)
+        if self.source_scope and not ad.allowed.is_subset_of(scope_bound):
+            return "advertised source scope exceeds registered policy"
+        return None
 
     # -------------------------------------------------------------- decision
 
@@ -321,11 +419,85 @@ class IDRPNode(ProtocolNode):
                         )
                     continue
                 advertised.add(key)
+                metric = entry.metric
+                if "metric-lie" in self._active_lies and dest != self.ad_id:
+                    metric = 0.0
                 routes.append(
-                    RouteAd(dest, qos, entry.path, entry.metric, scope, cls)
+                    RouteAd(dest, qos, entry.path, metric, scope, cls)
                 )
             if routes:
                 self.send(nbr, IDRPUpdate(tuple(routes)))
+
+    # ----------------------------------------------------------- misbehavior
+
+    def misbehave(self, lie: str, target: Optional[ADId] = None) -> bool:
+        applied = self._tell_lie(lie, target)
+        if applied and self._lie_ticks_left == 0:
+            self._lie_ticks_left = self.LIE_REASSERT_COUNT
+            self._arm_lie_tick()
+        return applied
+
+    def _tell_lie(self, lie: str, target: Optional[ADId] = None) -> bool:
+        if lie == "route-leak":
+            # Forge a maximally permissive own term: export scope widens
+            # to everything AND our own forwarding-time transit check now
+            # passes, so we are complicit in carrying the leaked traffic.
+            self._active_lies[lie] = None
+            self.own_terms = self.own_terms + (
+                PolicyTerm(owner=self.ad_id, term_id=FORGED_TERM_ID),
+            )
+            self._pending.update(self.loc)
+            self._schedule_flush()
+            return True
+        if lie == "metric-lie":
+            self._active_lies[lie] = None
+            self._pending.update(self.loc)
+            self._schedule_flush()
+            return True
+        if lie == "bogus-origin":
+            if target is None:
+                return False
+            self._active_lies[lie] = target
+            self._advertise_bogus_origin(target)
+            return True
+        # stale-replay and term-forgery need sequenced / term-carrying
+        # updates; a path-vector update has neither.
+        return False
+
+    def behave(self) -> None:
+        self._active_lies.clear()
+        self._lie_ticks_left = 0
+        self.own_terms = tuple(
+            t for t in self.own_terms if t.term_id != FORGED_TERM_ID
+        )
+
+    def _advertise_bogus_origin(self, victim: ADId) -> None:
+        """Claim a zero-cost direct route to a non-adjacent victim AD."""
+        routes = tuple(
+            RouteAd(victim, qos, (self.ad_id, victim), 0.0, ADSet.everyone(), cls)
+            for qos in self.qos_classes
+            for cls in range(len(self.class_sets))
+        )
+        self.broadcast(IDRPUpdate(routes))
+
+    def _arm_lie_tick(self) -> None:
+        if not self._lie_tick_pending:
+            self._lie_tick_pending = True
+            self.schedule(self.LIE_REASSERT_INTERVAL, self._lie_tick)
+
+    def _lie_tick(self) -> None:
+        self._lie_tick_pending = False
+        if not self._active_lies or self._lie_ticks_left <= 0:
+            return
+        self._lie_ticks_left -= 1
+        if "route-leak" in self._active_lies or "metric-lie" in self._active_lies:
+            self._pending.update(self.loc)
+            self._schedule_flush()
+        victim = self._active_lies.get("bogus-origin")
+        if victim is not None:
+            self._advertise_bogus_origin(victim)
+        if self._lie_ticks_left > 0:
+            self._arm_lie_tick()
 
     # ------------------------------------------------------------ forwarding
 

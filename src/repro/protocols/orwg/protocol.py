@@ -452,6 +452,21 @@ class ORWGNode(LSNode):
         self.originate()
         self.on_lsdb_change()
 
+    def _tell_lie(self, lie, target=None) -> bool:
+        if lie == "route-leak":
+            # ORWG citations resolve against the live database, so the
+            # leak plants its forged everything-permitted term there (the
+            # liar *can* corrupt its own registry entry and will happily
+            # confirm setups citing it); honest receivers validate the
+            # flooded copy against the build-time trusted snapshot.
+            from repro.policy.terms import PolicyTerm
+
+            self._active_lies[lie] = None
+            self.live_policies.add_term(PolicyTerm(owner=self.ad_id))
+            self.refresh_policy()
+            return True
+        return super()._tell_lie(lie, target)
+
     def inherit_nonvolatile(self, previous) -> None:
         """Also keep the handle id counter, so post-restart setups never
         collide with handles still cached along pre-crash routes."""

@@ -36,6 +36,7 @@ from repro.protocols.ecma import ECMAProtocol
 from repro.protocols.egp import EGPProtocol
 from repro.protocols.idrp import BGP2Protocol, IDRPProtocol
 from repro.protocols.lshbh import LinkStateHopByHopProtocol
+from repro.protocols.validation import validation_from
 from repro.protocols.orwg import ORWGProtocol
 from repro.protocols.spf import PlainLinkStateProtocol
 from repro.protocols.variants import (
@@ -101,10 +102,10 @@ def make_protocol(
     ``"ecma"``, ``flooding="tree"`` for ``"orwg"``); values may be given
     as serializable primitives and are normalized here.
 
-    The pseudo-option ``hardening`` is handled here for every protocol
-    (it is protocol-independent): ``"all"``, a feature name, a
-    ``+``/``,``-joined list, or a :class:`~repro.protocols.hardening.
-    HardeningConfig`; the resulting config is stamped onto the driver and
+    The pseudo-options ``hardening`` and ``validation`` are handled here
+    for every protocol (they are protocol-independent): ``"all"``, a
+    feature name, a ``+``/``,``-joined list, or the respective config
+    object; the resulting configs are stamped onto the driver and
     distributed to nodes at build time.
     """
     if isinstance(point_or_name, DesignPoint):
@@ -119,9 +120,12 @@ def make_protocol(
             ) from None
     opts = _normalize_options(dict(options))
     hardening = opts.pop("hardening", None)
+    validation = opts.pop("validation", None)
     protocol = factory(graph, policies, **opts)
     if hardening is not None:
         protocol.hardening = hardening_from(hardening)
+    if validation is not None:
+        protocol.validation = validation_from(validation)
     return protocol
 
 

@@ -233,9 +233,49 @@ class _TopoVectorNode(IDRPNode):
         self.order = order
         self.may_transit = may_transit
         self.down_only_transit = down_only_transit
+        self._honest_transit = (may_transit, down_only_transit)
 
     def _candidate_usable(self, ad: RouteAd) -> bool:
         return self.order.path_is_valid((self.ad_id,) + ad.path)
+
+    def _path_implausible(self, ad: RouteAd) -> Optional[str]:
+        # No terms in this regime: validate each transit hop against the
+        # *registered* AD roles instead (stubs may not transit; hybrids
+        # only toward their down-side), mirroring honest export exactly.
+        if self.trusted_graph is None:
+            return None
+        for i in range(len(ad.path) - 1):
+            hop = ad.path[i]
+            prev = self.ad_id if i == 0 else ad.path[i - 1]
+            if not self.trusted_graph.has_ad(hop):
+                return "unregistered AD on path"
+            kind = self.trusted_graph.ad(hop).kind
+            if not kind.may_transit:
+                return "registered stub AD transits"
+            if (
+                kind is ADKind.HYBRID
+                and self.order.direction(hop, prev) is not Direction.DOWN
+            ):
+                return "registered hybrid AD transits upward"
+        return None
+
+    def _tell_lie(self, lie: str, target: Optional[ADId] = None) -> bool:
+        if lie == "route-leak":
+            if self.may_transit and not self.down_only_transit:
+                # Already permitted full transit by the topology regime;
+                # there is nothing to leak.
+                return False
+            self._active_lies[lie] = None
+            self.may_transit = True
+            self.down_only_transit = False
+            self._pending.update(self.loc)
+            self._schedule_flush()
+            return True
+        return super()._tell_lie(lie, target)
+
+    def behave(self) -> None:
+        super().behave()
+        self.may_transit, self.down_only_transit = self._honest_transit
 
     def _export_scope(
         self, entry, dest: ADId, qos, to_nbr: ADId, cls: int = 0

@@ -115,5 +115,18 @@ class ProtocolNode:
     def on_link_change(self, link: InterADLink, up: bool) -> None:
         """An incident link changed status.  Default: do nothing."""
 
+    def misbehave(self, lie: str, target: Optional[ADId] = None) -> bool:
+        """Turn this node into a liar of the given kind.
+
+        Returns whether the lie is expressible in this protocol family
+        (a DV speaker has no policy terms to forge); the driver records
+        the outcome rather than failing the run.  Default: no lie is
+        expressible.
+        """
+        return False
+
+    def behave(self) -> None:
+        """Stop originating lies (already-sent lies are not withdrawn)."""
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(AD{self.ad_id})"

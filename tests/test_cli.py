@@ -129,6 +129,26 @@ class TestExperimentsRun:
         assert calls["loss"] == 0.1
         assert "table" in capsys.readouterr().out
 
+    def test_liar_and_lie_flags_reach_harness(self, monkeypatch, tmp_path):
+        calls = {}
+
+        def fake_run(name, **kwargs):
+            calls["name"] = name
+            calls.update(kwargs)
+            return SimpleNamespace(name=name), [], ""
+
+        monkeypatch.setattr("repro.harness.run_experiment", fake_run)
+        code = main([
+            "experiments", "run", "robustness-misbehavior",
+            "--liar", "ad=4", "--lie", "route-leak",
+            "--runs-dir", str(tmp_path),
+        ])
+        assert code == 0
+        # Dashed names normalize to the registered underscore name.
+        assert calls["name"] == "robustness_misbehavior"
+        assert calls["liar"] == "ad=4"
+        assert calls["lie"] == "route-leak"
+
     def test_overrides_default_to_none(self, monkeypatch, tmp_path):
         calls = {}
 

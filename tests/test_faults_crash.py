@@ -98,6 +98,37 @@ class TestRetiredNodes:
         assert fired == [True]
 
 
+class TestCrashCancelsTimers:
+    def test_stateless_crash_cancels_pending_timers(self):
+        # The process is gone: retransmit/refresh timers it armed must
+        # die with it, not fire into the dead node during the outage.
+        proto = converged_proto()
+        fired = []
+        proto.network.nodes[1].schedule(5.0, lambda: fired.append(True))
+        proto.crash_node(1, retain_state=False)
+        proto.network.run()
+        assert fired == []
+
+    def test_timer_stays_dead_across_restart(self):
+        proto = converged_proto()
+        fired = []
+        proto.network.nodes[1].schedule(5.0, lambda: fired.append(True))
+        proto.crash_node(1, retain_state=False)
+        proto.restore_node(1)
+        proto.network.run()
+        assert fired == []
+
+    def test_retained_crash_keeps_the_process_timers(self):
+        # retain_state models an isolated-but-running process: its own
+        # timers still fire (they just cannot reach the network).
+        proto = converged_proto()
+        fired = []
+        proto.network.nodes[1].schedule(5.0, lambda: fired.append(True))
+        proto.crash_node(1, retain_state=True)
+        proto.network.run()
+        assert fired == [True]
+
+
 class TestProtocolCrashRecovery:
     def test_neighbours_route_around_a_crash(self):
         proto = converged_proto()

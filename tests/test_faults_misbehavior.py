@@ -1,0 +1,136 @@
+"""Tests for misbehaving-AD plans: the lie vocabulary, deterministic
+liar/victim selection, and plan construction."""
+
+import pytest
+
+from repro.faults.misbehavior import (
+    LIES,
+    ROLES,
+    MisbehaviorPlan,
+    MisbehaviorStart,
+    MisbehaviorStop,
+    liar_by_role,
+    misbehavior_plan,
+    pick_victim_stub,
+)
+from tests.helpers import line_graph, small_hierarchy
+
+
+class TestVocabulary:
+    def test_lies_cover_the_threat_model(self):
+        assert LIES == (
+            "route-leak",
+            "bogus-origin",
+            "stale-replay",
+            "metric-lie",
+            "term-forgery",
+        )
+
+    def test_roles(self):
+        assert ROLES == ("stub", "regional", "backbone")
+
+
+class TestPlan:
+    def test_events_must_be_time_ordered(self):
+        with pytest.raises(ValueError, match="time-ordered"):
+            MisbehaviorPlan(
+                (MisbehaviorStop(10.0, 1), MisbehaviorStart(5.0, 1, "metric-lie"))
+            )
+
+    def test_unknown_lie_rejected(self):
+        with pytest.raises(ValueError, match="unknown lie"):
+            MisbehaviorPlan((MisbehaviorStart(0.0, 1, "gaslighting"),))
+
+    def test_iteration_and_horizon(self):
+        plan = MisbehaviorPlan(
+            (
+                MisbehaviorStart(5.0, 1, "metric-lie"),
+                MisbehaviorStop(30.0, 1),
+            )
+        )
+        assert len(plan) == 2
+        assert [type(ev) for ev in plan] == [MisbehaviorStart, MisbehaviorStop]
+        assert plan.horizon == 30.0
+
+    def test_empty_plan(self):
+        plan = MisbehaviorPlan(())
+        assert len(plan) == 0
+        assert plan.horizon == 0.0
+
+
+class TestLiarSelection:
+    def test_picks_highest_degree_of_role(self):
+        g = small_hierarchy()
+        assert liar_by_role(g, "backbone") == 0
+        # Regionals 1 and 2 tie on degree 4; the id breaks the tie.
+        assert liar_by_role(g, "regional") == 1
+        assert liar_by_role(g, "regional", seed=1) == 2
+        # Stub 3 has the bypass link, so it out-degrees its siblings.
+        assert liar_by_role(g, "stub") == 3
+
+    def test_seed_rotates_deterministically(self):
+        g = small_hierarchy()
+        n_regionals = 2
+        for seed in range(5):
+            assert liar_by_role(g, "regional", seed=seed) == liar_by_role(
+                g, "regional", seed=seed + n_regionals
+            )
+
+    def test_unknown_role_rejected(self):
+        with pytest.raises(ValueError, match="unknown liar role"):
+            liar_by_role(small_hierarchy(), "tier-1")
+
+    def test_missing_role_is_loud(self):
+        with pytest.raises(ValueError, match="no backbone AD"):
+            liar_by_role(line_graph(3), "backbone")
+
+
+class TestVictimSelection:
+    def test_victim_is_a_non_adjacent_foreign_stub(self):
+        g = small_hierarchy()
+        for seed in range(4):
+            victim = pick_victim_stub(g, 1, seed=seed)
+            assert victim in {5, 6}  # 3 and 4 hang off the liar itself
+            assert not g.has_link(1, victim)
+
+    def test_no_candidate_is_loud(self):
+        # A 2-node line: the only other AD is adjacent.
+        with pytest.raises(ValueError, match="no non-adjacent stub"):
+            pick_victim_stub(line_graph(2, "Cs"), 0)
+
+
+class TestMisbehaviorPlanBuilder:
+    def test_default_is_open_ended(self):
+        g = small_hierarchy()
+        plan = misbehavior_plan(g, "route-leak", start_time=100.0)
+        assert len(plan) == 1
+        [start] = plan
+        assert start == MisbehaviorStart(100.0, 0, "route-leak", None)
+
+    def test_duration_adds_a_stop(self):
+        g = small_hierarchy()
+        plan = misbehavior_plan(g, "metric-lie", start_time=50.0, duration=25.0)
+        events = list(plan)
+        assert isinstance(events[1], MisbehaviorStop)
+        assert events[1].time == 75.0
+        assert plan.horizon == 75.0
+
+    def test_explicit_liar_overrides_role(self):
+        g = small_hierarchy()
+        plan = misbehavior_plan(g, "metric-lie", liar=5, role="backbone")
+        assert next(iter(plan)).ad == 5
+
+    def test_unknown_liar_rejected(self):
+        with pytest.raises(ValueError, match="not in the topology"):
+            misbehavior_plan(small_hierarchy(), "metric-lie", liar=99)
+
+    def test_unknown_lie_rejected(self):
+        with pytest.raises(ValueError, match="unknown lie"):
+            misbehavior_plan(small_hierarchy(), "perjury")
+
+    def test_bogus_origin_carries_a_victim(self):
+        g = small_hierarchy()
+        plan = misbehavior_plan(g, "bogus-origin", role="regional")
+        [start] = plan
+        assert start.ad == 1
+        assert start.target in {5, 6}

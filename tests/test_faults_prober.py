@@ -28,12 +28,20 @@ class TestClassification:
         pulse = RoutePulse(proto, [FlowSpec(0, 2)])
         assert pulse._classify(FlowSpec(0, 2)) == "ok"
 
-    def test_crashed_endpoint_is_blackhole(self):
+    def test_crashed_destination_is_blackhole(self):
         proto = converged_proto()
         proto.crash_node(2, retain_state=True)
         pulse = RoutePulse(proto, [])
         assert pulse._classify(FlowSpec(0, 2)) == "blackhole"
-        assert pulse._classify(FlowSpec(2, 0)) == "blackhole"
+
+    def test_crashed_source_yields_no_sample(self):
+        # A crashed source is not a vantage point: there is nobody to
+        # originate the probe, so the round records nothing rather than
+        # charging the protocol with a blackhole it cannot fix.
+        proto = converged_proto()
+        proto.crash_node(2, retain_state=True)
+        pulse = RoutePulse(proto, [])
+        assert pulse._classify(FlowSpec(2, 0)) is None
 
     def test_unroutable_flow_is_blackhole(self):
         from repro.policy.database import PolicyDatabase
@@ -60,6 +68,60 @@ class TestClassification:
         # believes in (0, 1, 2) but the hop is dead.
         proto.network.crash_node(1)
         assert pulse._classify(FlowSpec(0, 2)) == "stale"
+
+
+def leaky_proto():
+    """Backbone 0 between stubs 3 and 4; its registered term refuses
+    source 3, then it leaks.  Flow 3->4 gains an illegal route through
+    the liar; flow 4->3 always legitimately crossed it."""
+    from repro.policy.database import PolicyDatabase
+    from repro.policy.sets import ADSet
+    from repro.policy.terms import PolicyTerm
+
+    g = mk_graph([(0, "Bt"), (3, "Cs"), (4, "Cs")], [(0, 3), (0, 4)])
+    db = PolicyDatabase([PolicyTerm(owner=0, sources=ADSet.excluding([3]))])
+    proto = LinkStateHopByHopProtocol(g, db)
+    proto.converge()
+    return proto
+
+
+class TestHijackClassification:
+    def test_new_suspect_transit_is_hijacked(self):
+        proto = leaky_proto()
+        flow = FlowSpec(3, 4)
+        reference = {flow: proto.find_route(flow)}  # None: no legal route
+        assert proto.start_misbehavior(0, "route-leak")
+        proto.network.run()
+        pulse = RoutePulse(proto, [flow], reference_routes=reference)
+        assert pulse._classify(flow) == "hijacked"
+
+    def test_preexisting_transit_is_not_hijacked(self):
+        proto = leaky_proto()
+        flow = FlowSpec(4, 3)
+        reference = {flow: proto.find_route(flow)}
+        assert reference[flow] == (4, 0, 3)
+        assert proto.start_misbehavior(0, "route-leak")
+        proto.network.run()
+        # The flow always routed through the future liar: its route is
+        # what it was, not a hijack.
+        pulse = RoutePulse(proto, [flow], reference_routes=reference)
+        assert pulse._classify(flow) == "ok"
+
+    def test_no_reference_disables_detection(self):
+        proto = leaky_proto()
+        flow = FlowSpec(3, 4)
+        assert proto.start_misbehavior(0, "route-leak")
+        proto.network.run()
+        pulse = RoutePulse(proto, [flow])
+        assert pulse._classify(flow) == "ok"
+
+    def test_no_suspects_means_no_hijack(self):
+        proto = leaky_proto()
+        flow = FlowSpec(4, 3)
+        pulse = RoutePulse(
+            proto, [flow], reference_routes={flow: proto.find_route(flow)}
+        )
+        assert pulse._classify(flow) == "ok"
 
 
 class TestRun:

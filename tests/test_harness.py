@@ -12,6 +12,7 @@ from repro.harness import (
     ExperimentSpec,
     FailureSpec,
     FaultSpec,
+    MisbehaviorSpec,
     ProtocolSpec,
     RunRecord,
     ScenarioSpec,
@@ -21,6 +22,7 @@ from repro.harness import (
     run_spec,
     write_jsonl,
 )
+from repro.harness.experiments import _parse_liar
 from repro.harness.session import _parse_trace
 
 
@@ -141,7 +143,7 @@ class TestRobustnessCell:
         assert rob is not None
         assert rob["samples"] > 0
         assert 0.0 <= rob["availability"] <= 1.0
-        assert set(rob["counts"]) == {"ok", "stale", "loop", "blackhole"}
+        assert set(rob["counts"]) == {"ok", "stale", "loop", "blackhole", "hijacked"}
 
     def test_inert_fault_leaves_record_byte_identical(self):
         base = small_spec(
@@ -157,6 +159,100 @@ class TestRobustnessCell:
         [b] = (execute_cell(c) for c in explicit.cells())
         assert a.comparable() == b.comparable()
         assert a.channel is None and a.robustness is None
+
+
+class TestMisbehaviorSpec:
+    def test_default_is_inert(self):
+        spec = MisbehaviorSpec()
+        assert not spec.active
+        assert spec.display == "none"
+        assert len(spec.build_plan(None)) == 0
+
+    def test_display_names_lie_and_liar(self):
+        assert MisbehaviorSpec(lie="route-leak").display == "route-leak@backbone"
+        assert (
+            MisbehaviorSpec(lie="metric-lie", liar_ad=5).display
+            == "metric-lie@ad=5"
+        )
+        assert MisbehaviorSpec(label="baseline").display == "baseline"
+
+    def test_horizon_covers_the_probe_window(self):
+        spec = MisbehaviorSpec(lie="route-leak", start_time=150.0)
+        assert spec.horizon == 150.0 + MisbehaviorSpec.PROBE_WINDOW
+        assert (
+            MisbehaviorSpec(lie="route-leak", start_time=150.0, duration=40.0).horizon
+            == 190.0 + MisbehaviorSpec.PROBE_WINDOW
+        )
+
+    def test_misbehavior_axis_is_innermost(self):
+        spec = small_spec(
+            failures=(FailureSpec(),),
+            misbehaviors=(MisbehaviorSpec(), MisbehaviorSpec(lie="metric-lie")),
+        )
+        cells = spec.cells()
+        assert len(cells) == 1 * 2 * 1 * 2
+        assert cells[0].misbehavior.display == "none"
+        assert cells[1].misbehavior.display == "metric-lie@backbone"
+        assert cells[0].protocol.name == cells[1].protocol.name
+
+    def test_cell_key_carries_misbehavior(self):
+        spec = small_spec(
+            misbehaviors=(MisbehaviorSpec(lie="route-leak", label="leak"),)
+        )
+        assert all(c.key()["misbehavior"] == "leak" for c in spec.cells())
+
+
+class TestMisbehaviorCell:
+    def test_misbehavior_block_recorded(self):
+        [cell] = small_spec(
+            protocols=(ProtocolSpec("ls-hbh"),),
+            failures=(FailureSpec(),),
+            misbehaviors=(MisbehaviorSpec(lie="route-leak", liar_role="regional"),),
+        ).cells()
+        record = execute_cell(cell)
+        block = record.misbehavior
+        assert block is not None
+        assert block["lie"] == "route-leak"
+        assert block["applied"]
+        assert block["liar"] in block["suspects"]
+        assert isinstance(block["blast_series"], list)
+        assert block["peak_blast"] >= block["steady_blast"] >= 0
+        assert block["validation"] == "none"
+        # The pulse ran with the hijack verdict available.
+        assert record.robustness is not None
+        assert "hijacked" in record.robustness["counts"]
+
+    def test_inert_misbehavior_leaves_record_byte_identical(self):
+        base = small_spec(
+            protocols=(ProtocolSpec("ls-hbh"),),
+            failures=(FailureSpec(),),
+        )
+        explicit = small_spec(
+            protocols=(ProtocolSpec("ls-hbh"),),
+            failures=(FailureSpec(),),
+            misbehaviors=(MisbehaviorSpec(),),
+        )
+        [a] = (execute_cell(c) for c in base.cells())
+        [b] = (execute_cell(c) for c in explicit.cells())
+        assert a.comparable() == b.comparable()
+        assert a.misbehavior is None
+
+    def test_lie_free_validating_cell_records_counters(self):
+        # The zero-false-quarantine baseline claim needs the counters
+        # even when nobody lies.
+        [cell] = small_spec(
+            protocols=(
+                ProtocolSpec("ls-hbh", options=(("validation", "all"),)),
+            ),
+            failures=(FailureSpec(),),
+        ).cells()
+        record = execute_cell(cell)
+        block = record.misbehavior
+        assert block is not None
+        assert not block["applied"]
+        assert block["liar"] is None
+        assert block["counters"]["violations"] == 0
+        assert block["counters"]["false_quarantines"] == 0
 
 
 class TestExecuteCell:
@@ -248,6 +344,24 @@ class TestRecordSerde:
         with pytest.raises(ValueError, match="schema"):
             RunRecord.from_json(line)
 
+    def test_v2_lines_migrate_to_v3(self):
+        # A v2 line predates the misbehavior axis entirely: no top-level
+        # block, no cell key.  It must load with both defaulted.
+        [record] = run_spec(
+            small_spec(protocols=(ProtocolSpec("idrp"),), failures=(FailureSpec(),))
+        )
+        v2 = json.loads(record.to_json())
+        v2["schema_version"] = 2
+        del v2["misbehavior"]
+        del v2["cell"]["misbehavior"]
+        back = RunRecord.from_json(json.dumps(v2))
+        assert back.schema_version == SCHEMA_VERSION
+        assert back.misbehavior is None
+        assert back.cell["misbehavior"] == "none"
+        # Migration reconstructs exactly what a v3 writer records for an
+        # inert misbehavior axis: the round trip is lossless.
+        assert back.comparable() == record.comparable()
+
     def test_episode_link_round_trips_as_tuple(self):
         ep = EpisodeRecord(
             kind="failure", messages=1, bytes=2, time=3.0, events=4,
@@ -283,3 +397,45 @@ class TestNamedExperiments:
         assert os.path.exists(tmp_path / "table1_design_space_smoke.jsonl")
         assert len(records) == 8
         assert "Table 1 (measured)" in text
+
+    def test_parse_liar(self):
+        assert _parse_liar("ad=7") == {"liar_ad": 7, "liar_role": "backbone"}
+        assert _parse_liar("stub") == {"liar_ad": -1, "liar_role": "stub"}
+        with pytest.raises(ValueError, match="bad liar"):
+            _parse_liar("ad=three")
+        with pytest.raises(ValueError, match="bad liar"):
+            _parse_liar("tier-1")
+
+    def test_bad_lie_override_rejected(self):
+        with pytest.raises(ValueError, match="bad lie"):
+            run_experiment("robustness_misbehavior", smoke=True, lie="perjury")
+
+    def test_e12_smoke_grid(self, tmp_path):
+        spec, records, text = run_experiment(
+            "robustness_misbehavior", smoke=True, runs_dir=str(tmp_path)
+        )
+        # 2 protocols x {plain, +v} x {baseline, backbone leak}.
+        assert len(records) == 8
+        assert {p.display for p in spec.protocols} == {
+            "ls-hbh", "ls-hbh+v", "orwg", "orwg+v",
+        }
+        assert [m.display for m in spec.misbehaviors] == [
+            "baseline", "route-leak@backbone",
+        ]
+        for record in records:
+            if record.cell["misbehavior"] == "route-leak@backbone":
+                assert record.misbehavior is not None
+                assert record.misbehavior["applied"]
+        assert "steady" in text and "route-leak@backbone" in text
+
+    def test_liar_and_lie_overrides_rewrite_the_axis(self, tmp_path):
+        spec, records, _ = run_experiment(
+            "robustness_misbehavior",
+            smoke=True,
+            runs_dir=str(tmp_path),
+            liar="ad=4",
+            lie="metric-lie",
+        )
+        # Baseline and leak points collapse onto one overridden liar.
+        assert [m.display for m in spec.misbehaviors] == ["metric-lie@ad=4"]
+        assert all(r.misbehavior["liar"] == 4 for r in records)

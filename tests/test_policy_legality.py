@@ -97,6 +97,28 @@ class TestFirstViolation:
         msg = first_violation(line, db, [0, 1, 2, 3], FlowSpec(0, 3))
         assert "AD 2" in msg
 
+    def test_empty_path(self, line, line_db):
+        assert first_violation(line, line_db, [], FlowSpec(0, 3)) == "empty path"
+
+    def test_single_ad_path_legal_iff_src_is_dst(self, line, line_db):
+        assert first_violation(line, line_db, [0], FlowSpec(0, 0)) is None
+        # A one-AD path to somewhere else fails on the endpoint check,
+        # never on transit policy (there are no transits to consult).
+        assert "ends at" in first_violation(line, line_db, [0], FlowSpec(0, 3))
+        assert "starts at" in first_violation(line, line_db, [1], FlowSpec(0, 3))
+
+    def test_loop_reported_before_link_and_policy(self, line):
+        # The looping path also crosses a nonexistent link and has no
+        # transit terms; the loop verdict must win (it is checked on the
+        # path shape alone, before any ground-truth lookups).
+        db = PolicyDatabase()
+        msg = first_violation(line, db, [0, 1, 0, 2, 3], FlowSpec(0, 3))
+        assert msg == "path contains a loop"
+
+    def test_loop_returning_to_source(self, line, line_db):
+        msg = first_violation(line, line_db, [0, 1, 0], FlowSpec(0, 0))
+        assert msg == "path contains a loop"
+
 
 class TestPathCost:
     def test_sums_metric(self, diamond):

@@ -77,6 +77,24 @@ class TestADSetAlgebra:
         assert not ADSet.of([1]).intersect(ADSet.of([1, 2])).is_empty
         assert ADSet.of([1]).intersect(ADSet.excluding([1])).is_empty
 
+    def test_subset_cases(self):
+        assert ADSet.of([1]).is_subset_of(ADSet.of([1, 2]))
+        assert not ADSet.of([1, 3]).is_subset_of(ADSet.of([1, 2]))
+        assert ADSet.of([2]).is_subset_of(ADSet.excluding([1]))
+        assert not ADSet.of([1]).is_subset_of(ADSet.excluding([1]))
+        assert ADSet.excluding([1, 2]).is_subset_of(ADSet.excluding([1]))
+        assert not ADSet.excluding([1]).is_subset_of(ADSet.excluding([1, 2]))
+        # A cofinite set never fits inside a finite one.
+        assert not ADSet.excluding([1]).is_subset_of(ADSet.of(range(100)))
+        assert ADSet.none().is_subset_of(ADSet.of([]))
+        assert ADSet.everyone().is_subset_of(ADSet.excluding([]))
+
+    @settings(max_examples=200, deadline=None)
+    @given(a=_adsets, b=_adsets, x=st.integers(0, 9))
+    def test_subset_implies_pointwise_containment(self, a, b, x):
+        if a.is_subset_of(b) and a.matches(x):
+            assert b.matches(x)
+
 
 class TestTimeWindow:
     def test_universal_by_default(self):
