@@ -43,6 +43,7 @@ REQUIRED_OUTPUTS = {
     "granularity.txt",
     "partial_order.txt",
     "robustness.txt",
+    "robustness_churn.txt",
     "robustness_misbehavior.txt",
     "scaling.txt",
     "setup_overhead.txt",

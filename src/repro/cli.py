@@ -245,6 +245,9 @@ def cmd_experiments_run(args: argparse.Namespace) -> int:
             loss=args.loss,
             liar=args.liar,
             lie=args.lie,
+            queue_capacity=args.queue_capacity,
+            churn_hz=args.churn_hz,
+            pacing=args.pacing,
         )
         print(text)
         jsonl = os.path.join(args.runs_dir, f"{spec.name}.jsonl")
@@ -283,6 +286,8 @@ def cmd_experiments(args: argparse.Namespace) -> int:
          "bench_robustness.py"),
         ("E12", "Misbehaving-AD blast radius and containment",
          "bench_robustness_misbehavior.py"),
+        ("E13", "Control-plane overload under a churn storm",
+         "bench_robustness_churn.py"),
         ("A1-A4", "Ablations: fast path, flooding scope, PG caches, "
          "multi-route IDRP", "bench_ablations.py"),
     ]
@@ -392,6 +397,15 @@ def build_parser() -> argparse.ArgumentParser:
                     help="override the lie told on the misbehavior axis "
                          "(route-leak, bogus-origin, stale-replay, "
                          "metric-lie, term-forgery)")
+    ep.add_argument("--queue-capacity", type=int, default=None,
+                    help="override the bounded ingress-queue capacity on "
+                         "the fault axis (negative removes the queue)")
+    ep.add_argument("--churn-hz", type=float, default=None,
+                    help="override the churn-storm flap frequency on the "
+                         "fault axis (cycles per time unit)")
+    ep.add_argument("--pacing", choices=("off", "pace", "holddown",
+                                         "damp", "full"), default=None,
+                    help="override every protocol point's pacing config")
     ep.set_defaults(fn=cmd_experiments_run)
 
     return parser

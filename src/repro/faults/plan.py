@@ -31,7 +31,7 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional, Tuple, Union
 
-from repro.adgraph.ad import ADId
+from repro.adgraph.ad import ADId, LinkKind
 from repro.adgraph.failures import FailurePlan, safe_failure_candidates
 from repro.adgraph.graph import InterADGraph
 from repro.faults.channel import PERFECT, Impairment
@@ -147,6 +147,60 @@ def link_flap_plan(
         events.append(LinkFault(t, a, b, up=False))
         events.append(LinkFault(t + down_for, a, b, up=True))
         t += spacing
+    return FaultPlan(tuple(events))
+
+
+def churn_storm_plan(
+    graph: InterADGraph,
+    hz: float = 0.02,
+    links: int = 3,
+    start_time: float = 100.0,
+    duration: float = 400.0,
+    seed: int = 0,
+) -> FaultPlan:
+    """Sustained concurrent link flapping: the E13 churn storm.
+
+    ``links`` links each flap at ``hz`` cycles per time unit for
+    ``duration``: down at every period start, up half a period later,
+    all links in phase.  Unlike :func:`link_flap_plan` the flaps overlap
+    rather than occupying separate windows, so update load accumulates
+    -- this is the workload that overflows bounded ingress queues and
+    that flap damping is designed to quench.
+
+    Candidates are the non-bridge links, *preferring* lateral/bypass
+    links (the paper's redundancy links): flapping those stresses
+    alternate-path selection everywhere without partitioning anyone.
+    Hierarchical links are used only when there are not enough.
+    """
+    if hz <= 0:
+        raise ValueError("churn frequency must be > 0")
+    if duration <= 0:
+        raise ValueError("churn duration must be > 0")
+    rng = random.Random(seed)
+    candidates = safe_failure_candidates(graph)
+    if len(candidates) < links:
+        raise ValueError(
+            f"only {len(candidates)} safe candidate links, need {links}"
+        )
+    by_key = {ln.key: ln for ln in graph.links(include_down=False)}
+    preferred = [
+        key
+        for key in candidates
+        if by_key[key].kind in (LinkKind.LATERAL, LinkKind.BYPASS)
+    ]
+    rest = [key for key in candidates if key not in preferred]
+    rng.shuffle(preferred)
+    rng.shuffle(rest)
+    chosen = (preferred + rest)[:links]
+    period = 1.0 / hz
+    events: List[FaultEvent] = []
+    for a, b in chosen:
+        t = start_time
+        while t < start_time + duration:
+            events.append(LinkFault(t, a, b, up=False))
+            events.append(LinkFault(t + period / 2.0, a, b, up=True))
+            t += period
+    events.sort(key=lambda ev: ev.time)
     return FaultPlan(tuple(events))
 
 

@@ -373,6 +373,125 @@ def _render_robustness(spec: ExperimentSpec, records: Sequence[RunRecord]) -> st
 
 
 # --------------------------------------------------------------------------
+# E13 -- Control-plane overload under a churn storm (bench_robustness_churn)
+
+#: Churn-storm flap frequencies (cycles per time unit, per flapped link).
+CHURN_RATES: Tuple[float, ...] = (0.1, 0.25)
+CHURN_RATES_SMOKE: Tuple[float, ...] = (0.25,)
+#: Bounded ingress-queue capacities of the sweep.
+CHURN_QUEUES: Tuple[int, ...] = (4, 32)
+CHURN_QUEUES_SMOKE: Tuple[int, ...] = (4,)
+
+#: Event budget for E13 cells: deliberately tight (initial convergence
+#: needs at most ~23k events on the reference internet), so a protocol
+#: that cannot quench the storm *measurably* melts down (hits the
+#: limit) instead of burning minutes proving the same thing at 5M
+#: events.
+CHURN_MAX_EVENTS = 60_000
+
+
+def _churn_fault(hz: float, capacity: int, smoke: bool) -> FaultSpec:
+    return FaultSpec(
+        churn_hz=hz,
+        churn_links=2 if smoke else 6,
+        churn_duration=120.0 if smoke else 240.0,
+        queue_capacity=capacity,
+        seed=7,
+        start_time=50.0,
+        spacing=100.0,
+        probe_interval=20.0,
+        probe_flows=12 if smoke else 24,
+        label=f"{hz:g}Hz/q{capacity}",
+    )
+
+
+def _churn_protocols(smoke: bool) -> Tuple[ProtocolSpec, ...]:
+    """Every design point raw, hardened, and paced+damped (the E13 triple)."""
+    names = ("ls-hbh", "orwg") if smoke else DESIGN_POINT_NAMES
+    out: List[ProtocolSpec] = []
+    for name in names:
+        out.append(ProtocolSpec(name))
+        out.append(
+            ProtocolSpec(name, label=f"{name}+h", options=(("hardening", "all"),))
+        )
+        out.append(
+            ProtocolSpec(
+                name,
+                label=f"{name}+pd",
+                options=(("hardening", "all"), ("pacing", "all")),
+            )
+        )
+    return tuple(out)
+
+
+def _churn_spec(smoke: bool) -> ExperimentSpec:
+    rates = CHURN_RATES_SMOKE if smoke else CHURN_RATES
+    queues = CHURN_QUEUES_SMOKE if smoke else CHURN_QUEUES
+    return ExperimentSpec(
+        name="robustness_churn",
+        scenarios=(
+            ScenarioSpec(kind="reference", seed=5, num_flows=12 if smoke else 24),
+        ),
+        protocols=_churn_protocols(smoke),
+        faults=tuple(
+            _churn_fault(hz, capacity, smoke)
+            for hz in rates
+            for capacity in queues
+        ),
+        evaluate=True,
+        max_events=CHURN_MAX_EVENTS,
+    )
+
+
+def _render_churn(spec: ExperimentSpec, records: Sequence[RunRecord]) -> str:
+    num_ads = records[0].scenario["num_ads"]
+    fault = spec.faults[0]
+    table = Table(
+        "protocol",
+        "storm",
+        "avail",
+        "ok%",
+        "ttr",
+        "peakq",
+        "drops",
+        "sup",
+        "paced",
+        "duty",
+        title=(
+            "E13: control-plane overload under a churn storm "
+            f"({num_ads} ADs; {fault.churn_links} lateral links flapping "
+            "concurrently through a bounded ingress queue; avail = legal "
+            "routes found after the storm, ok% = probed reachability during "
+            "it, ttr = mean time-to-repair, peakq/drops = worst queue depth "
+            "and overflow drops, sup = damped announcements, paced = "
+            "deferred update batches, duty = mean ingress service duty "
+            "cycle; '*' = event budget hit, i.e. the storm was never "
+            "quenched)"
+        ),
+    )
+    n_faults = len(spec.faults)
+    for pi, protocol in enumerate(spec.protocols):
+        for fi, fault in enumerate(spec.faults):
+            rec = records[pi * n_faults + fi]
+            star = "" if rec.quiesced else "*"
+            overload = rec.overload or {}
+            table.add(
+                protocol.display,
+                fault.display,
+                f"{rec.route_quality['availability']:.2f}{star}",
+                f"{100 * rec.robustness['availability']:.0f}",
+                f"{rec.robustness['mean_ttr']:.0f}",
+                overload.get("peak_depth", "-"),
+                overload.get("dropped", "-"),
+                overload.get("suppressed_announcements", 0)
+                + overload.get("suppressions", 0),
+                overload.get("paced_deferrals", 0),
+                f"{overload.get('duty_cycle', 0.0):.2f}",
+            )
+    return table.render()
+
+
+# --------------------------------------------------------------------------
 # E12 -- Misbehaving-AD blast radius and containment
 # (bench_robustness_misbehavior)
 
@@ -555,6 +674,13 @@ EXPERIMENTS: Dict[str, Experiment] = {
             build_spec=_misbehavior_spec,
             render=_render_misbehavior,
         ),
+        Experiment(
+            name="robustness_churn",
+            eid="E13",
+            description="Control-plane overload under a churn storm",
+            build_spec=_churn_spec,
+            render=_render_churn,
+        ),
     )
 }
 
@@ -585,6 +711,9 @@ def run_experiment(
     loss: Optional[float] = None,
     liar: Optional[str] = None,
     lie: Optional[str] = None,
+    queue_capacity: Optional[int] = None,
+    churn_hz: Optional[float] = None,
+    pacing: Optional[str] = None,
 ) -> Tuple[ExperimentSpec, List[RunRecord], str]:
     """Run a named experiment; returns (spec, records, rendered table).
 
@@ -596,7 +725,10 @@ def run_experiment(
     points after the override collapse, preserving order).  ``liar``
     (``'ad=<id>'`` or a role name) and ``lie`` (a lie kind, applied to
     the active misbehavior points only) override the misbehavior axis
-    the same way.
+    the same way.  ``queue_capacity`` (negative removes the queue) and
+    ``churn_hz`` override every fault point's ingress queue and churn
+    storm; ``pacing`` (``'off'``, a feature name, or ``'full'``)
+    replaces every protocol point's pacing option.
     """
     try:
         experiment = EXPERIMENTS[name]
@@ -619,6 +751,33 @@ def run_experiment(
             if fault not in overridden:
                 overridden.append(fault)
         spec = replace(spec, faults=tuple(overridden))
+    if queue_capacity is not None or churn_hz is not None:
+        fields: Dict[str, Any] = {}
+        if queue_capacity is not None:
+            fields["queue_capacity"] = None if queue_capacity < 0 else queue_capacity
+        if churn_hz is not None:
+            fields["churn_hz"] = churn_hz
+        overridden = []
+        for fault in spec.faults:
+            fault = replace(fault, label=None, **fields)
+            if fault not in overridden:
+                overridden.append(fault)
+        spec = replace(spec, faults=tuple(overridden))
+    if pacing is not None:
+        from repro.protocols.pacing import pacing_from
+
+        pacing_from("" if pacing == "off" else pacing)  # validate early
+        protocols = []
+        for point in spec.protocols:
+            options = tuple(
+                (k, v) for k, v in point.options if k != "pacing"
+            )
+            if pacing != "off":
+                options = options + (("pacing", pacing),)
+            point = replace(point, options=options)
+            if point not in protocols:
+                protocols.append(point)
+        spec = replace(spec, protocols=tuple(protocols))
     if liar is not None or lie is not None:
         from repro.faults.misbehavior import LIES
 

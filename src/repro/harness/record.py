@@ -26,7 +26,9 @@ from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 #: v3: added the optional ``misbehavior`` block (liar identity, blast
 #: radius, containment latency, validation counters) and ``misbehavior``
 #: in the cell key; v2 lines load with both defaulted.
-SCHEMA_VERSION = 3
+#: v4: added the optional ``overload`` block (bounded-ingress queue
+#: counters and pacing/damping totals); v3 lines load with it defaulted.
+SCHEMA_VERSION = 4
 
 
 @dataclass(frozen=True)
@@ -97,6 +99,10 @@ class RunRecord:
         misbehavior: Misbehaving-AD block (liar, lie, whether the lie was
             expressible, blast-radius series stats, containment latency,
             validation counters), when the cell had a misbehavior axis.
+        overload: Control-plane overload block (ingress-queue peak depth,
+            drops, deferred deliveries, service duty cycle, plus pacing
+            deferrals and damping suppression totals), when the cell had
+            a bounded ingress queue or any pacing feature enabled.
         timings: Wall-clock phase seconds (``build``, ``converge``,
             ``engine.run``, ``failures``, ``evaluate``).  Never compare
             these for determinism -- they are honest wall-clock.
@@ -118,6 +124,7 @@ class RunRecord:
     channel: Optional[Mapping[str, int]] = None
     robustness: Optional[Mapping[str, Any]] = None
     misbehavior: Optional[Mapping[str, Any]] = None
+    overload: Optional[Mapping[str, Any]] = None
     timings: Mapping[str, float] = field(default_factory=dict)
     trace: Optional[Tuple[str, ...]] = None
 
@@ -155,6 +162,10 @@ class RunRecord:
             # v2 -> v3: the misbehavior axis did not exist; default it.
             data.setdefault("misbehavior", None)
             data.setdefault("cell", {}).setdefault("misbehavior", "none")
+            version = 3
+        if version == 3:
+            # v3 -> v4: the overload block did not exist; default it.
+            data.setdefault("overload", None)
             version = SCHEMA_VERSION
         if version != SCHEMA_VERSION:
             raise ValueError(
@@ -190,6 +201,7 @@ class RunRecord:
             channel=data.get("channel"),
             robustness=data.get("robustness"),
             misbehavior=data.get("misbehavior"),
+            overload=data.get("overload"),
             timings=data.get("timings", {}),
             trace=tuple(trace) if trace is not None else None,
         )

@@ -37,6 +37,7 @@ from repro.harness.record import (
 )
 from repro.harness.spec import Cell, ExperimentSpec
 from repro.protocols.base import ForwardingMode
+from repro.simul.ingress import IngressConfig
 from repro.simul.profiling import PhaseProfiler
 from repro.simul.runner import ConvergenceResult, converge
 from repro.simul.trace import Tracer
@@ -136,6 +137,19 @@ def execute_cell(cell: Cell) -> RunRecord:
     with profiler.phase("converge"):
         initial = converge(network, max_events=cell.max_events)
     episodes: List[EpisodeRecord] = [EpisodeRecord.from_result("initial", initial)]
+
+    ingress_start = network.sim.now
+    if cell.fault.queued:
+        # The bounded queue arms *after* initial convergence, so E13
+        # measures the overload response to churn, not a cold start
+        # through a saturated queue.
+        network.set_ingress(
+            IngressConfig(
+                capacity=cell.fault.queue_capacity,
+                service_time=cell.fault.queue_service,
+                policy=cell.fault.queue_policy,
+            )
+        )
 
     plan = cell.failure.build(scenario.graph)
     if plan is not None:
@@ -261,6 +275,16 @@ def execute_cell(cell: Cell) -> RunRecord:
             "source_control": protocol.mode is ForwardingMode.SOURCE,
         }
 
+    overload = None
+    if network.ingress is not None or protocol.pacing.any_enabled:
+        overload = {"pacing": str(protocol.pacing)}
+        overload.update(protocol.pacing_summary())
+        if network.ingress is not None:
+            elapsed = max(network.sim.now - ingress_start, 0.0)
+            overload.update(
+                network.ingress.counters(elapsed, scenario.graph.num_ads)
+            )
+
     snapshot = network.metrics.snapshot(network.sim.now)
     by_kind: Dict[str, int] = {}
     by_ad: Dict[str, int] = {}
@@ -298,6 +322,7 @@ def execute_cell(cell: Cell) -> RunRecord:
         channel=network.channel.counters() if network.channel else None,
         robustness=robustness,
         misbehavior=misbehavior,
+        overload=overload,
         timings=profiler.as_dict(),
         trace=trace_lines,
     )

@@ -30,6 +30,7 @@ from repro.faults.misbehavior import MisbehaviorPlan, misbehavior_plan
 from repro.faults.plan import (
     FaultPlan,
     ad_crash_plan,
+    churn_storm_plan,
     link_flap_plan,
     merge_plans,
 )
@@ -206,6 +207,18 @@ class FaultSpec:
     flaps: int = 0
     crashes: int = 0
     retain_state: bool = False
+    #: Churn storm (E13): ``churn_hz`` > 0 flaps ``churn_links`` links
+    #: concurrently at that frequency for ``churn_duration``, after the
+    #: sequenced flaps/crashes (if any).
+    churn_hz: float = 0.0
+    churn_links: int = 3
+    churn_duration: float = 400.0
+    #: Bounded ingress queue (E13): ``queue_capacity`` >= 0 attaches an
+    #: :class:`~repro.simul.ingress.IngressModel` after initial
+    #: convergence; ``None`` keeps the unbounded legacy delivery.
+    queue_capacity: Optional[int] = None
+    queue_policy: str = "tail-drop"
+    queue_service: float = 0.5
     seed: int = 0
     start_time: float = 100.0
     spacing: float = 400.0
@@ -225,12 +238,17 @@ class FaultSpec:
 
     @property
     def churns(self) -> bool:
-        """Whether a churn timeline (flaps/crashes) is configured."""
-        return self.flaps > 0 or self.crashes > 0
+        """Whether a churn timeline (flaps/crashes/storm) is configured."""
+        return self.flaps > 0 or self.crashes > 0 or self.churn_hz > 0
+
+    @property
+    def queued(self) -> bool:
+        """Whether a bounded ingress queue is configured."""
+        return self.queue_capacity is not None
 
     @property
     def active(self) -> bool:
-        return self.impaired or self.churns
+        return self.impaired or self.churns or self.queued
 
     @property
     def display(self) -> str:
@@ -251,6 +269,10 @@ class FaultSpec:
             parts.append(f"flaps={self.flaps}")
         if self.crashes > 0:
             parts.append(f"crashes={self.crashes}")
+        if self.churn_hz > 0:
+            parts.append(f"churn={self.churn_hz:g}Hz")
+        if self.queue_capacity is not None:
+            parts.append(f"queue={self.queue_capacity}")
         return ",".join(parts)
 
     def impairment(self) -> Impairment:
@@ -286,12 +308,27 @@ class FaultSpec:
                     seed=self.seed + 1,
                 )
             )
+        if self.churn_hz > 0:
+            plans.append(
+                churn_storm_plan(
+                    graph,
+                    hz=self.churn_hz,
+                    links=self.churn_links,
+                    start_time=self.start_time
+                    + (self.flaps + self.crashes) * self.spacing,
+                    duration=self.churn_duration,
+                    seed=self.seed + 2,
+                )
+            )
         return merge_plans(*plans) if plans else FaultPlan(())
 
     @property
     def horizon(self) -> float:
         """Probing window length: the timeline plus one settle period."""
-        return self.start_time + (self.flaps + self.crashes) * self.spacing
+        horizon = self.start_time + (self.flaps + self.crashes) * self.spacing
+        if self.churn_hz > 0:
+            horizon += self.churn_duration + self.spacing
+        return horizon
 
 
 @dataclass(frozen=True)

@@ -28,6 +28,7 @@ from repro.policy.database import PolicyDatabase
 from repro.policy.flows import FlowSpec
 from repro.policy.selection import OPEN_SELECTION, RouteSelectionPolicy
 from repro.protocols.hardening import HardeningConfig
+from repro.protocols.pacing import PacingConfig
 from repro.protocols.validation import NeighborGuard, ValidationConfig
 from repro.simul.network import SimNetwork
 from repro.simul.node import ProtocolNode
@@ -71,6 +72,8 @@ class RoutingProtocol:
         self.hardening = HardeningConfig()
         #: Receiver-side validation checks, distributed the same way.
         self.validation = ValidationConfig()
+        #: Overload defenses (pacing/hold-down/damping), distributed too.
+        self.pacing = PacingConfig()
         #: ADs that have (ever) been turned into liars: ad -> lie kind.
         #: Never pruned -- already-flooded lies outlive the liar's change
         #: of heart, and blast-radius attribution must outlive it too.
@@ -94,12 +97,18 @@ class RoutingProtocol:
             self._make_nodes(self.network)
             self._distribute_hardening(self.network)
             self._distribute_validation(self.network)
+            self._distribute_pacing(self.network)
         return self.network
 
     def _distribute_hardening(self, network: SimNetwork) -> None:
         """Stamp the protocol's hardening config onto every node."""
         for node in network.nodes.values():
             node.hardening = self.hardening
+
+    def _distribute_pacing(self, network: SimNetwork) -> None:
+        """Stamp the protocol's pacing config onto every node."""
+        for node in network.nodes.values():
+            node.pacing = self.pacing
 
     def _distribute_validation(self, network: SimNetwork) -> None:
         """Stamp the validation config and trusted registries onto nodes.
@@ -169,6 +178,10 @@ class RoutingProtocol:
             # is what guarantees no pre-crash timer ever fires, during the
             # outage or after the fresh process takes over.
             network.nodes[ad_id].retire()
+        if not retain_state:
+            # No NVRAM: messages sitting in the dead process's input
+            # queue are lost with the rest of its state.
+            network.flush_ingress(ad_id)
         for a, b in live:
             self.apply_link_status(a, b, False)
         self._crashed_links[ad_id] = live
@@ -192,6 +205,7 @@ class RoutingProtocol:
             old = network.nodes[ad_id]
             fresh = self._fresh_node(ad_id)
             fresh.hardening = self.hardening
+            fresh.pacing = self.pacing
             fresh.inherit_nonvolatile(old)
             old.retire()  # idempotent; the node was retired at crash time
         network.restore_node(ad_id, fresh)
@@ -314,6 +328,24 @@ class RoutingProtocol:
             ),
             "suppressed": sum(g.suppressed for g in guards),
             "quarantined_ads": sorted({ev.neighbor for ev in events}),
+        }
+
+    def pacing_summary(self) -> Dict[str, int]:
+        """Network-wide overload-defense counters for the run record."""
+        network = self._require_network()
+        flaps = suppressions = suppressed_ann = deferrals = 0
+        for node in network.nodes.values():
+            damper = getattr(node, "_damper", None)
+            if damper is not None:
+                flaps += damper.flaps
+                suppressions += damper.suppressions
+            suppressed_ann += getattr(node, "suppressed_announcements", 0)
+            deferrals += getattr(node, "paced_deferrals", 0)
+        return {
+            "flaps": flaps,
+            "suppressions": suppressions,
+            "suppressed_announcements": suppressed_ann,
+            "paced_deferrals": deferrals,
         }
 
     def duplicates_ignored(self) -> int:

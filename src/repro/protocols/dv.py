@@ -25,6 +25,7 @@ from repro.adgraph.graph import InterADGraph
 from repro.policy.database import PolicyDatabase
 from repro.policy.flows import FlowSpec
 from repro.protocols.base import ForwardingMode, RoutingProtocol
+from repro.protocols.pacing import OverloadDefenseMixin
 from repro.protocols.validation import OFF, NeighborGuard, ValidationConfig
 from repro.simul.messages import AD_ID_BYTES, METRIC_BYTES, Message
 from repro.simul.network import SimNetwork
@@ -65,7 +66,7 @@ class _TableEntry:
     next_hop: Optional[ADId]
 
 
-class DVNode(ProtocolNode):
+class DVNode(OverloadDefenseMixin, ProtocolNode):
     """The per-AD Bellman-Ford process."""
 
     validation: ValidationConfig = OFF
@@ -111,6 +112,7 @@ class DVNode(ProtocolNode):
                 if entry.metric != self.infinity:
                     entry.metric = self.infinity
                     changed = True
+                    self._damp_loss(dest)
         for dest, metric in msg.entries:
             if dest == self.ad_id:
                 continue
@@ -133,6 +135,8 @@ class DVNode(ProtocolNode):
                 # News from the current next hop is authoritative, better
                 # or worse -- this is what enables count-to-infinity.
                 if entry.metric != candidate:
+                    if candidate >= self.infinity > entry.metric:
+                        self._damp_loss(dest)
                     entry.metric = candidate
                     changed = True
             elif candidate < entry.metric:
@@ -156,7 +160,9 @@ class DVNode(ProtocolNode):
                 if entry.metric != self.infinity:
                     entry.metric = self.infinity
                     changed = True
+                    self._damp_loss(dest)
         if changed:
+            self._enter_holddown()
             self._schedule_flush()
 
     # ------------------------------------------------------------ validation
@@ -245,12 +251,31 @@ class DVNode(ProtocolNode):
             self.schedule(self.trigger_delay, self._flush)
 
     def _flush(self) -> None:
+        wait = self._pacing_defers_flush()
+        if wait is not None:
+            self.schedule(wait, self._flush)
+            return
         self._flush_pending = False
+        # Suppressed destinations are withdrawn once, then omitted from
+        # every flush until their flap penalty decays (repeating the
+        # withdrawal would solicit re-offers forever).
+        withdraw: set = set()
+        silent: set = set()
+        if self.pacing.damp and self._damper is not None:
+            for dest in self.table:
+                if dest != self.ad_id and self._damp_suppressed(dest):
+                    (withdraw if self._suppress_withdraw_once(dest) else silent).add(dest)
+                    self.suppressed_announcements += 1
         for nbr in self.neighbors():
             entries = []
             poisons = []
             for dest in sorted(self.table):
                 entry = self.table[dest]
+                if dest in withdraw:
+                    entries.append((dest, self.infinity))
+                    continue
+                if dest in silent:
+                    continue
                 if self.split_horizon and entry.next_hop == nbr and dest != self.ad_id:
                     if self.poison_reverse:
                         poisons.append(dest)
@@ -260,6 +285,10 @@ class DVNode(ProtocolNode):
                 entries = self._apply_lies(entries)
             if entries or poisons:
                 self.send(nbr, DVUpdate(tuple(entries), tuple(poisons)))
+
+    def _on_reuse(self, key) -> None:
+        # A damped destination became reusable: re-advertise its entry.
+        self._schedule_flush()
 
     # ------------------------------------------------------------ forwarding
 

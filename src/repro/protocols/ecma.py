@@ -35,6 +35,7 @@ from repro.policy.database import PolicyDatabase
 from repro.policy.flows import FlowSpec
 from repro.policy.qos import QOS
 from repro.protocols.base import ForwardingMode, RoutingProtocol
+from repro.protocols.pacing import OverloadDefenseMixin
 from repro.protocols.validation import OFF, NeighborGuard, ValidationConfig
 from repro.simul.messages import AD_ID_BYTES, METRIC_BYTES, Message
 from repro.simul.network import SimNetwork
@@ -105,7 +106,7 @@ def supported_qos_classes(policies: PolicyDatabase, ad_id: ADId) -> FrozenSet[QO
     return frozenset(supported) & additive
 
 
-class ECMANode(ProtocolNode):
+class ECMANode(OverloadDefenseMixin, ProtocolNode):
     """Per-AD ECMA process."""
 
     validation: ValidationConfig = OFF
@@ -168,6 +169,7 @@ class ECMANode(ProtocolNode):
                 del self.table[key]
                 self._pending.add(key)
                 changed = True
+                self._damp_loss(key)
         for dest, qos, metric, hops, contains_up in msg.entries:
             if dest == self.ad_id or qos not in self.supported_qos:
                 continue
@@ -185,6 +187,7 @@ class ECMANode(ProtocolNode):
                     del self.table[key]
                     self._pending.add(key)
                     changed = True
+                    self._damp_loss(key)
                 continue
             valid = data_dir is Direction.UP or not contains_up
             if not valid or hops + 1 > self.max_hops:
@@ -194,6 +197,7 @@ class ECMANode(ProtocolNode):
                     del self.table[key]
                     self._pending.add(key)
                     changed = True
+                    self._damp_loss(key)
                 continue
             new_metric = metric + link.metric(qos.metric)
             new_up = contains_up or data_dir is Direction.UP
@@ -231,7 +235,9 @@ class ECMANode(ProtocolNode):
         for key in lost:
             del self.table[key]
             self._pending.add(key)
+            self._damp_loss(key)
         if lost:
+            self._enter_holddown()
             self._schedule_flush()
 
     # ------------------------------------------------------------ validation
@@ -367,15 +373,32 @@ class ECMANode(ProtocolNode):
         return True
 
     def _flush(self) -> None:
+        wait = self._pacing_defers_flush()
+        if wait is not None:
+            self.schedule(wait, self._flush)
+            return
         self._flush_scheduled = False
         keys = sorted(self._pending, key=lambda k: (k[0], k[1].value))
         self._pending.clear()
         if not keys:
             return
+        # Suppressed keys are withdrawn once, then silenced until reuse.
+        withdraw: Set[Tuple[ADId, QOS]] = set()
+        silent: Set[Tuple[ADId, QOS]] = set()
+        if self.pacing.damp and self._damper is not None:
+            for key in keys:
+                if key[0] != self.ad_id and self._damp_suppressed(key):
+                    (withdraw if self._suppress_withdraw_once(key) else silent).add(key)
+                    self.suppressed_announcements += 1
         for nbr in self.neighbors():
             entries: List[Tuple[ADId, QOS, float, int, bool]] = []
             poisons: List[Tuple[ADId, QOS]] = []
             for key in keys:
+                if key in withdraw:
+                    entries.append((key[0], key[1], INFINITE_METRIC, 0, False))
+                    continue
+                if key in silent:
+                    continue
                 entry = self.table.get(key)
                 if entry is None:
                     # Withdrawals are not transit offers; they always go
@@ -398,6 +421,11 @@ class ECMANode(ProtocolNode):
                     poisons.append(key)
             if entries or poisons:
                 self.send(nbr, ECMAUpdate(tuple(entries), tuple(poisons)))
+
+    def _on_reuse(self, key) -> None:
+        # A damped (dest, qos) became reusable: re-advertise it.
+        self._pending.add(key)
+        self._schedule_flush()
 
     # ------------------------------------------------------------ forwarding
 

@@ -31,6 +31,7 @@ from repro.policy.database import PolicyDatabase
 from repro.policy.flows import FlowSpec
 from repro.protocols.base import ForwardingMode, RoutingProtocol
 from repro.protocols.hardening import SOFT, HardeningConfig
+from repro.protocols.pacing import OverloadDefenseMixin
 from repro.protocols.validation import OFF, NeighborGuard, ValidationConfig
 from repro.simul.messages import AD_ID_BYTES, Message
 from repro.simul.network import SimNetwork
@@ -74,7 +75,7 @@ class NRAck(Message):
         return super().size_bytes() + 4
 
 
-class EGPNode(ProtocolNode):
+class EGPNode(OverloadDefenseMixin, ProtocolNode):
     """Per-AD reachability process over the (tree) topology."""
 
     hardening: HardeningConfig = SOFT
@@ -146,6 +147,9 @@ class EGPNode(ProtocolNode):
         lost = [d for d, nh in self.table.items() if nh == nbr]
         for dest in lost:
             del self.table[dest]
+            self._damp_loss(dest)
+        if lost:
+            self._enter_holddown()
         # EGP has no unreachability propagation worth the name; downstream
         # ADs learn of losses only through timeouts in the real protocol.
         # We model the loss locally and let the tree remain silently stale,
@@ -247,11 +251,23 @@ class EGPNode(ProtocolNode):
             self.schedule(TRIGGER_DELAY, self._flush)
 
     def _flush(self) -> None:
+        wait = self._pacing_defers_flush()
+        if wait is not None:
+            self.schedule(wait, self._flush)
+            return
         self._flush_scheduled = False
         dests = tuple(sorted(self._pending))
         self._pending.clear()
         if not dests:
             return
+        if self.pacing.damp and self._damper is not None:
+            # EGP has no withdrawal currency at all, so a suppressed
+            # destination is simply left out of the advertisement.
+            kept = tuple(d for d in dests if not self._damp_suppressed(d))
+            self.suppressed_announcements += len(dests) - len(kept)
+            dests = kept
+            if not dests:
+                return
         sequenced = self.hardening.dedup or self.hardening.retransmit
         for nbr in self.neighbors():
             advertise = tuple(d for d in dests if self.table.get(d) != nbr)
@@ -288,6 +304,13 @@ class EGPNode(ProtocolNode):
             seq,
             retries_left - 1,
         )
+
+    def _on_reuse(self, key) -> None:
+        # A damped destination became reusable: re-advertise if we still
+        # (or again) know a route to it.
+        if key in self.table:
+            self._pending.add(key)
+            self._schedule_flush()
 
     def route_to(self, dest: ADId) -> Optional[ADId]:
         nxt = self.table.get(dest)
@@ -351,6 +374,7 @@ class EGPProtocol(RoutingProtocol):
         self._make_nodes(self.network)
         self._distribute_hardening(self.network)
         self._distribute_validation(self.network)
+        self._distribute_pacing(self.network)
         return self.network
 
     def _make_nodes(self, network: SimNetwork) -> None:

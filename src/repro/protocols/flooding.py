@@ -31,6 +31,7 @@ from repro.adgraph.graph import InterADGraph
 from repro.policy.database import PolicyDatabase
 from repro.policy.terms import PolicyTerm
 from repro.protocols.hardening import SOFT, HardeningConfig
+from repro.protocols.pacing import OverloadDefenseMixin
 from repro.protocols.validation import OFF, NeighborGuard, ValidationConfig
 from repro.simul.messages import AD_ID_BYTES, METRIC_BYTES, Message
 from repro.simul.node import ProtocolNode
@@ -112,8 +113,11 @@ class ExchangeAck(Message):
         return super().size_bytes() + 4
 
 
-class LSNode(ProtocolNode):
+class LSNode(OverloadDefenseMixin, ProtocolNode):
     """A flooding participant with a link-state database."""
+
+    #: Whether a pacing-deferred origination timer is already in flight.
+    _originate_deferred = False
 
     #: Robustness features; the protocol driver stamps its own config at
     #: build time, so directly-constructed nodes default to legacy mode.
@@ -183,12 +187,19 @@ class LSNode(ProtocolNode):
         self._seq += 1
         records = []
         for link in self.network.graph.links_of(self.ad_id, include_down=True):
+            nbr = link.other(self.ad_id)
+            up = link.up
+            if up and self.pacing.damp and self._damper is not None:
+                if self._damp_suppressed((min(self.ad_id, nbr), max(self.ad_id, nbr))):
+                    # A damped link is advertised down until its penalty
+                    # decays, so its flapping stops rippling outward.
+                    up = False
             records.append(
                 LinkRecord(
-                    neighbor=link.other(self.ad_id),
+                    neighbor=nbr,
                     delay=link.metric("delay"),
                     cost=link.metric("cost"),
-                    up=link.up,
+                    up=up,
                     bandwidth=link.metric("bandwidth"),
                 )
             )
@@ -240,13 +251,34 @@ class LSNode(ProtocolNode):
         Under refresh hardening every change-driven origination also arms
         a bounded burst of periodic re-originations, so a flood lost to
         channel impairment heals at the next tick.
+
+        Under pacing, originations closer together than the minimum
+        advertisement interval (or inside a hold-down window) coalesce
+        into one deferred origination that advertises the state current
+        at fire time.
         """
+        if self.pacing.any_enabled:
+            wait = self._pacing_defers_flush()
+            if wait is not None:
+                if not self._originate_deferred:
+                    self._originate_deferred = True
+                    self.schedule(wait, self._deferred_originate)
+                return
         self._originate()
         if self.hardening.refresh:
             self._refresh_left = self.hardening.refresh_count
             if not self._refresh_pending:
                 self._refresh_pending = True
                 self.schedule(self.hardening.refresh_interval, self._refresh_tick)
+
+    def _deferred_originate(self) -> None:
+        self._originate_deferred = False
+        self.originate()  # re-checks the gate (hold-down may have grown)
+
+    def _on_reuse(self, key) -> None:
+        # A damped link's penalty decayed under the reuse threshold:
+        # advertise its true current state again.
+        self.originate()
 
     def _refresh_tick(self) -> None:
         self._refresh_pending = False
@@ -483,7 +515,27 @@ class LSNode(ProtocolNode):
         self._lie_ticks_left = 0
 
     def on_link_change(self, link: InterADLink, up: bool) -> None:
-        self.originate()
+        originate = True
+        if self.pacing.any_enabled:
+            nbr = link.other(self.ad_id)
+            key = (min(self.ad_id, nbr), max(self.ad_id, nbr))
+            newly_suppressed = False
+            if not up:
+                self._enter_holddown()
+                newly_suppressed = self._damp_loss(key)
+            if (
+                self.pacing.damp
+                and not newly_suppressed
+                and self._damp_suppressed(key)
+            ):
+                # A suppressed link's flaps no longer drive originations;
+                # our LSA keeps advertising it down until reuse.  (The
+                # origination when suppression *starts* is what flips the
+                # advertisement to down.)
+                self.suppressed_announcements += 1
+                originate = False
+        if originate:
+            self.originate()
         if up:
             # Database exchange across the new adjacency.
             nbr = link.other(self.ad_id)

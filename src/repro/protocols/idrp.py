@@ -38,6 +38,7 @@ from repro.policy.sets import ADSet
 from repro.policy.terms import PolicyTerm
 from repro.policy.uci import UCI
 from repro.protocols.base import ForwardingMode, RoutingProtocol
+from repro.protocols.pacing import OverloadDefenseMixin
 from repro.protocols.validation import OFF, NeighborGuard, ValidationConfig
 from repro.simul.messages import AD_ID_BYTES, METRIC_BYTES, Message
 from repro.simul.network import SimNetwork
@@ -120,7 +121,7 @@ class _LocEntry:
 _Key = Tuple[ADId, QOS, int]
 
 
-class IDRPNode(ProtocolNode):
+class IDRPNode(OverloadDefenseMixin, ProtocolNode):
     """Per-AD path-vector process."""
 
     #: Receiver-side validation; the driver stamps config, guard, and the
@@ -223,6 +224,7 @@ class IDRPNode(ProtocolNode):
         # Even unselected candidate loss is fine; only selection changes
         # need advertising.
         if changed:
+            self._enter_holddown()
             self._pending.update(changed)
             self._schedule_flush()
 
@@ -341,6 +343,7 @@ class IDRPNode(ProtocolNode):
         if best is None:
             if old is not None:
                 del self.loc[key]
+                self._damp_loss(key)
                 return True
             return False
         if old is None or (old.via, old.path, old.metric) != (
@@ -390,11 +393,24 @@ class IDRPNode(ProtocolNode):
             self.schedule(TRIGGER_DELAY, self._flush)
 
     def _flush(self) -> None:
+        wait = self._pacing_defers_flush()
+        if wait is not None:
+            self.schedule(wait, self._flush)
+            return
         self._flush_scheduled = False
         keys = sorted(self._pending, key=lambda k: (k[0], k[1].value, k[2]))
         self._pending.clear()
         if not keys:
             return
+        # A suppressed key exports nowhere: the ``_advertised`` machinery
+        # below then emits the withdrawal exactly once per neighbour and
+        # stays silent until the penalty decays (``_on_reuse`` re-pends).
+        suppressed: set = set()
+        if self.pacing.damp and self._damper is not None:
+            for key in keys:
+                if key[0] != self.ad_id and self._damp_suppressed(key):
+                    suppressed.add(key)
+                    self.suppressed_announcements += 1
         for nbr in self.neighbors():
             advertised = self._advertised.setdefault(nbr, set())
             routes: List[RouteAd] = []
@@ -402,7 +418,8 @@ class IDRPNode(ProtocolNode):
                 dest, qos, cls = key
                 entry = self.loc.get(key)
                 exportable = (
-                    entry is not None
+                    key not in suppressed
+                    and entry is not None
                     and entry.via != nbr  # split horizon on the path-vector
                     and nbr not in entry.path  # receiver would reject anyway
                 )
@@ -427,6 +444,11 @@ class IDRPNode(ProtocolNode):
                 )
             if routes:
                 self.send(nbr, IDRPUpdate(tuple(routes)))
+
+    def _on_reuse(self, key) -> None:
+        # Damping lifted: re-advertise whatever the Loc-RIB holds now.
+        self._pending.add(key)
+        self._schedule_flush()
 
     # ----------------------------------------------------------- misbehavior
 

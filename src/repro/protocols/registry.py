@@ -32,6 +32,7 @@ from repro.policy.qos import QOS
 from repro.protocols.base import RoutingProtocol
 from repro.protocols.dv import DistanceVectorProtocol
 from repro.protocols.hardening import hardening_from
+from repro.protocols.pacing import pacing_from
 from repro.protocols.ecma import ECMAProtocol
 from repro.protocols.egp import EGPProtocol
 from repro.protocols.idrp import BGP2Protocol, IDRPProtocol
@@ -102,11 +103,11 @@ def make_protocol(
     ``"ecma"``, ``flooding="tree"`` for ``"orwg"``); values may be given
     as serializable primitives and are normalized here.
 
-    The pseudo-options ``hardening`` and ``validation`` are handled here
-    for every protocol (they are protocol-independent): ``"all"``, a
-    feature name, a ``+``/``,``-joined list, or the respective config
-    object; the resulting configs are stamped onto the driver and
-    distributed to nodes at build time.
+    The pseudo-options ``hardening``, ``validation``, and ``pacing`` are
+    handled here for every protocol (they are protocol-independent):
+    ``"all"``, a feature name, a ``+``/``,``-joined list, or the
+    respective config object; the resulting configs are stamped onto the
+    driver and distributed to nodes at build time.
     """
     if isinstance(point_or_name, DesignPoint):
         factory = PROTOCOL_FOR_POINT[point_or_name]
@@ -121,11 +122,14 @@ def make_protocol(
     opts = _normalize_options(dict(options))
     hardening = opts.pop("hardening", None)
     validation = opts.pop("validation", None)
+    pacing = opts.pop("pacing", None)
     protocol = factory(graph, policies, **opts)
     if hardening is not None:
         protocol.hardening = hardening_from(hardening)
     if validation is not None:
         protocol.validation = validation_from(validation)
+    if pacing is not None:
+        protocol.pacing = pacing_from(pacing)
     return protocol
 
 

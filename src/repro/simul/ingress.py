@@ -1,0 +1,149 @@
+"""Bounded per-node ingress queues: the finite control plane.
+
+Real routers do not process updates instantly — each message occupies a
+finite input queue and takes CPU time to service.  :class:`IngressModel`
+gives every simulated node that bottleneck: a bounded FIFO with a
+configurable service time and an overflow policy.  It attaches to a
+:class:`~repro.simul.network.SimNetwork` the same way a
+:class:`~repro.faults.channel.ChannelModel` does — ``set_ingress(None)``
+(the default) keeps the exact legacy instant-delivery path, so every
+committed benchmark output stays byte-identical until a queue is
+explicitly configured.
+
+Overflow policies:
+
+* ``tail-drop`` — an arrival finding the queue full is discarded and
+  counted (``queue_dropped`` in :class:`MetricsSnapshot`).
+* ``backpressure`` — the arrival is deferred and redelivered after
+  ``retry_delay``; each message gets at most ``max_redeliveries``
+  attempts before it is dropped, so a persistently-full queue cannot
+  recirculate traffic forever.
+
+Crash semantics follow the NVRAM model: crashing a node freezes its
+queue (the message in service is pushed back to the head); restoring
+with retained state resumes service, while a state-losing restart
+flushes the queue (counted as drops) before the fresh node starts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.adgraph.ad import ADId
+from repro.simul.messages import Message
+
+OVERFLOW_POLICIES: Tuple[str, ...] = ("tail-drop", "backpressure")
+
+
+@dataclass(frozen=True)
+class IngressConfig:
+    """Sizing of one node's control-plane input stage.
+
+    ``capacity`` bounds the number of messages *waiting* (the message in
+    service has left the queue); ``service_time`` is the simulated time
+    to process one message.  ``capacity is None`` disables the queue
+    entirely (legacy instant delivery).
+    """
+
+    capacity: Optional[int] = None
+    service_time: float = 0.5
+    policy: str = "tail-drop"
+    retry_delay: float = 2.0
+    max_redeliveries: int = 3
+
+    def __post_init__(self) -> None:
+        if self.capacity is not None and self.capacity < 0:
+            raise ValueError("queue capacity must be >= 0 (or None)")
+        if self.service_time < 0:
+            raise ValueError("service time must be >= 0")
+        if self.policy not in OVERFLOW_POLICIES:
+            raise ValueError(
+                f"unknown overflow policy {self.policy!r}; "
+                f"choose from {OVERFLOW_POLICIES}"
+            )
+        if self.retry_delay <= 0:
+            raise ValueError("backpressure retry delay must be > 0")
+        if self.max_redeliveries < 0:
+            raise ValueError("max redeliveries must be >= 0")
+
+    @property
+    def bounded(self) -> bool:
+        return self.capacity is not None
+
+
+class _NodeQueue:
+    """Mutable per-node queue state."""
+
+    __slots__ = (
+        "items", "serving", "busy", "epoch",
+        "peak_depth", "dropped", "deferred", "served", "busy_time",
+    )
+
+    def __init__(self) -> None:
+        self.items: Deque[Tuple[ADId, Message, int]] = deque()
+        self.serving: Optional[Tuple[ADId, Message]] = None
+        self.busy = False
+        self.epoch = 0
+        self.peak_depth = 0
+        self.dropped = 0
+        self.deferred = 0
+        self.served = 0
+        self.busy_time = 0.0
+
+    @property
+    def depth(self) -> int:
+        return len(self.items) + (1 if self.serving is not None else 0)
+
+
+class IngressModel:
+    """All per-node queues plus aggregate accounting for one network."""
+
+    def __init__(self, config: Optional[IngressConfig] = None) -> None:
+        self.config = config or IngressConfig()
+        self.queues: Dict[ADId, _NodeQueue] = {}
+
+    def queue_of(self, ad_id: ADId) -> _NodeQueue:
+        q = self.queues.get(ad_id)
+        if q is None:
+            q = self.queues[ad_id] = _NodeQueue()
+        return q
+
+    # ------------------------------------------------------------- rollups
+
+    @property
+    def peak_depth(self) -> int:
+        return max((q.peak_depth for q in self.queues.values()), default=0)
+
+    @property
+    def dropped(self) -> int:
+        return sum(q.dropped for q in self.queues.values())
+
+    @property
+    def deferred(self) -> int:
+        return sum(q.deferred for q in self.queues.values())
+
+    @property
+    def served(self) -> int:
+        return sum(q.served for q in self.queues.values())
+
+    def duty_cycle(self, elapsed: float, n_nodes: int) -> float:
+        """Mean fraction of time a node's control plane was busy."""
+        if elapsed <= 0 or n_nodes <= 0:
+            return 0.0
+        busy = sum(q.busy_time for q in self.queues.values())
+        return busy / (elapsed * n_nodes)
+
+    def counters(self, elapsed: float = 0.0, n_nodes: int = 0) -> Dict[str, object]:
+        """Aggregate overload telemetry for a run record."""
+        return {
+            "capacity": self.config.capacity,
+            "service_time": self.config.service_time,
+            "policy": self.config.policy,
+            "peak_depth": self.peak_depth,
+            "dropped": self.dropped,
+            "deferred": self.deferred,
+            "served": self.served,
+            "duty_cycle": round(self.duty_cycle(elapsed, n_nodes), 6),
+        }

@@ -36,6 +36,8 @@ class MetricsSnapshot:
     last_activity: float
     channel_dropped: int = 0
     duplicated: int = 0
+    queue_dropped: int = 0
+    deferred: int = 0
 
     @property
     def total_messages(self) -> int:
@@ -63,6 +65,8 @@ class MetricsSnapshot:
             last_activity=self.last_activity,
             channel_dropped=self.channel_dropped - earlier.channel_dropped,
             duplicated=self.duplicated - earlier.duplicated,
+            queue_dropped=self.queue_dropped - earlier.queue_dropped,
+            deferred=self.deferred - earlier.deferred,
         )
 
 
@@ -86,6 +90,8 @@ class MetricsCollector:
         self.last_activity = 0.0
         self.channel_dropped = 0
         self.duplicated = 0
+        self.queue_dropped = 0
+        self.deferred = 0
 
     def count_message(self, type_name: str, size: int, time: float) -> None:
         """Record one delivered control message."""
@@ -104,6 +110,14 @@ class MetricsCollector:
     def count_duplicated(self, n: int = 1) -> None:
         """Record extra copies injected by channel duplication."""
         self.duplicated += n
+
+    def count_queue_drop(self) -> None:
+        """Record a message lost to a full ingress queue."""
+        self.queue_dropped += 1
+
+    def count_deferred(self) -> None:
+        """Record a backpressure deferral (redelivery scheduled)."""
+        self.deferred += 1
 
     def note_computation(self, ad_id: ADId, kind: str, count: int = 1) -> None:
         """Record protocol computation work at an AD (e.g. one SPF run)."""
@@ -128,4 +142,6 @@ class MetricsCollector:
             last_activity=self.last_activity,
             channel_dropped=self.channel_dropped,
             duplicated=self.duplicated,
+            queue_dropped=self.queue_dropped,
+            deferred=self.deferred,
         )

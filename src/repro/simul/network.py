@@ -18,6 +18,7 @@ from repro.adgraph.ad import ADId
 from repro.adgraph.failures import FailurePlan
 from repro.adgraph.graph import InterADGraph
 from repro.simul.engine import Simulator
+from repro.simul.ingress import IngressConfig, IngressModel
 from repro.simul.messages import Message
 from repro.simul.metrics import MetricsCollector
 from repro.simul.node import ProtocolNode
@@ -42,6 +43,7 @@ class SimNetwork:
         self.nodes: Dict[ADId, ProtocolNode] = {}
         self.profiler = profiler
         self.channel: Optional["ChannelModel"] = None
+        self.ingress: Optional[IngressModel] = None
         self._crashed: Set[ADId] = set()
 
     def set_profiler(self, profiler: Optional[PhaseProfiler]) -> None:
@@ -100,14 +102,111 @@ class SimNetwork:
         for extra in copies:
             self.sim.schedule(delay + extra, self._deliver, src, dst, msg)
 
-    def _deliver(self, src: ADId, dst: ADId, msg: Message) -> None:
+    def _deliver(self, src: ADId, dst: ADId, msg: Message, attempt: int = 0) -> None:
         # A link that died in flight still delivers what was already sent;
         # the failure notification races the last messages, as in reality.
         if dst in self._crashed:
             self.metrics.count_drop()
             return
+        if self.ingress is not None and self.ingress.config.bounded:
+            self._enqueue(src, dst, msg, attempt)
+            return
         self.metrics.count_message(msg.type_name, msg.size_bytes(), self.sim.now)
         self.nodes[dst].on_message(src, msg)
+
+    # -------------------------------------------------------------- ingress
+
+    def set_ingress(self, model: Optional[IngressModel]) -> None:
+        """Attach a bounded ingress stage (``None`` restores instant delivery).
+
+        Accepts an :class:`IngressModel` or a bare :class:`IngressConfig`.
+        """
+        if isinstance(model, IngressConfig):
+            model = IngressModel(model)
+        self.ingress = model
+
+    def _enqueue(self, src: ADId, dst: ADId, msg: Message, attempt: int) -> None:
+        """Admit a delivered message to ``dst``'s bounded input queue."""
+        assert self.ingress is not None
+        cfg = self.ingress.config
+        q = self.ingress.queue_of(dst)
+        if not q.busy:
+            q.busy = True
+            q.serving = (src, msg)
+            q.peak_depth = max(q.peak_depth, q.depth)
+            self.sim.schedule(cfg.service_time, self._pump, dst, q.epoch)
+            return
+        if len(q.items) < cfg.capacity:  # type: ignore[operator]
+            q.items.append((src, msg, attempt))
+            q.peak_depth = max(q.peak_depth, q.depth)
+            return
+        if cfg.policy == "backpressure" and attempt < cfg.max_redeliveries:
+            q.deferred += 1
+            self.metrics.count_deferred()
+            self.sim.schedule(cfg.retry_delay, self._deliver, src, dst, msg, attempt + 1)
+            return
+        q.dropped += 1
+        self.metrics.count_queue_drop()
+
+    def _pump(self, dst: ADId, epoch: int) -> None:
+        """Finish servicing ``dst``'s current message; start the next."""
+        assert self.ingress is not None
+        q = self.ingress.queue_of(dst)
+        if epoch != q.epoch or not q.busy or q.serving is None:
+            return  # cancelled by a crash or flush since being scheduled
+        cfg = self.ingress.config
+        src, msg = q.serving
+        q.serving = None
+        q.busy_time += cfg.service_time
+        q.served += 1
+        self.metrics.count_message(msg.type_name, msg.size_bytes(), self.sim.now)
+        self.nodes[dst].on_message(src, msg)
+        if q.items:
+            nsrc, nmsg, _ = q.items.popleft()
+            q.serving = (nsrc, nmsg)
+            self.sim.schedule(cfg.service_time, self._pump, dst, q.epoch)
+        else:
+            q.busy = False
+
+    def _freeze_ingress(self, ad_id: ADId) -> None:
+        """Halt service at a crashing node, preserving queued messages."""
+        if self.ingress is None:
+            return
+        q = self.ingress.queue_of(ad_id)
+        q.epoch += 1  # orphan any scheduled _pump
+        if q.serving is not None:
+            q.items.appendleft((q.serving[0], q.serving[1], 0))
+            q.serving = None
+        q.busy = False
+
+    def flush_ingress(self, ad_id: ADId) -> int:
+        """Discard a node's pending ingress queue (state-losing restart).
+
+        Returns the number of messages lost; each is counted as a queue
+        drop.
+        """
+        if self.ingress is None:
+            return 0
+        q = self.ingress.queue_of(ad_id)
+        self._freeze_ingress(ad_id)
+        lost = len(q.items)
+        q.items.clear()
+        q.dropped += lost
+        for _ in range(lost):
+            self.metrics.count_queue_drop()
+        return lost
+
+    def _resume_ingress(self, ad_id: ADId) -> None:
+        """Restart the service pump for a restored node's retained queue."""
+        if self.ingress is None:
+            return
+        q = self.ingress.queue_of(ad_id)
+        if q.busy or not q.items:
+            return
+        src, msg, _ = q.items.popleft()
+        q.busy = True
+        q.serving = (src, msg)
+        self.sim.schedule(self.ingress.config.service_time, self._pump, ad_id, q.epoch)
 
     # -------------------------------------------------------------- channel
 
@@ -151,6 +250,7 @@ class SimNetwork:
         if ad_id in self._crashed:
             raise ValueError(f"AD {ad_id} is already crashed")
         self._crashed.add(ad_id)
+        self._freeze_ingress(ad_id)
 
     def restore_node(
         self, ad_id: ADId, node: Optional[ProtocolNode] = None
@@ -166,6 +266,7 @@ class SimNetwork:
                 )
             self.nodes[ad_id] = node
             node.attach(self)
+        self._resume_ingress(ad_id)
 
     def is_crashed(self, ad_id: ADId) -> bool:
         return ad_id in self._crashed

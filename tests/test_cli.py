@@ -2,6 +2,8 @@
 
 from types import SimpleNamespace
 
+import pytest
+
 from repro.cli import main
 
 
@@ -71,7 +73,7 @@ class TestExperiments:
     def test_lists_all(self, capsys):
         assert main(["experiments"]) == 0
         out = capsys.readouterr().out
-        for exp in ("E1", "E5", "E10", "A1-A4"):
+        for exp in ("E1", "E5", "E10", "E13", "A1-A4"):
             assert exp in out
         assert "pytest benchmarks/" in out
 
@@ -162,3 +164,55 @@ class TestExperimentsRun:
         ]) == 0
         assert calls["seed"] is None
         assert calls["loss"] is None
+
+
+class TestOverloadFlags:
+    def _capture(self, monkeypatch):
+        calls = {}
+
+        def fake_run(name, **kwargs):
+            calls["name"] = name
+            calls.update(kwargs)
+            return SimpleNamespace(name=name), [], ""
+
+        monkeypatch.setattr("repro.harness.run_experiment", fake_run)
+        return calls
+
+    def test_overload_flags_reach_harness(self, monkeypatch, tmp_path):
+        calls = self._capture(monkeypatch)
+        code = main([
+            "experiments", "run", "robustness-churn",
+            "--queue-capacity", "16", "--churn-hz", "0.25",
+            "--pacing", "full", "--runs-dir", str(tmp_path),
+        ])
+        assert code == 0
+        assert calls["name"] == "robustness_churn"
+        assert calls["queue_capacity"] == 16
+        assert calls["churn_hz"] == 0.25
+        assert calls["pacing"] == "full"
+
+    def test_negative_capacity_passes_through(self, monkeypatch, tmp_path):
+        # Negative means "remove the queue"; the harness maps it to None.
+        calls = self._capture(monkeypatch)
+        assert main([
+            "experiments", "run", "robustness-churn",
+            "--queue-capacity", "-1", "--runs-dir", str(tmp_path),
+        ]) == 0
+        assert calls["queue_capacity"] == -1
+
+    def test_overload_flags_default_to_none(self, monkeypatch, tmp_path):
+        calls = self._capture(monkeypatch)
+        assert main([
+            "experiments", "run", "robustness", "--runs-dir", str(tmp_path),
+        ]) == 0
+        assert calls["queue_capacity"] is None
+        assert calls["churn_hz"] is None
+        assert calls["pacing"] is None
+
+    def test_pacing_choices_are_validated(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            main([
+                "experiments", "run", "robustness-churn",
+                "--pacing", "jitter", "--runs-dir", str(tmp_path),
+            ])
+        assert "--pacing" in capsys.readouterr().err

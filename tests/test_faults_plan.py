@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.adgraph.ad import LinkKind
 from repro.adgraph.failures import FailurePlan, LinkFailure, safe_failure_candidates
 from repro.adgraph.generator import TopologyConfig, generate_internet
 from repro.faults.channel import PERFECT, Impairment
@@ -13,6 +14,7 @@ from repro.faults.plan import (
     ad_crash_plan,
     crash_candidates,
     link_flap_plan,
+    churn_storm_plan,
     lossy_period_plan,
     merge_plans,
 )
@@ -137,3 +139,50 @@ class TestLossyPeriodPlan:
     def test_default_scope_is_all_links(self):
         plan = lossy_period_plan(Impairment(drop_prob=0.1))
         assert all(e.link is None for e in plan)
+
+
+class TestChurnStormPlan:
+    def test_phase_locked_down_up_cycles(self, internet):
+        plan = churn_storm_plan(
+            internet, hz=0.1, links=1, start_time=10.0, duration=30.0, seed=3
+        )
+        # Period 10: downs at 10/20/30, the up-leg half a period later.
+        assert [e.time for e in plan] == [10, 15, 20, 25, 30, 35]
+        assert [e.up for e in plan] == [False, True] * 3
+        assert len({(e.a, e.b) for e in plan}) == 1
+
+    def test_links_flap_concurrently(self, internet):
+        plan = churn_storm_plan(internet, hz=0.05, links=3, seed=2)
+        times = [e.time for e in plan]
+        assert times == sorted(times)
+        flapped = {(e.a, e.b) for e in plan}
+        assert len(flapped) == 3
+        # Unlike link_flap_plan, every chosen link is down at once at the
+        # start of each period.
+        first = min(times)
+        assert sum(1 for e in plan if e.time == first and not e.up) == 3
+
+    def test_prefers_lateral_and_bypass_links(self, internet):
+        plan = churn_storm_plan(internet, hz=0.05, links=3, seed=2)
+        kinds = {
+            internet.link(e.a, e.b).kind for e in plan
+        }
+        assert kinds <= {LinkKind.LATERAL, LinkKind.BYPASS}
+
+    def test_never_flaps_a_bridge(self, internet):
+        plan = churn_storm_plan(internet, hz=0.05, links=4, seed=1)
+        safe = set(safe_failure_candidates(internet))
+        assert {(e.a, e.b) for e in plan} <= safe
+
+    def test_seeded_determinism(self, internet):
+        a = churn_storm_plan(internet, hz=0.05, links=3, seed=9)
+        b = churn_storm_plan(internet, hz=0.05, links=3, seed=9)
+        assert list(a) == list(b)
+
+    def test_parameter_validation(self, internet):
+        with pytest.raises(ValueError, match="frequency"):
+            churn_storm_plan(internet, hz=0.0)
+        with pytest.raises(ValueError, match="duration"):
+            churn_storm_plan(internet, duration=0.0)
+        with pytest.raises(ValueError, match="candidate"):
+            churn_storm_plan(line_graph(4), links=2)  # all links are bridges

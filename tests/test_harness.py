@@ -439,3 +439,120 @@ class TestNamedExperiments:
         # Baseline and leak points collapse onto one overridden liar.
         assert [m.display for m in spec.misbehaviors] == ["metric-lie@ad=4"]
         assert all(r.misbehavior["liar"] == 4 for r in records)
+
+
+class TestOverloadFaultSpec:
+    def test_churn_and_queue_activate_the_axis(self):
+        churn = FaultSpec(churn_hz=0.1)
+        assert churn.churns and churn.active and not churn.queued
+        queue = FaultSpec(queue_capacity=8)
+        assert queue.queued and queue.active and not queue.churns
+
+    def test_display_summarizes_storm_and_queue(self):
+        assert FaultSpec(churn_hz=0.25, queue_capacity=4).display == (
+            "churn=0.25Hz,queue=4"
+        )
+
+    def test_horizon_covers_the_storm(self):
+        fault = FaultSpec(
+            churn_hz=0.1, churn_duration=50.0, start_time=100.0, spacing=100.0
+        )
+        assert fault.horizon == 100.0 + 50.0 + 100.0
+
+    def test_build_plan_appends_the_storm(self):
+        from repro.faults.plan import LinkFault
+
+        graph = ScenarioSpec(kind="small", seed=3).build().graph
+        plan = FaultSpec(
+            churn_hz=0.1, churn_links=1, churn_duration=20.0
+        ).build_plan(graph)
+        assert len(plan) == 4  # two down/up cycles
+        assert all(isinstance(e, LinkFault) for e in plan)
+
+
+class TestOverloadCell:
+    def test_overload_block_recorded(self):
+        [cell] = small_spec(
+            protocols=(ProtocolSpec("ls-hbh", options=(("pacing", "all"),)),),
+            failures=(FailureSpec(),),
+            faults=(FaultSpec(queue_capacity=8, flaps=1, seed=4, probe_flows=4),),
+        ).cells()
+        record = execute_cell(cell)
+        block = record.overload
+        assert block is not None
+        assert block["capacity"] == 8
+        assert block["policy"] == "tail-drop"
+        assert block["served"] > 0
+        assert block["pacing"] == "pace+holddown+damp"
+        for key in (
+            "peak_depth", "dropped", "duty_cycle",
+            "suppressed_announcements", "paced_deferrals",
+            "flaps", "suppressions",
+        ):
+            assert key in block
+
+    def test_pacing_alone_records_the_block(self):
+        [cell] = small_spec(
+            protocols=(ProtocolSpec("ls-hbh", options=(("pacing", "pace"),)),),
+            failures=(FailureSpec(),),
+        ).cells()
+        record = execute_cell(cell)
+        assert record.overload is not None
+        assert record.overload["pacing"] == "pace"
+        assert "capacity" not in record.overload
+
+    def test_queue_free_unpaced_record_has_no_block(self):
+        [cell] = small_spec(
+            protocols=(ProtocolSpec("ls-hbh"),), failures=(FailureSpec(),)
+        ).cells()
+        assert execute_cell(cell).overload is None
+
+
+class TestSchemaV4:
+    def test_v3_lines_migrate_to_v4(self):
+        [record] = run_spec(
+            small_spec(protocols=(ProtocolSpec("idrp"),), failures=(FailureSpec(),))
+        )
+        v3 = json.loads(record.to_json())
+        v3["schema_version"] = 3
+        del v3["overload"]
+        back = RunRecord.from_json(json.dumps(v3))
+        assert back.schema_version == SCHEMA_VERSION
+        assert back.overload is None
+        assert back.comparable() == record.comparable()
+
+
+class TestChurnExperiment:
+    def test_e13_smoke_grid(self, tmp_path):
+        spec, records, text = run_experiment(
+            "robustness_churn", smoke=True, runs_dir=str(tmp_path)
+        )
+        # 2 protocols x {raw, +h, +pd} x one storm point.
+        assert len(records) == 6
+        assert {p.display for p in spec.protocols} == {
+            "ls-hbh", "ls-hbh+h", "ls-hbh+pd",
+            "orwg", "orwg+h", "orwg+pd",
+        }
+        assert [f.display for f in spec.faults] == ["0.25Hz/q4"]
+        for record in records:
+            assert record.overload is not None
+            assert record.overload["capacity"] == 4
+            assert record.robustness["samples"] > 0
+        assert "E13" in text and "duty" in text
+
+    def test_e13_overrides_rewrite_the_axes(self, tmp_path):
+        spec, records, _ = run_experiment(
+            "robustness_churn",
+            smoke=True,
+            runs_dir=str(tmp_path),
+            queue_capacity=2,
+            churn_hz=0.5,
+            pacing="off",
+        )
+        assert [(f.churn_hz, f.queue_capacity) for f in spec.faults] == [
+            (0.5, 2)
+        ]
+        assert all(
+            dict(p.options).get("pacing") is None for p in spec.protocols
+        )
+        assert all(r.overload["capacity"] == 2 for r in records)
