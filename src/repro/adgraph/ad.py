@@ -22,6 +22,19 @@ from typing import Dict, Tuple
 #: that header sizes can be modelled (two bytes per AD id in a source route).
 ADId = int
 
+#: Canonical object per AD id, so the dict/set-heavy hot paths (Dijkstra,
+#: LSDB scans, adjacency lookups) hit the identity fast path instead of
+#: comparing fresh int objects.  CPython only pre-interns ids < 257.
+_AD_ID_CACHE: Dict[ADId, ADId] = {}
+
+
+def intern_ad_id(ad_id: ADId) -> ADId:
+    """Return the canonical shared object for an AD id."""
+    cached = _AD_ID_CACHE.get(ad_id)
+    if cached is None:
+        _AD_ID_CACHE[ad_id] = cached = ad_id
+    return cached
+
 
 class Level(enum.IntEnum):
     """Hierarchy level of an AD.
@@ -121,6 +134,8 @@ class InterADLink:
             raise ValueError(f"self-link at AD {self.a}")
         if self.a > self.b:
             self.a, self.b = self.b, self.a
+        self.a = intern_ad_id(self.a)
+        self.b = intern_ad_id(self.b)
         for name, value in self.metrics.items():
             if value < 0:
                 raise ValueError(f"negative metric {name}={value}")

@@ -23,6 +23,7 @@ from repro.adgraph.ad import (
     Level,
     LinkKind,
     canonical_link_key,
+    intern_ad_id,
 )
 
 
@@ -38,6 +39,12 @@ class InterADGraph:
         self._g = nx.Graph()
         self._ads: Dict[ADId, AD] = {}
         self._links: Dict[Tuple[ADId, ADId], InterADLink] = {}
+        # Per-AD adjacency (neighbour -> link) and a lazily built sorted
+        # incident-link cache.  Both are structure-only: link *status*
+        # changes need no invalidation (links_of filters ``up`` per call),
+        # only add_link/remove_link do.
+        self._adj: Dict[ADId, Dict[ADId, InterADLink]] = {}
+        self._incident: Dict[ADId, Tuple[InterADLink, ...]] = {}
 
     # ------------------------------------------------------------------ ADs
 
@@ -45,8 +52,10 @@ class InterADGraph:
         """Register an AD.  Raises ``ValueError`` on duplicate id."""
         if ad.ad_id in self._ads:
             raise ValueError(f"duplicate AD id {ad.ad_id}")
-        self._ads[ad.ad_id] = ad
-        self._g.add_node(ad.ad_id)
+        ad_id = intern_ad_id(ad.ad_id)
+        self._ads[ad_id] = ad
+        self._adj[ad_id] = {}
+        self._g.add_node(ad_id)
         return ad
 
     def ad(self, ad_id: ADId) -> AD:
@@ -92,7 +101,21 @@ class InterADGraph:
         if link.key in self._links:
             raise ValueError(f"duplicate link {link.key}")
         self._links[link.key] = link
+        self._adj[link.a][link.b] = link
+        self._adj[link.b][link.a] = link
+        self._incident.pop(link.a, None)
+        self._incident.pop(link.b, None)
         self._g.add_edge(link.a, link.b)
+        return link
+
+    def remove_link(self, a: ADId, b: ADId) -> InterADLink:
+        """Delete a link entirely (endpoints stay).  ``KeyError`` if absent."""
+        link = self._links.pop(canonical_link_key(a, b))
+        del self._adj[link.a][link.b]
+        del self._adj[link.b][link.a]
+        self._incident.pop(link.a, None)
+        self._incident.pop(link.b, None)
+        self._g.remove_edge(link.a, link.b)
         return link
 
     def connect(
@@ -109,8 +132,14 @@ class InterADGraph:
         """Look up the link between two ADs (order-insensitive)."""
         return self._links[canonical_link_key(a, b)]
 
+    def link_if_exists(self, a: ADId, b: ADId) -> Optional[InterADLink]:
+        """The link between two ADs, or ``None`` (no tuple allocation)."""
+        adj = self._adj.get(a)
+        return None if adj is None else adj.get(b)
+
     def has_link(self, a: ADId, b: ADId) -> bool:
-        return canonical_link_key(a, b) in self._links
+        adj = self._adj.get(a)
+        return adj is not None and b in adj
 
     def links(self, include_down: bool = True) -> List[InterADLink]:
         """All links in canonical key order; optionally only live ones."""
@@ -121,16 +150,21 @@ class InterADGraph:
 
     def links_of(self, ad_id: ADId, include_down: bool = False) -> List[InterADLink]:
         """Links incident to ``ad_id`` (live only by default), sorted."""
-        out = []
-        for nbr in sorted(self._g.neighbors(ad_id)):
-            ln = self.link(ad_id, nbr)
-            if ln.up or include_down:
-                out.append(ln)
-        return out
+        inc = self._incident.get(ad_id)
+        if inc is None:
+            adj = self._adj[ad_id]
+            inc = tuple(adj[nbr] for nbr in sorted(adj))
+            self._incident[ad_id] = inc
+        if include_down:
+            return list(inc)
+        return [ln for ln in inc if ln.up]
 
     def neighbors(self, ad_id: ADId, include_down: bool = False) -> List[ADId]:
         """Neighbouring AD ids over live links (sorted)."""
-        return [ln.other(ad_id) for ln in self.links_of(ad_id, include_down)]
+        return [
+            ln.b if ln.a == ad_id else ln.a
+            for ln in self.links_of(ad_id, include_down)
+        ]
 
     def degree(self, ad_id: ADId) -> int:
         """Number of live incident links."""

@@ -252,6 +252,9 @@ def cmd_experiments_run(args: argparse.Namespace) -> int:
         print(text)
         jsonl = os.path.join(args.runs_dir, f"{spec.name}.jsonl")
         print(f"[{len(records)} runs -> {jsonl}]\n")
+        if args.profile:
+            print(_profile_table(spec.name, records))
+            print()
         if args.trace:
             for record in records:
                 if record.trace:
@@ -260,6 +263,39 @@ def cmd_experiments_run(args: argparse.Namespace) -> int:
                     for line in record.trace:
                         print(line)
     return 0
+
+
+#: Per-phase wall-clock columns, in pipeline order.  ``engine.run`` and
+#: the ``proto.*`` phases accrue *inside* the enclosing pipeline phases,
+#: so columns deliberately do not sum to a run's total.
+_PROFILE_PHASES = (
+    "scenario", "build", "converge", "failures", "faults", "evaluate",
+    "engine.run", "proto.flood", "proto.spf",
+)
+
+
+def _profile_table(name: str, records) -> str:
+    """Render each run's per-phase wall-clock (seconds) as a table."""
+    present = [
+        phase
+        for phase in _PROFILE_PHASES
+        if any(phase in r.timings for r in records)
+    ]
+    extras = sorted(
+        {phase for r in records for phase in r.timings} - set(_PROFILE_PHASES)
+    )
+    columns = present + extras
+    table = Table(
+        "cell", "label", *columns,
+        title=f"{name}: per-phase wall-clock (s)",
+    )
+    for record in records:
+        table.add(
+            record.cell["index"],
+            record.cell["label"],
+            *(f"{record.timings.get(p, 0.0):.3f}" for p in columns),
+        )
+    return table.render()
 
 
 def cmd_experiments(args: argparse.Namespace) -> int:
@@ -383,6 +419,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="reduced grid; artifacts suffixed _smoke")
     ep.add_argument("--trace", default=None, metavar="FILTER",
                     help="per-run protocol trace: 'all' or 'ad=<id>'")
+    ep.add_argument("--profile", action="store_true",
+                    help="print each run's per-phase wall-clock table "
+                         "(engine.run, proto.spf, proto.flood, ...)")
     ep.add_argument("--runs-dir", default="benchmarks/out/runs",
                     help="where <experiment>.jsonl telemetry is written")
     ep.add_argument("--seed", dest="exp_seed", type=int, default=None,

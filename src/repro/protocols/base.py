@@ -29,6 +29,7 @@ from repro.policy.flows import FlowSpec
 from repro.policy.selection import OPEN_SELECTION, RouteSelectionPolicy
 from repro.protocols.hardening import HardeningConfig
 from repro.protocols.pacing import PacingConfig
+from repro.protocols.perf import PerfConfig
 from repro.protocols.validation import NeighborGuard, ValidationConfig
 from repro.simul.network import SimNetwork
 from repro.simul.node import ProtocolNode
@@ -74,6 +75,8 @@ class RoutingProtocol:
         self.validation = ValidationConfig()
         #: Overload defenses (pacing/hold-down/damping), distributed too.
         self.pacing = PacingConfig()
+        #: Delta-recompute fast paths (defaults on), distributed too.
+        self.perf = PerfConfig()
         #: ADs that have (ever) been turned into liars: ad -> lie kind.
         #: Never pruned -- already-flooded lies outlive the liar's change
         #: of heart, and blast-radius attribution must outlive it too.
@@ -98,6 +101,7 @@ class RoutingProtocol:
             self._distribute_hardening(self.network)
             self._distribute_validation(self.network)
             self._distribute_pacing(self.network)
+            self._distribute_perf(self.network)
         return self.network
 
     def _distribute_hardening(self, network: SimNetwork) -> None:
@@ -109,6 +113,11 @@ class RoutingProtocol:
         """Stamp the protocol's pacing config onto every node."""
         for node in network.nodes.values():
             node.pacing = self.pacing
+
+    def _distribute_perf(self, network: SimNetwork) -> None:
+        """Stamp the protocol's perf config onto every node."""
+        for node in network.nodes.values():
+            node.perf = self.perf
 
     def _distribute_validation(self, network: SimNetwork) -> None:
         """Stamp the validation config and trusted registries onto nodes.
@@ -206,6 +215,7 @@ class RoutingProtocol:
             fresh = self._fresh_node(ad_id)
             fresh.hardening = self.hardening
             fresh.pacing = self.pacing
+            fresh.perf = self.perf
             fresh.inherit_nonvolatile(old)
             old.retire()  # idempotent; the node was retired at crash time
         network.restore_node(ad_id, fresh)

@@ -23,15 +23,24 @@ report it up.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
 
-from repro.adgraph.ad import AD, ADId, ADKind, InterADLink, Level, LinkKind
+from repro.adgraph.ad import (
+    AD,
+    ADId,
+    ADKind,
+    InterADLink,
+    Level,
+    LinkKind,
+    canonical_link_key,
+)
 from repro.adgraph.graph import InterADGraph
 from repro.policy.database import PolicyDatabase
 from repro.policy.terms import PolicyTerm
 from repro.protocols.hardening import SOFT, HardeningConfig
 from repro.protocols.pacing import OverloadDefenseMixin
+from repro.protocols.perf import FAST, PerfConfig
 from repro.protocols.validation import OFF, NeighborGuard, ValidationConfig
 from repro.simul.messages import AD_ID_BYTES, METRIC_BYTES, Message
 from repro.simul.node import ProtocolNode
@@ -40,8 +49,17 @@ from repro.simul.node import ProtocolNode
 #: id the policy generators assign, so forgeries never shadow real terms.
 FORGED_TERM_ID = 9_999
 
+#: Per-LSA deltas buffered between local-view refreshes; past this the
+#: delta path gives up and the next view is a full rebuild, bounding the
+#: buffer under churn storms that never query a route.
+MAX_PENDING_DELTAS = 4096
 
-@dataclass(frozen=True)
+#: Edge-change batches retained for incremental-SPF consumers; an SPF
+#: state older than the retained window falls back to a full recompute.
+MAX_EDGE_BATCHES = 512
+
+
+@dataclass(frozen=True, slots=True)
 class LinkRecord:
     """One incident link as described in an LSA."""
 
@@ -55,7 +73,7 @@ class LinkRecord:
         return AD_ID_BYTES + 3 * METRIC_BYTES + 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LinkStateAd(Message):
     """A link state advertisement, optionally carrying Policy Terms.
 
@@ -69,19 +87,30 @@ class LinkStateAd(Message):
     links: Tuple[LinkRecord, ...]
     terms: Tuple[PolicyTerm, ...] = ()
     origin_level: Level = Level.CAMPUS
+    #: Lazily memoized wire size -- every field is frozen, but the
+    #: accounting layer re-asks per *delivery* and a flooded LSA is
+    #: delivered once per adjacency it crosses.
+    _size: int = field(default=0, init=False, repr=False, compare=False)
 
     def size_bytes(self) -> int:
-        return (
-            super().size_bytes()
-            + AD_ID_BYTES  # origin
-            + 4  # sequence number
-            + 1  # origin level
-            + sum(rec.size_bytes() for rec in self.links)
-            + sum(t.size_bytes() for t in self.terms)
-        )
+        size = self._size
+        if size == 0:
+            # Explicit base call: slots=True re-creates the class, so the
+            # zero-arg super() closure would point at the discarded
+            # original.
+            size = (
+                Message.size_bytes(self)
+                + AD_ID_BYTES  # origin
+                + 4  # sequence number
+                + 1  # origin level
+                + sum(rec.size_bytes() for rec in self.links)
+                + sum(t.size_bytes() for t in self.terms)
+            )
+            object.__setattr__(self, "_size", size)
+        return size
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LSDBExchange(Message):
     """Full-database exchange sent across a newly-up adjacency.
 
@@ -92,25 +121,30 @@ class LSDBExchange(Message):
 
     ads: Tuple[LinkStateAd, ...]
     token: int = 0
+    _size: int = field(default=0, init=False, repr=False, compare=False)
 
     def size_bytes(self) -> int:
         from repro.simul.messages import HEADER_BYTES
 
-        return (
-            HEADER_BYTES
-            + sum(a.size_bytes() - HEADER_BYTES for a in self.ads)
-            + (4 if self.token else 0)
-        )
+        size = self._size
+        if size == 0:
+            size = (
+                HEADER_BYTES
+                + sum(a.size_bytes() - HEADER_BYTES for a in self.ads)
+                + (4 if self.token else 0)
+            )
+            object.__setattr__(self, "_size", size)
+        return size
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ExchangeAck(Message):
     """Acknowledges a tokened :class:`LSDBExchange` (hardening only)."""
 
     token: int
 
     def size_bytes(self) -> int:
-        return super().size_bytes() + 4
+        return Message.size_bytes(self) + 4
 
 
 class LSNode(OverloadDefenseMixin, ProtocolNode):
@@ -128,6 +162,9 @@ class LSNode(OverloadDefenseMixin, ProtocolNode):
     guard: Optional[NeighborGuard] = None
     trusted_graph: Optional[InterADGraph] = None
     trusted_policies: Optional[PolicyDatabase] = None
+    #: Delta-recompute fast paths; the driver stamps its config at build
+    #: time (directly-constructed nodes default to everything on).
+    perf: PerfConfig = FAST
 
     def __init__(
         self,
@@ -156,6 +193,23 @@ class LSNode(OverloadDefenseMixin, ProtocolNode):
         self._view_cache: Optional[Tuple[int, InterADGraph, PolicyDatabase]] = None
         #: Stale/duplicate LSAs suppressed (the flooding dedup at work).
         self.duplicates_ignored = 0
+        # Delta local-view state: per-LSA deltas recorded by _install since
+        # the cached view was last refreshed, as (origin, previous LSA or
+        # None).  Replaying them against the cached view is what makes
+        # local_view() incremental; any structural surprise falls back to
+        # a full rebuild (and resets all of this).
+        self._pending_deltas: List[Tuple[ADId, Optional[LinkStateAd]]] = []
+        self._pending_overflow = False
+        #: Sticky: some installed LSA carried a term owned by another AD
+        #: (term forgery); per-owner policy deltas are then unsound, so
+        #: views rebuild from scratch for the rest of this node's life.
+        self._cross_owner_terms = False
+        #: (version_from, version_to, sorted changed link keys) per delta
+        #: view refresh; lets SPF consumers repair instead of recompute.
+        self._edge_batches: List[Tuple[int, int, List[Tuple[ADId, ADId]]]] = []
+        #: Full view rebuilds vs delta refreshes (observability).
+        self.view_rebuilds = 0
+        self.view_delta_refreshes = 0
         # Refresh hardening: re-originations left in the current burst,
         # and whether a tick is already scheduled (at most one in flight).
         self._refresh_left = 0
@@ -301,21 +355,45 @@ class LSNode(OverloadDefenseMixin, ProtocolNode):
         if current is not None and current.seq >= lsa.seq:
             self.duplicates_ignored += 1
             return False
+        if lsa.terms and not self._cross_owner_terms:
+            origin = lsa.origin
+            if any(t.owner != origin for t in lsa.terms):
+                self._cross_owner_terms = True
+        if self._view_cache is not None and self.perf.delta_view:
+            if len(self._pending_deltas) >= MAX_PENDING_DELTAS:
+                self._pending_overflow = True
+                self._pending_deltas.clear()
+            elif not self._pending_overflow:
+                self._pending_deltas.append((lsa.origin, current))
         self.lsdb[lsa.origin] = lsa
         self.db_version += 1
         return True
 
     def on_message(self, sender: ADId, msg: Message) -> None:
         if isinstance(msg, (LinkStateAd, LSDBExchange)):
-            if self.guard is not None and self.guard.suppresses(sender):
-                return
+            profiler = self.network.profiler
+            if profiler is None:
+                self._on_flood_message(sender, msg)
+            else:
+                with profiler.phase("proto.flood"):
+                    self._on_flood_message(sender, msg)
+        elif isinstance(msg, ExchangeAck):
+            self._pending_exchanges.pop(msg.token, None)
+        else:
+            super().on_message(sender, msg)
+
+    def _on_flood_message(self, sender: ADId, msg: Message) -> None:
+        """Handle the flooding-substrate messages (LSA / DB exchange)."""
+        if self.guard is not None and self.guard.suppresses(sender):
+            return
         if isinstance(msg, LinkStateAd):
             if self._rejects(sender, msg):
                 return
             if self._install(msg):
                 self._flood(msg, exclude=sender)
                 self.on_lsdb_change()
-        elif isinstance(msg, LSDBExchange):
+        else:
+            assert isinstance(msg, LSDBExchange)
             if msg.token:
                 self.send(sender, ExchangeAck(msg.token))
             changed = False
@@ -327,10 +405,6 @@ class LSNode(OverloadDefenseMixin, ProtocolNode):
                     changed = True
             if changed:
                 self.on_lsdb_change()
-        elif isinstance(msg, ExchangeAck):
-            self._pending_exchanges.pop(msg.token, None)
-        else:
-            super().on_message(sender, msg)
 
     # ------------------------------------------------------------ validation
 
@@ -588,9 +662,39 @@ class LSNode(OverloadDefenseMixin, ProtocolNode):
     # ------------------------------------------------------------ local view
 
     def local_view(self) -> Tuple[InterADGraph, PolicyDatabase]:
-        """Reconstruct the believed internet from the LSDB (cached)."""
-        if self._view_cache is not None and self._view_cache[0] == self.db_version:
-            return self._view_cache[1], self._view_cache[2]
+        """The believed internet reconstructed from the LSDB (cached).
+
+        With the ``delta_view`` fast path on, a stale cached view is
+        brought up to date by replaying the per-LSA deltas recorded since
+        it was built -- same graph and policy objects, mutated in place
+        (consumers re-key their own caches off ``db_version``, never off
+        object identity).  Any structural surprise -- cross-owner terms,
+        an origin changing hierarchy level, delta-buffer overflow --
+        falls back to the full rebuild, which is also the oracle the
+        equivalence suite checks the delta path against.
+        """
+        cache = self._view_cache
+        if cache is not None and cache[0] == self.db_version:
+            return cache[1], cache[2]
+        if (
+            cache is not None
+            and self.perf.delta_view
+            and not self._pending_overflow
+            and not self._cross_owner_terms
+            and self._apply_view_deltas(cache[0], cache[1], cache[2])
+        ):
+            self._pending_deltas.clear()
+            self._view_cache = (self.db_version, cache[1], cache[2])
+            self.view_delta_refreshes += 1
+            return cache[1], cache[2]
+        return self._rebuild_view()
+
+    def _rebuild_view(self) -> Tuple[InterADGraph, PolicyDatabase]:
+        """Full from-scratch view rebuild (the delta path's oracle)."""
+        self._pending_deltas.clear()
+        self._pending_overflow = False
+        self._edge_batches.clear()
+        self.view_rebuilds += 1
         graph = InterADGraph()
         for origin in sorted(self.lsdb):
             # Kind is irrelevant to term-based computation (policy is in
@@ -640,6 +744,167 @@ class LSNode(OverloadDefenseMixin, ProtocolNode):
                 policies.add_term(term)
         self._view_cache = (self.db_version, graph, policies)
         return graph, policies
+
+    def _apply_view_deltas(
+        self,
+        from_version: int,
+        graph: InterADGraph,
+        policies: PolicyDatabase,
+    ) -> bool:
+        """Replay pending per-LSA deltas onto the cached view, in place.
+
+        Returns ``False`` on a structural surprise *before* touching the
+        cache is guaranteed only for surprises detected in the pre-scan;
+        the caller falls back to :meth:`_rebuild_view`, which builds
+        fresh objects, so a partially-mutated cache is never observable.
+        """
+        lsdb = self.lsdb
+        # Coalesce: the first pending entry per origin holds the LSA the
+        # cached view was built from; the current LSDB holds the final
+        # state.  Intermediate LSAs never materialized in the view.
+        coalesced: Dict[ADId, Optional[LinkStateAd]] = {}
+        for origin, old in self._pending_deltas:
+            if origin not in coalesced:
+                coalesced[origin] = old
+        # Pre-scan for surprises the in-place path cannot express.
+        for origin, old in coalesced.items():
+            new = lsdb[origin]
+            if old is not None and old.origin_level != new.origin_level:
+                return False  # AD objects are frozen; rebuild
+            if any(t.owner != origin for t in new.terms) or (
+                old is not None and any(t.owner != origin for t in old.terms)
+            ):
+                return False  # cross-owner terms (also caught sticky)
+        # All new ADs first (mirroring the full rebuild's two passes):
+        # an edge between two origins that *both* appeared since the last
+        # refresh needs both endpoints present before reconciliation.
+        for origin in sorted(coalesced):
+            if coalesced[origin] is None:
+                # New origin since the view was built: it cannot already
+                # be in the graph (graph ADs mirror LSDB origins).
+                graph.add_ad(
+                    AD(
+                        origin,
+                        f"ad{origin}",
+                        lsdb[origin].origin_level,
+                        ADKind.HYBRID,
+                    )
+                )
+        changed_keys: Set[Tuple[ADId, ADId]] = set()
+        seen_pairs: Set[Tuple[ADId, ADId]] = set()
+        for origin in sorted(coalesced):
+            old = coalesced[origin]
+            new = lsdb[origin]
+            neighbors = {rec.neighbor for rec in new.links}
+            if old is not None:
+                neighbors.update(rec.neighbor for rec in old.links)
+            for nbr in sorted(neighbors):
+                key = canonical_link_key(origin, nbr)
+                if key not in seen_pairs:
+                    seen_pairs.add(key)
+                    if self._reconcile_edge(graph, key):
+                        changed_keys.add(key)
+            old_terms: Tuple[PolicyTerm, ...] = () if old is None else old.terms
+            if old_terms != new.terms:
+                # Per-owner replace reproduces the full rebuild's term-id
+                # restamping exactly: add_term stamps position-in-owner's
+                # list, and owners are independent (cross-owner terms
+                # were excluded above).
+                policies.remove_terms(origin)
+                for term in new.terms:
+                    policies.add_term(term)
+        batches = self._edge_batches
+        batches.append((from_version, self.db_version, sorted(changed_keys)))
+        if len(batches) > MAX_EDGE_BATCHES:
+            del batches[: len(batches) - MAX_EDGE_BATCHES]
+        return True
+
+    def _reconcile_edge(
+        self, graph: InterADGraph, key: Tuple[ADId, ADId]
+    ) -> bool:
+        """Drive one believed link to the state the LSDB implies.
+
+        Semantics mirror the full rebuild exactly: the edge exists iff
+        both endpoints' LSAs carry a record naming each other (first
+        record wins), metrics come from the smaller endpoint's record,
+        and the link is up only if both records say up.  Returns whether
+        anything changed.
+        """
+        a, b = key
+        lsa_a = self.lsdb.get(a)
+        lsa_b = self.lsdb.get(b)
+        rec_a = rec_b = None
+        if lsa_a is not None and lsa_b is not None:
+            for rec in lsa_a.links:
+                if rec.neighbor == b:
+                    rec_a = rec
+                    break
+            for rec in lsa_b.links:
+                if rec.neighbor == a:
+                    rec_b = rec
+                    break
+        existing = graph.link_if_exists(a, b)
+        if rec_a is None or rec_b is None:
+            if existing is None:
+                return False
+            graph.remove_link(a, b)
+            return True
+        up = rec_a.up and rec_b.up
+        if existing is None:
+            graph.add_link(
+                InterADLink(
+                    a,
+                    b,
+                    LinkKind.HIERARCHICAL,
+                    {
+                        "delay": rec_a.delay,
+                        "cost": rec_a.cost,
+                        "bandwidth": rec_a.bandwidth,
+                    },
+                    up=up,
+                )
+            )
+            return True
+        metrics = existing.metrics
+        if (
+            existing.up == up
+            and metrics["delay"] == rec_a.delay
+            and metrics["cost"] == rec_a.cost
+            and metrics["bandwidth"] == rec_a.bandwidth
+        ):
+            return False
+        existing.up = up
+        metrics["delay"] = rec_a.delay
+        metrics["cost"] = rec_a.cost
+        metrics["bandwidth"] = rec_a.bandwidth
+        return True
+
+    def view_edge_changes(
+        self, since_version: int
+    ) -> Optional[List[Tuple[ADId, ADId]]]:
+        """Link keys whose believed state changed between two versions.
+
+        ``None`` when the delta log cannot answer -- the window fell out
+        of the retained batches, a full rebuild intervened, or the view
+        is not current -- in which case the consumer must recompute from
+        scratch.  Keys may repeat across batches; consumers dedup.
+        """
+        if self._view_cache is None or self._view_cache[0] != self.db_version:
+            return None
+        if since_version == self.db_version:
+            return []
+        out: List[Tuple[ADId, ADId]] = []
+        cursor = since_version
+        for v_from, v_to, keys in self._edge_batches:
+            if v_to <= since_version:
+                continue
+            if v_from != cursor:
+                return None  # gap: since_version predates the log
+            out.extend(keys)
+            cursor = v_to
+        if cursor != self.db_version:
+            return None
+        return out
 
     def lsdb_bytes(self) -> int:
         """Total size of the stored LSDB (state-size experiments)."""

@@ -33,6 +33,7 @@ from repro.protocols.base import RoutingProtocol
 from repro.protocols.dv import DistanceVectorProtocol
 from repro.protocols.hardening import hardening_from
 from repro.protocols.pacing import pacing_from
+from repro.protocols.perf import perf_from
 from repro.protocols.ecma import ECMAProtocol
 from repro.protocols.egp import EGPProtocol
 from repro.protocols.idrp import BGP2Protocol, IDRPProtocol
@@ -103,11 +104,13 @@ def make_protocol(
     ``"ecma"``, ``flooding="tree"`` for ``"orwg"``); values may be given
     as serializable primitives and are normalized here.
 
-    The pseudo-options ``hardening``, ``validation``, and ``pacing`` are
-    handled here for every protocol (they are protocol-independent):
-    ``"all"``, a feature name, a ``+``/``,``-joined list, or the
-    respective config object; the resulting configs are stamped onto the
-    driver and distributed to nodes at build time.
+    The pseudo-options ``hardening``, ``validation``, ``pacing``, and
+    ``perf`` are handled here for every protocol (they are
+    protocol-independent): ``"all"``, a feature name, a ``+``/``,``-joined
+    list, or the respective config object; the resulting configs are
+    stamped onto the driver and distributed to nodes at build time.
+    ``perf`` defaults on (``"none"`` recovers the legacy from-scratch
+    recompute paths for A/B benchmarking).
     """
     if isinstance(point_or_name, DesignPoint):
         factory = PROTOCOL_FOR_POINT[point_or_name]
@@ -123,6 +126,7 @@ def make_protocol(
     hardening = opts.pop("hardening", None)
     validation = opts.pop("validation", None)
     pacing = opts.pop("pacing", None)
+    perf = opts.pop("perf", None)
     protocol = factory(graph, policies, **opts)
     if hardening is not None:
         protocol.hardening = hardening_from(hardening)
@@ -130,6 +134,8 @@ def make_protocol(
         protocol.validation = validation_from(validation)
     if pacing is not None:
         protocol.pacing = pacing_from(pacing)
+    if perf is not None:
+        protocol.perf = perf_from(perf)
     return protocol
 
 

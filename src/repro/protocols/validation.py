@@ -35,6 +35,7 @@ every feature off behaves byte-identically to the pre-validation code.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Callable, Dict, Iterable, List, Tuple, Union
 
 from repro.adgraph.ad import ADId
@@ -75,13 +76,17 @@ class ValidationConfig:
     #: Largest honest sequence-number advance the guard tolerates.
     max_seq_jump: int = 64
 
-    @property
+    @cached_property
     def any_enabled(self) -> bool:
         return any(getattr(self, f) for f in FEATURES)
 
-    @property
+    @cached_property
     def checks_enabled(self) -> bool:
-        """Whether any *check* (everything but quarantine) is on."""
+        """Whether any *check* (everything but quarantine) is on.
+
+        ``cached_property`` (fields are frozen, so the answer cannot
+        change): the receive path asks this once per delivered message.
+        """
         return any(getattr(self, f) for f in FEATURES if f != "quarantine")
 
     @property

@@ -113,16 +113,23 @@ class _ValleyFreeLSNode(LSNode):
         cached = self._cache.get(key)
         if cached is not None and cached[0] == self.db_version:
             return cached[1]
-        graph, _ = self.local_view()
-        if flow.src in graph and flow.dst in graph:
-            path = valley_free_shortest_path(
-                graph, self.order, flow.src, flow.dst, flow.qos.metric
-            )
+        profiler = self.network.profiler
+        if profiler is None:
+            path = self._compute_route(flow)
         else:
-            path = None
+            with profiler.phase("proto.spf"):
+                path = self._compute_route(flow)
         self._cache[key] = (self.db_version, path)
         self.note_computation("valley_free_spf")
         return path
+
+    def _compute_route(self, flow: FlowSpec) -> Optional[Tuple[ADId, ...]]:
+        graph, _ = self.local_view()
+        if flow.src in graph and flow.dst in graph:
+            return valley_free_shortest_path(
+                graph, self.order, flow.src, flow.dst, flow.qos.metric
+            )
+        return None
 
 
 class _LSTopologyProtocolBase(RoutingProtocol):

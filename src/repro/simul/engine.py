@@ -11,7 +11,6 @@ from __future__ import annotations
 import heapq
 import itertools
 import time
-from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.simul.profiling import PhaseProfiler
@@ -26,31 +25,61 @@ class SimulationLimitError(RuntimeError):
     """
 
 
-@dataclass(frozen=True)
 class EventHandle:
-    """Handle for a scheduled event, usable to cancel it."""
+    """Handle for a scheduled event, usable to cancel it.
 
-    seq: int
-    time: float
-    _cancelled: List[bool] = field(default_factory=lambda: [False], repr=False)
+    A plain ``__slots__`` class: one is allocated per scheduled event, so
+    it is on the engine's hottest allocation path.  Never compared or
+    hashed by the heap (``seq`` is the unique tiebreak).
+    """
+
+    __slots__ = ("seq", "time", "_cancelled", "_on_cancel")
+
+    def __init__(
+        self,
+        seq: int,
+        time: float,
+        on_cancel: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.seq = seq
+        self.time = time
+        self._cancelled = False
+        self._on_cancel = on_cancel
 
     def cancel(self) -> None:
         """Prevent the event from firing (idempotent)."""
-        self._cancelled[0] = True
+        if self._cancelled:
+            return
+        self._cancelled = True
+        callback = self._on_cancel
+        if callback is not None:
+            self._on_cancel = None
+            callback()
 
     @property
     def cancelled(self) -> bool:
-        return self._cancelled[0]
+        return self._cancelled
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EventHandle(seq={self.seq}, time={self.time})"
 
 
 class Simulator:
     """A deterministic discrete-event simulator."""
+
+    #: Below this queue size, cancelled entries are never compacted; the
+    #: lazy skip in :meth:`run` is cheaper than a heapify.
+    COMPACT_MIN_QUEUE = 64
 
     def __init__(self, profiler: Optional[PhaseProfiler] = None) -> None:
         self._queue: List[Tuple[float, int, EventHandle, Callable[..., None], tuple]] = []
         self._seq = itertools.count()
         self._now = 0.0
         self.events_processed = 0
+        #: Cancelled handles still sitting in the queue (drives compaction).
+        self._cancelled_pending = 0
+        #: Times the queue was compacted (observability; pinned by tests).
+        self.compactions = 0
         #: Wall-clock profiler; engine time accumulates under "engine.run".
         self.profiler = profiler
         #: Whether the most recent :meth:`run` stopped on ``max_events``
@@ -68,7 +97,12 @@ class Simulator:
         """Schedule ``fn(*args)`` to run ``delay`` time units from now."""
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        return self.schedule_at(self._now + delay, fn, *args)
+        # Inlined schedule_at (this is the per-message hot path; a
+        # non-negative delay can never land in the past).
+        time = self._now + delay
+        handle = EventHandle(next(self._seq), time, self._note_cancel)
+        heapq.heappush(self._queue, (time, handle.seq, handle, fn, args))
+        return handle
 
     def schedule_at(
         self, time: float, fn: Callable[..., None], *args: Any
@@ -76,7 +110,7 @@ class Simulator:
         """Schedule ``fn(*args)`` at an absolute simulated time."""
         if time < self._now:
             raise ValueError(f"cannot schedule into the past ({time} < {self._now})")
-        handle = EventHandle(next(self._seq), time)
+        handle = EventHandle(next(self._seq), time, self._note_cancel)
         heapq.heappush(self._queue, (time, handle.seq, handle, fn, args))
         return handle
 
@@ -84,6 +118,25 @@ class Simulator:
     def pending(self) -> int:
         """Number of queued (possibly cancelled) events."""
         return len(self._queue)
+
+    def _note_cancel(self) -> None:
+        """A queued handle was cancelled; compact once mostly dead.
+
+        Compaction preserves the surviving entries' (time, seq) pop order
+        exactly, so it never perturbs determinism -- it only stops
+        timer-heavy runs (pacing/damping) from bloating the heap with
+        tombstones that every push and pop must still sift past.
+        """
+        self._cancelled_pending += 1
+        queue = self._queue
+        if (
+            len(queue) >= self.COMPACT_MIN_QUEUE
+            and self._cancelled_pending * 2 > len(queue)
+        ):
+            self._queue = [entry for entry in queue if not entry[2]._cancelled]
+            heapq.heapify(self._queue)
+            self._cancelled_pending = 0
+            self.compactions += 1
 
     def run(
         self,
@@ -123,8 +176,14 @@ class Simulator:
                     break
                 heapq.heappop(self._queue)
                 self._now = event_time
-                if handle.cancelled:
+                if handle._cancelled:
+                    if self._cancelled_pending > 0:
+                        self._cancelled_pending -= 1
                     continue
+                # A fired handle may still be cancel()ed later (harmless);
+                # detach the callback so that cannot skew the tombstone
+                # count toward premature compactions.
+                handle._on_cancel = None
                 fn(*args)
                 processed += 1
                 self.events_processed += 1

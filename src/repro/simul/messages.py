@@ -23,9 +23,15 @@ AD_ID_BYTES = 2
 METRIC_BYTES = 4
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
-    """Base class for inter-AD protocol messages."""
+    """Base class for inter-AD protocol messages.
+
+    ``slots=True`` keeps the per-message footprint to the declared fields;
+    messages are the simulator's dominant short-lived allocation.  (Only
+    subclasses that also declare ``slots=True`` share the diet; the rest
+    simply keep their ``__dict__``.)
+    """
 
     def size_bytes(self) -> int:
         """Estimated wire size; subclasses add their payload."""

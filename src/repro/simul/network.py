@@ -83,13 +83,13 @@ class SimNetwork:
         The message is dropped (and counted) if no live link exists at send
         time.  Otherwise it is delivered after the link's delay.
         """
-        if not self.graph.has_link(src, dst):
+        link = self.graph.link_if_exists(src, dst)
+        if link is None:
             raise ValueError(f"AD {src} and AD {dst} are not neighbours")
-        link = self.graph.link(src, dst)
         if not link.up:
             self.metrics.count_drop()
             return
-        delay = link.metric("delay")
+        delay = link.metrics.get("delay", 1.0)
         if self.channel is None:
             self.sim.schedule(delay, self._deliver, src, dst, msg)
             return

@@ -1,0 +1,200 @@
+"""Equivalence of the delta local-view with the full rebuild oracle.
+
+Two :class:`~repro.protocols.flooding.LSNode`\\ s are fed identical LSA
+install sequences; one refreshes its view by per-LSA deltas (the
+``delta_view`` fast path), the other rebuilds from scratch every time.
+After every refresh the believed graphs and policy databases must be
+indistinguishable -- same ADs, levels, links, metrics, statuses, and
+per-owner stamped terms.  Targeted cases pin the invalidation rules:
+cross-owner terms (term forgery) and origin level changes must force a
+full rebuild rather than a wrong delta.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adgraph.ad import Level
+from repro.policy.terms import PolicyTerm
+from repro.protocols.flooding import LinkRecord, LinkStateAd, LSNode
+from repro.protocols.perf import LEGACY
+
+NODE_ID = 0
+ORIGINS = [0, 1, 2, 3, 4]
+METRICS = [1.0, 2.0, 8.0]
+
+
+def make_nodes():
+    delta = LSNode(NODE_ID)
+    oracle = LSNode(NODE_ID)
+    oracle.perf = LEGACY
+    assert delta.perf.delta_view  # defaults on
+    return delta, oracle
+
+
+def assert_views_equal(delta, oracle):
+    dg, dp = delta.local_view()
+    og, op = oracle.local_view()
+    assert dg.ad_ids() == og.ad_ids()
+    for ad_id in og.ad_ids():
+        assert dg.ad(ad_id).level == og.ad(ad_id).level
+    d_links = {ln.key: ln for ln in dg.links()}
+    o_links = {ln.key: ln for ln in og.links()}
+    assert d_links.keys() == o_links.keys()
+    for key, o_ln in o_links.items():
+        d_ln = d_links[key]
+        assert d_ln.metrics == o_ln.metrics, key
+        assert d_ln.up == o_ln.up, key
+    assert dp.owners() == op.owners()
+    for owner in op.owners():
+        assert dp.terms_of(owner) == op.terms_of(owner)
+
+
+@st.composite
+def lsa_sequences(draw):
+    """Batches of LSA installs over a small origin set.
+
+    Sequence numbers strictly increase per origin so every install
+    lands (staleness is the flooding layer's concern, not the view's).
+    """
+    n_batches = draw(st.integers(min_value=1, max_value=6))
+    seqs = dict.fromkeys(ORIGINS, 0)
+    record = st.builds(
+        LinkRecord,
+        neighbor=st.sampled_from(ORIGINS),
+        delay=st.sampled_from(METRICS),
+        cost=st.sampled_from(METRICS),
+        up=st.booleans(),
+        bandwidth=st.sampled_from(METRICS),
+    )
+    batches = []
+    for _ in range(n_batches):
+        batch = []
+        for origin in draw(
+            st.lists(st.sampled_from(ORIGINS), min_size=1, max_size=4)
+        ):
+            seqs[origin] += 1
+            links = tuple(
+                rec
+                for rec in draw(st.lists(record, max_size=4))
+                if rec.neighbor != origin
+            )
+            terms = tuple(
+                PolicyTerm(owner=origin, charge=float(c))
+                for c in draw(
+                    st.lists(st.integers(min_value=0, max_value=3), max_size=3)
+                )
+            )
+            batch.append(
+                LinkStateAd(
+                    origin=origin, seq=seqs[origin], links=links, terms=terms
+                )
+            )
+        batches.append(batch)
+    return batches
+
+
+@settings(max_examples=150, deadline=None)
+@given(lsa_sequences())
+def test_delta_view_matches_rebuilt_view(batches):
+    delta, oracle = make_nodes()
+    for batch in batches:
+        for lsa in batch:
+            delta._install(lsa)
+            oracle._install(lsa)
+        assert_views_equal(delta, oracle)
+    # Steady state: the delta node must actually be exercising the fast
+    # path, not silently rebuilding every time.
+    if len(batches) > 1:
+        assert delta.view_rebuilds <= 1
+
+
+def lsa(origin, seq, neighbors, terms=(), level=Level.CAMPUS):
+    return LinkStateAd(
+        origin=origin,
+        seq=seq,
+        links=tuple(LinkRecord(n, 1.0, 1.0, True) for n in neighbors),
+        terms=terms,
+        origin_level=level,
+    )
+
+
+def test_duplicate_records_first_one_wins():
+    delta, oracle = make_nodes()
+    weird = LinkStateAd(
+        origin=1,
+        seq=1,
+        links=(LinkRecord(0, 5.0, 5.0, True), LinkRecord(0, 1.0, 1.0, False)),
+    )
+    for node in (delta, oracle):
+        node._install(lsa(0, 1, [1]))
+    assert_views_equal(delta, oracle)
+    for node in (delta, oracle):
+        node._install(weird)
+    assert_views_equal(delta, oracle)
+    graph, _ = delta.local_view()
+    assert graph.link(0, 1).metrics["delay"] == 1.0  # smaller endpoint's rec
+
+
+def test_cross_owner_term_forces_full_rebuild():
+    delta, oracle = make_nodes()
+    for node in (delta, oracle):
+        node._install(lsa(0, 1, [1]))
+        node._install(lsa(1, 1, [0]))
+    assert_views_equal(delta, oracle)
+    forged = (PolicyTerm(owner=2, term_id=9_999),)  # owner != origin
+    for node in (delta, oracle):
+        node._install(lsa(1, 2, [0], terms=forged))
+    assert delta._cross_owner_terms
+    rebuilds_before = delta.view_rebuilds
+    assert_views_equal(delta, oracle)
+    assert delta.view_rebuilds == rebuilds_before + 1
+    # ... and stays sticky: later honest installs still rebuild.
+    for node in (delta, oracle):
+        node._install(lsa(1, 3, [0]))
+    assert_views_equal(delta, oracle)
+    assert delta.view_rebuilds == rebuilds_before + 2
+
+
+def test_origin_level_change_forces_full_rebuild():
+    delta, oracle = make_nodes()
+    for node in (delta, oracle):
+        node._install(lsa(0, 1, [1]))
+        node._install(lsa(1, 1, [0], level=Level.CAMPUS))
+    assert_views_equal(delta, oracle)
+    for node in (delta, oracle):
+        node._install(lsa(1, 2, [0], level=Level.REGIONAL))
+    rebuilds_before = delta.view_rebuilds
+    assert_views_equal(delta, oracle)
+    assert delta.view_rebuilds == rebuilds_before + 1
+    graph, _ = delta.local_view()
+    assert graph.ad(1).level == Level.REGIONAL
+
+
+def test_view_edge_changes_tiles_versions():
+    delta, _ = make_nodes()
+    delta._install(lsa(0, 1, [1]))
+    delta._install(lsa(1, 1, [0]))
+    delta.local_view()
+    v0 = delta.db_version
+    assert delta.view_edge_changes(v0) == []
+    delta._install(lsa(1, 2, []))  # withdraw the adjacency
+    delta.local_view()
+    assert delta.view_edge_changes(v0) == [(0, 1)]
+    assert delta.view_edge_changes(v0 - 1) is None  # predates the log
+    delta._install(lsa(1, 3, [0]))
+    assert delta.view_edge_changes(v0) is None  # view not refreshed yet
+    delta.local_view()
+    assert delta.view_edge_changes(v0) == [(0, 1), (0, 1)]
+
+
+def test_same_content_reissue_reports_no_edge_changes():
+    delta, _ = make_nodes()
+    delta._install(lsa(0, 1, [1]))
+    delta._install(lsa(1, 1, [0]))
+    delta.local_view()
+    v0 = delta.db_version
+    delta._install(lsa(1, 2, [0]))  # refresh re-origination, same content
+    delta.local_view()
+    assert delta.view_edge_changes(v0) == []
