@@ -172,6 +172,68 @@ def cmd_converge(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_live_run(args: argparse.Namespace) -> int:
+    from repro.faults.plan import link_flap_plan
+    from repro.live import run_live
+    from repro.protocols import make_protocol
+    from repro.workloads import reference_scenario, small_scenario
+
+    builders = {"small": small_scenario, "reference": reference_scenario}
+    scenario = builders[args.scenario](seed=args.seed)
+    protocol = make_protocol(
+        args.protocol,
+        scenario.graph.copy(),
+        scenario.policies.copy(),
+        substrate="live",
+    )
+    plan = None
+    if args.flaps:
+        plan = link_flap_plan(scenario.graph, flaps=args.flaps, seed=args.seed)
+    result = run_live(
+        protocol,
+        plan,
+        time_scale=args.time_scale,
+        timeout_s=args.timeout,
+    )
+    table = Table(
+        "episode",
+        "messages",
+        "KB",
+        "time",
+        "quiesced",
+        title=f"{args.protocol} live on {scenario.graph.num_ads} ADs "
+        f"(UDP loopback, {args.time_scale}s/unit)",
+    )
+
+    def _row(label, r):
+        table.add(
+            label, r.messages, f"{r.bytes / 1024:.1f}", f"{r.time:.1f}",
+            "yes" if r.quiesced else "NO",
+        )
+
+    _row("initial", result.initial)
+    for episode in result.episodes:
+        _row(episode.label, episode.result)
+    print(table.render())
+    print(f"wall time: {result.wall_seconds:.2f}s")
+    return 0 if result.quiesced else 1
+
+
+def cmd_live_fidelity(args: argparse.Namespace) -> int:
+    from repro.live import fidelity_report, format_report
+
+    report = fidelity_report(
+        protocol=args.protocol,
+        scenario=args.scenario,
+        seed=args.seed,
+        flaps=args.flaps,
+        time_scale=args.time_scale,
+        timeout_s=args.timeout,
+    )
+    print(format_report(report))
+    return 0 if report.routes_identical and report.live_quiesced else 1
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Run every experiment bench and collate the tables into one report."""
     import os
@@ -401,6 +463,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--failures", type=int, default=0,
                    help="failure/repair events to inject")
     p.set_defaults(fn=cmd_converge)
+
+    p = sub.add_parser("live",
+                       help="run protocols over the live asyncio/UDP substrate")
+    lsub = p.add_subparsers(dest="live_command", required=True)
+
+    def _add_live_args(lp):
+        lp.add_argument("--protocol", default="plain-ls",
+                        help="registry name (default: plain-ls)")
+        lp.add_argument("--seed", type=int, default=0)
+        lp.add_argument("--flaps", type=int, default=6,
+                        help="link flaps to inject after convergence")
+        lp.add_argument("--time-scale", type=float, default=0.005,
+                        help="wall seconds per protocol time unit")
+        lp.add_argument("--timeout", type=float, default=120.0,
+                        help="per-episode settle timeout (wall seconds)")
+
+    lp = lsub.add_parser("run", help="converge and flap one scenario live")
+    lp.add_argument("scenario", choices=("small", "reference"),
+                    help="scenario to run")
+    _add_live_args(lp)
+    lp.set_defaults(fn=cmd_live_run)
+
+    lp = lsub.add_parser(
+        "fidelity",
+        help="run the same scenario on sim and live, compare final routes",
+    )
+    lp.add_argument("scenario", nargs="?", default="reference",
+                    choices=("small", "reference"))
+    _add_live_args(lp)
+    lp.set_defaults(fn=cmd_live_fidelity)
 
     p = sub.add_parser("experiments",
                        help="list paper experiments, or run them via the harness")

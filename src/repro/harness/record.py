@@ -28,7 +28,10 @@ from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 #: in the cell key; v2 lines load with both defaulted.
 #: v4: added the optional ``overload`` block (bounded-ingress queue
 #: counters and pacing/damping totals); v3 lines load with it defaulted.
-SCHEMA_VERSION = 4
+#: v5: added ``substrate`` (``"sim"`` or ``"live"``) as a top-level
+#: field and a cell-key entry; v4 lines load with both defaulted to
+#: ``"sim"`` (every pre-v5 run was a simulator run).
+SCHEMA_VERSION = 5
 
 
 @dataclass(frozen=True)
@@ -107,6 +110,10 @@ class RunRecord:
             ``engine.run``, ``failures``, ``evaluate``).  Never compare
             these for determinism -- they are honest wall-clock.
         trace: Rendered tracer timeline lines, when tracing was on.
+        substrate: Which substrate executed the cell: ``"sim"`` (the
+            discrete-event engine; deterministic and comparable) or
+            ``"live"`` (asyncio/UDP; times are measured wall-clock in
+            protocol units and vary run to run like ``timings``).
     """
 
     schema_version: int
@@ -127,6 +134,7 @@ class RunRecord:
     overload: Optional[Mapping[str, Any]] = None
     timings: Mapping[str, float] = field(default_factory=dict)
     trace: Optional[Tuple[str, ...]] = None
+    substrate: str = "sim"
 
     @property
     def initial(self) -> EpisodeRecord:
@@ -166,6 +174,11 @@ class RunRecord:
         if version == 3:
             # v3 -> v4: the overload block did not exist; default it.
             data.setdefault("overload", None)
+            version = 4
+        if version == 4:
+            # v4 -> v5: every earlier run was a simulator run.
+            data.setdefault("substrate", "sim")
+            data.setdefault("cell", {}).setdefault("substrate", "sim")
             version = SCHEMA_VERSION
         if version != SCHEMA_VERSION:
             raise ValueError(
@@ -204,6 +217,7 @@ class RunRecord:
             overload=data.get("overload"),
             timings=data.get("timings", {}),
             trace=tuple(trace) if trace is not None else None,
+            substrate=data.get("substrate", "sim"),
         )
 
     def comparable(self) -> Dict[str, Any]:

@@ -116,6 +116,12 @@ def _parse_trace(trace: Optional[str]) -> Optional[Dict[str, Optional[int]]]:
 
 def execute_cell(cell: Cell) -> RunRecord:
     """Run one cell end to end and measure it (worker entry point)."""
+    if cell.substrate == "live":
+        return _execute_live_cell(cell)
+    if cell.substrate != "sim":
+        raise ValueError(
+            f"unknown substrate {cell.substrate!r}; use 'sim' or 'live'"
+        )
     trace_filter = _parse_trace(cell.trace)
     profiler = PhaseProfiler()
     with profiler.phase("scenario"):
@@ -325,6 +331,122 @@ def execute_cell(cell: Cell) -> RunRecord:
         overload=overload,
         timings=profiler.as_dict(),
         trace=trace_lines,
+    )
+
+
+def _execute_live_cell(cell: Cell) -> RunRecord:
+    """Run one cell on the live asyncio/UDP substrate.
+
+    Live cells cover the scenario x protocol x failure axes (plus the
+    availability evaluation); the sim-only axes -- channel impairments,
+    bounded-ingress models, misbehavior timelines, tracing -- are
+    rejected loudly rather than silently skipped.  Episode times are
+    honest wall-clock (in protocol units), so live records vary run to
+    run the way ``timings`` do; never feed them to a determinism gate.
+    """
+    from repro.faults.plan import FaultPlan
+    from repro.live.runner import run_live
+
+    unsupported = []
+    if cell.fault.active:
+        unsupported.append("fault (impairment/churn/queue)")
+    if cell.misbehavior.active:
+        unsupported.append("misbehavior")
+    if cell.trace:
+        unsupported.append("trace")
+    if unsupported:
+        raise ValueError(
+            f"live cells do not support the {', '.join(unsupported)} axis; "
+            "run these cells on the sim substrate"
+        )
+
+    profiler = PhaseProfiler()
+    with profiler.phase("scenario"):
+        scenario = cell.scenario.build()
+    with profiler.phase("build"):
+        protocol = cell.protocol.instantiate(
+            scenario.graph.copy(), scenario.policies.copy()
+        )
+        protocol.substrate = "live"
+    failure_plan = cell.failure.build(scenario.graph)
+    plan = (
+        FaultPlan.from_failure_plan(failure_plan)
+        if failure_plan is not None
+        else None
+    )
+    with profiler.phase("converge"):
+        result = run_live(protocol, plan)
+    network = protocol.network
+    network.set_profiler(profiler)
+
+    episodes: List[EpisodeRecord] = [
+        EpisodeRecord.from_result("initial", result.initial)
+    ]
+    for episode, ev in zip(result.episodes, plan or ()):
+        episodes.append(
+            EpisodeRecord.from_result(
+                "repair" if ev.up else "failure",
+                episode.result,
+                link=(ev.a, ev.b),
+            )
+        )
+
+    route_quality = None
+    if cell.evaluate:
+        with profiler.phase("evaluate"):
+            report = evaluate_availability(
+                protocol.graph,
+                protocol.policies,
+                scenario.flows,
+                protocol.find_route,
+            )
+        route_quality = {
+            "availability": report.availability,
+            "n_flows": report.n_flows,
+            "n_existing": report.n_existing,
+            "n_found": report.n_found,
+            "n_found_legal": report.n_found_legal,
+            "n_illegal": report.n_illegal,
+            "n_undecided": report.n_undecided,
+            "mean_stretch": report.mean_stretch,
+            "forwarding_loops": protocol.forwarding_loops,
+            "source_control": protocol.mode is ForwardingMode.SOURCE,
+        }
+
+    snapshot = network.metrics.snapshot(network.clock.now)
+    by_kind: Dict[str, int] = {}
+    by_ad: Dict[str, int] = {}
+    for (ad_id, kind), count in sorted(snapshot.computations.items()):
+        by_kind[kind] = by_kind.get(kind, 0) + count
+        by_ad[f"{ad_id}:{kind}"] = count
+
+    timings = profiler.as_dict()
+    timings["live.wall"] = result.wall_seconds
+
+    return RunRecord(
+        schema_version=SCHEMA_VERSION,
+        experiment=cell.experiment,
+        cell=cell.key(),
+        scenario={
+            "name": scenario.name,
+            "num_ads": scenario.graph.num_ads,
+            "num_links": scenario.graph.num_links,
+            "num_terms": scenario.policies.num_terms,
+            "num_flows": len(scenario.flows),
+        },
+        episodes=tuple(episodes),
+        messages=dict(snapshot.messages),
+        message_bytes=dict(snapshot.bytes),
+        dropped=snapshot.dropped,
+        computations=by_kind,
+        computations_by_ad=by_ad,
+        state={
+            "max_rib": protocol.max_rib_size(),
+            "total_rib": protocol.total_rib_size(),
+        },
+        route_quality=route_quality,
+        timings=timings,
+        substrate="live",
     )
 
 

@@ -400,6 +400,11 @@ class Cell:
     evaluate: bool = False
     max_events: int = 5_000_000
     trace: Optional[str] = None
+    #: Execution substrate: ``"sim"`` (discrete-event engine) or
+    #: ``"live"`` (asyncio/UDP via :mod:`repro.live`).  Live cells
+    #: support the scenario x protocol x failure axes; the sim-only
+    #: axes (impairments, misbehavior, tracing) are rejected loudly.
+    substrate: str = "sim"
 
     def key(self) -> Dict[str, Any]:
         """The record's ``cell`` mapping (sortable, JSON-friendly)."""
@@ -412,6 +417,7 @@ class Cell:
             "failure": self.failure.display,
             "fault": self.fault.display,
             "misbehavior": self.misbehavior.display,
+            "substrate": self.substrate,
         }
 
 
@@ -435,6 +441,7 @@ class ExperimentSpec:
     evaluate: bool = False
     max_events: int = 5_000_000
     trace: Optional[str] = None
+    substrate: str = "sim"
 
     def cells(self) -> List[Cell]:
         expanded: List[Cell] = []
@@ -464,6 +471,7 @@ class ExperimentSpec:
                                     evaluate=self.evaluate,
                                     max_events=self.max_events,
                                     trace=self.trace,
+                                    substrate=self.substrate,
                                 )
                             )
                             index += 1

@@ -1,0 +1,99 @@
+"""Wall-clock time and timers behind the :class:`Clock` interface.
+
+One protocol time unit is ``time_scale`` wall-clock seconds, so the same
+protocol code quotes comparable times on both substrates (a sim run that
+converges at t=40 and a live run at 0.2 s with ``time_scale=0.005`` are
+the same 40 units).  Timers map onto ``loop.call_later`` and honour the
+transport-wide :class:`~repro.simul.transport.TimerHandle` contract:
+cancellation is idempotent and harmless after the timer fired.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable
+
+from repro.simul.transport import Clock, TimerHandle
+
+
+class LiveTimerHandle(TimerHandle):
+    """A pending ``loop.call_later`` timer."""
+
+    __slots__ = ("_clock", "_handle", "_cancelled", "_fired")
+
+    def __init__(self, clock: "LiveClock", handle: asyncio.TimerHandle) -> None:
+        self._clock = clock
+        self._handle = handle
+        self._cancelled = False
+        self._fired = False
+
+    def cancel(self) -> None:
+        """Prevent the timer from firing (idempotent, safe after fire)."""
+        if self._cancelled:
+            return
+        self._cancelled = True
+        if not self._fired:
+            self._handle.cancel()
+            self._clock._pending -= 1
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "cancelled" if self._cancelled else ("fired" if self._fired else "pending")
+        return f"LiveTimerHandle({state})"
+
+
+class LiveClock(Clock):
+    """The event loop's clock, scaled to protocol time units."""
+
+    __slots__ = ("_loop", "_t0", "time_scale", "_pending", "on_fire")
+
+    def __init__(
+        self, loop: asyncio.AbstractEventLoop, time_scale: float = 0.005
+    ) -> None:
+        if time_scale <= 0:
+            raise ValueError("time_scale must be > 0 seconds per time unit")
+        self._loop = loop
+        self._t0 = loop.time()
+        #: Wall-clock seconds per protocol time unit.
+        self.time_scale = time_scale
+        self._pending = 0
+        #: Activity callback, invoked whenever a live timer fires (the
+        #: network uses it to extend its idle window).
+        self.on_fire: Callable[[], None] = lambda: None
+
+    @property
+    def now(self) -> float:
+        """Protocol time units since the clock was created."""
+        return (self._loop.time() - self._t0) / self.time_scale
+
+    @property
+    def pending_timers(self) -> int:
+        """Timers armed but neither fired nor cancelled."""
+        return self._pending
+
+    def call_later(
+        self, delay: float, fn: Callable[..., None], *args: Any
+    ) -> LiveTimerHandle:
+        """Run ``fn(*args)`` after ``delay`` protocol time units."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self._pending += 1
+        box: list = []
+
+        def fire() -> None:
+            handle = box[0]
+            handle._fired = True
+            self._pending -= 1
+            self.on_fire()
+            fn(*args)
+
+        timer = self._loop.call_later(delay * self.time_scale, fire)
+        handle = LiveTimerHandle(self, timer)
+        box.append(handle)
+        return handle
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LiveClock(now={self.now:.3f}, pending={self._pending})"

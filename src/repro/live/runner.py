@@ -1,0 +1,213 @@
+"""Wall-clock convergence runs on the live substrate.
+
+The discrete-event engine knows it has converged when its queue drains;
+real sockets have no such oracle, so the live runner uses *settling*: a
+run has quiesced when no frame is in flight or queued and the network
+has been observably idle for a configurable wall-clock window.  The
+episode accounting mirrors :mod:`repro.simul.runner` exactly -- snapshot
+metrics, perturb, settle, snapshot again -- so a
+:class:`~repro.simul.runner.ConvergenceResult` from either substrate
+reads the same way (times in protocol units, not wall seconds).
+
+Two failure-injection styles:
+
+* **episodic** (a plan of :class:`~repro.faults.plan.LinkFault` only):
+  each fault is applied after the previous episode settled, so
+  per-failure costs are separable -- the live twin of
+  :func:`repro.simul.runner.run_with_failures`;
+* **scheduled** (any plan with node crashes/restarts): the whole plan is
+  armed on the live clock via
+  :meth:`~repro.protocols.base.RoutingProtocol.schedule_fault_plan`,
+  the runner waits out its horizon, and the settle afterwards is one
+  combined episode -- the live twin of
+  :meth:`~repro.simul.network.SimNetwork.schedule_failure_plan` runs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.faults.plan import FaultPlan, LinkFault
+from repro.live.network import LiveNetwork
+from repro.protocols.base import RoutingProtocol
+from repro.simul.runner import ConvergenceResult
+
+#: How often the settle loop re-checks for quiescence (wall seconds).
+_POLL_S = 0.002
+
+
+async def settle(
+    network: LiveNetwork,
+    idle_window_s: float = 0.05,
+    timeout_s: float = 30.0,
+) -> bool:
+    """Wait until the network has been idle for ``idle_window_s``.
+
+    Idle means no frame in flight, none queued, none being processed,
+    and no timer fired recently.  Returns ``True`` when the window was
+    reached (quiesced) and ``False`` on timeout -- mirroring the
+    engine's ``max_events`` cutoff, a timeout is reported, not raised.
+    Errors raised inside serve tasks *are* re-raised here: a crashed
+    serve loop would otherwise masquerade as quiescence.
+    """
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout_s
+    while True:
+        if network.errors:
+            raise RuntimeError(
+                f"{len(network.errors)} serve-task failure(s); first one follows"
+            ) from network.errors[0]
+        if network.idle() and network.idle_for >= idle_window_s:
+            return True
+        if loop.time() >= deadline:
+            return False
+        await asyncio.sleep(_POLL_S)
+
+
+@dataclass(frozen=True)
+class LiveEpisode:
+    """One perturbation and the reconvergence it caused."""
+
+    label: str
+    result: ConvergenceResult
+
+
+@dataclass(frozen=True)
+class LiveRunResult:
+    """Outcome of one live run: initial convergence plus episodes."""
+
+    initial: ConvergenceResult
+    episodes: Tuple[LiveEpisode, ...] = ()
+    #: Wall-clock seconds the whole run took (sockets up to close).
+    wall_seconds: float = 0.0
+    #: Wall seconds per protocol time unit the run used.
+    time_scale: float = 0.005
+
+    @property
+    def quiesced(self) -> bool:
+        """Whether every phase of the run reached quiescence."""
+        return self.initial.quiesced and all(
+            ep.result.quiesced for ep in self.episodes
+        )
+
+
+async def _measure(
+    network: LiveNetwork,
+    idle_window_s: float,
+    timeout_s: float,
+) -> ConvergenceResult:
+    """Settle and report the metrics delta as one episode."""
+    before = network.metrics.snapshot(network.clock.now)
+    frames_before = network.frames_received
+    quiesced = await settle(network, idle_window_s, timeout_s)
+    after = network.metrics.snapshot(network.clock.now)
+    return ConvergenceResult.from_delta(
+        before,
+        after,
+        events=network.frames_received - frames_before,
+        quiesced=quiesced,
+    )
+
+
+async def run_live_async(
+    protocol: RoutingProtocol,
+    plan: Optional[FaultPlan] = None,
+    *,
+    time_scale: float = 0.005,
+    idle_window_s: float = 0.05,
+    timeout_s: float = 60.0,
+) -> LiveRunResult:
+    """Build, start, converge, and fault-inject a protocol over live UDP.
+
+    The protocol must not have been built yet; a fresh
+    :class:`LiveNetwork` is constructed on the running loop, handed to
+    ``protocol.build``, and always closed (sockets and serve tasks torn
+    down) before this returns -- including on error.
+    """
+    if protocol.network is not None:
+        raise RuntimeError(f"{protocol.name} is already built on a substrate")
+    loop = asyncio.get_running_loop()
+    started = loop.time()
+    network = LiveNetwork(protocol.graph, time_scale=time_scale)
+    protocol.substrate = "live"
+    protocol.build(network=network)
+    try:
+        await network.start()
+        initial = await _measure(network, idle_window_s, timeout_s)
+        episodes: List[LiveEpisode] = []
+        if plan is not None and len(plan) > 0:
+            if all(isinstance(ev, LinkFault) for ev in plan):
+                # Episodic: one settled episode per link fault, so the
+                # per-failure costs are separable (run_with_failures).
+                for ev in plan:
+                    before = network.metrics.snapshot(network.clock.now)
+                    frames_before = network.frames_received
+                    protocol.apply_link_status(ev.a, ev.b, ev.up)
+                    quiesced = await settle(network, idle_window_s, timeout_s)
+                    after = network.metrics.snapshot(network.clock.now)
+                    state = "up" if ev.up else "down"
+                    episodes.append(
+                        LiveEpisode(
+                            label=f"link {ev.a}-{ev.b} {state}",
+                            result=ConvergenceResult.from_delta(
+                                before,
+                                after,
+                                events=network.frames_received - frames_before,
+                                quiesced=quiesced,
+                            ),
+                        )
+                    )
+            else:
+                # Scheduled: arm the whole plan on the live clock, wait
+                # out its horizon, and settle the aftermath as one
+                # combined episode.
+                before = network.metrics.snapshot(network.clock.now)
+                frames_before = network.frames_received
+                protocol.schedule_fault_plan(plan)
+                horizon_at = network.clock.now + plan.horizon
+                while network.clock.now < horizon_at:
+                    remaining = (horizon_at - network.clock.now) * time_scale
+                    await asyncio.sleep(max(_POLL_S, remaining))
+                quiesced = await settle(network, idle_window_s, timeout_s)
+                after = network.metrics.snapshot(network.clock.now)
+                episodes.append(
+                    LiveEpisode(
+                        label=f"plan[{len(plan)} events]",
+                        result=ConvergenceResult.from_delta(
+                            before,
+                            after,
+                            events=network.frames_received - frames_before,
+                            quiesced=quiesced,
+                        ),
+                    )
+                )
+        return LiveRunResult(
+            initial=initial,
+            episodes=tuple(episodes),
+            wall_seconds=loop.time() - started,
+            time_scale=time_scale,
+        )
+    finally:
+        await network.close()
+
+
+def run_live(
+    protocol: RoutingProtocol,
+    plan: Optional[FaultPlan] = None,
+    *,
+    time_scale: float = 0.005,
+    idle_window_s: float = 0.05,
+    timeout_s: float = 60.0,
+) -> LiveRunResult:
+    """Synchronous wrapper: run a live episode inside ``asyncio.run``."""
+    return asyncio.run(
+        run_live_async(
+            protocol,
+            plan,
+            time_scale=time_scale,
+            idle_window_s=idle_window_s,
+            timeout_s=timeout_s,
+        )
+    )

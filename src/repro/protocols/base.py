@@ -30,10 +30,12 @@ from repro.policy.selection import OPEN_SELECTION, RouteSelectionPolicy
 from repro.protocols.hardening import HardeningConfig
 from repro.protocols.pacing import PacingConfig
 from repro.protocols.perf import PerfConfig
+from repro.protocols.runtime import NodeRuntimeConfig
 from repro.protocols.validation import NeighborGuard, ValidationConfig
 from repro.simul.network import SimNetwork
 from repro.simul.node import ProtocolNode
 from repro.simul.runner import ConvergenceResult, converge
+from repro.simul.transport import Transport
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults.plan import FaultPlan
@@ -66,17 +68,17 @@ class RoutingProtocol:
     def __init__(self, graph: InterADGraph, policies: PolicyDatabase) -> None:
         self.graph = graph
         self.policies = policies
-        self.network: Optional[SimNetwork] = None
+        self.network: Optional[Transport] = None
+        #: Which substrate :meth:`build` runs on; ``"live"`` networks are
+        #: constructed by :mod:`repro.live` and passed in.
+        self.substrate: str = "sim"
         #: Forwarding loops observed while walking hop-by-hop decisions.
         self.forwarding_loops = 0
-        #: Robustness features distributed to every node at build time.
-        self.hardening = HardeningConfig()
-        #: Receiver-side validation checks, distributed the same way.
-        self.validation = ValidationConfig()
-        #: Overload defenses (pacing/hold-down/damping), distributed too.
-        self.pacing = PacingConfig()
-        #: Delta-recompute fast paths (defaults on), distributed too.
-        self.perf = PerfConfig()
+        #: The full per-node runtime (hardening/validation/pacing/perf/
+        #: ingress), distributed to every node by one hook at build time
+        #: and restamped on state-losing restarts.  The component
+        #: properties below keep the historical spelling working.
+        self.runtime = NodeRuntimeConfig()
         #: ADs that have (ever) been turned into liars: ad -> lie kind.
         #: Never pruned -- already-flooded lies outlive the liar's change
         #: of heart, and blast-radius attribution must outlive it too.
@@ -87,65 +89,123 @@ class RoutingProtocol:
         self._crashed_links: Dict[ADId, Tuple[Tuple[ADId, ADId], ...]] = {}
         self._crash_retain: Dict[ADId, bool] = {}
 
+    # --------------------------------------------------- runtime components
+
+    @property
+    def hardening(self) -> HardeningConfig:
+        """Robustness features distributed to every node at build time."""
+        return self.runtime.hardening
+
+    @hardening.setter
+    def hardening(self, value: HardeningConfig) -> None:
+        self.runtime = self.runtime.replace(hardening=value)
+
+    @property
+    def validation(self) -> ValidationConfig:
+        """Receiver-side validation checks, distributed the same way."""
+        return self.runtime.validation
+
+    @validation.setter
+    def validation(self, value: ValidationConfig) -> None:
+        self.runtime = self.runtime.replace(validation=value)
+
+    @property
+    def pacing(self) -> PacingConfig:
+        """Overload defenses (pacing/hold-down/damping), distributed too."""
+        return self.runtime.pacing
+
+    @pacing.setter
+    def pacing(self, value: PacingConfig) -> None:
+        self.runtime = self.runtime.replace(pacing=value)
+
+    @property
+    def perf(self) -> PerfConfig:
+        """Delta-recompute fast paths (defaults on), distributed too."""
+        return self.runtime.perf
+
+    @perf.setter
+    def perf(self, value: PerfConfig) -> None:
+        self.runtime = self.runtime.replace(perf=value)
+
     # --------------------------------------------------------- control plane
 
-    def _make_nodes(self, network: SimNetwork) -> None:
+    def _make_nodes(self, network: Transport) -> None:
         """Create and register one protocol node per AD."""
         raise NotImplementedError
 
-    def build(self) -> SimNetwork:
-        """Construct the simulation network (idempotent)."""
+    def build(self, network: Optional[Transport] = None) -> Transport:
+        """Construct the protocol's network substrate (idempotent).
+
+        With no argument, builds on the substrate named by
+        :attr:`substrate`: a fresh :class:`SimNetwork` for ``"sim"``
+        (``"live"`` networks need a running event loop, so
+        :mod:`repro.live` constructs one and passes it here).  An
+        explicitly-passed transport is adopted as-is.
+        """
         if self.network is None:
-            self.network = SimNetwork(self.graph)
-            self._make_nodes(self.network)
-            self._distribute_hardening(self.network)
-            self._distribute_validation(self.network)
-            self._distribute_pacing(self.network)
-            self._distribute_perf(self.network)
+            if network is None:
+                if self.substrate != "sim":
+                    raise RuntimeError(
+                        f"{self.name}: substrate {self.substrate!r} networks "
+                        "are built by repro.live; pass one to build(network=...)"
+                    )
+                network = SimNetwork(self.graph)
+            self.network = network
+            self._make_nodes(network)
+            self._distribute_runtime(network)
         return self.network
 
-    def _distribute_hardening(self, network: SimNetwork) -> None:
-        """Stamp the protocol's hardening config onto every node."""
+    def _distribute_runtime(self, network: Transport) -> None:
+        """Stamp the full runtime container onto every node (single hook).
+
+        Also attaches the runtime's ingress queue, when one is configured
+        and the substrate models one (the sim's delivery stage).
+        """
         for node in network.nodes.values():
-            node.hardening = self.hardening
+            self._stamp_runtime(node)
+        if self.runtime.ingress is not None and hasattr(network, "set_ingress"):
+            network.set_ingress(self.runtime.ingress)
 
-    def _distribute_pacing(self, network: SimNetwork) -> None:
-        """Stamp the protocol's pacing config onto every node."""
-        for node in network.nodes.values():
-            node.pacing = self.pacing
+    def _stamp_runtime(self, node: ProtocolNode) -> None:
+        """Configure one node with every runtime component.
 
-    def _distribute_perf(self, network: SimNetwork) -> None:
-        """Stamp the protocol's perf config onto every node."""
-        for node in network.nodes.values():
-            node.perf = self.perf
-
-    def _distribute_validation(self, network: SimNetwork) -> None:
-        """Stamp the validation config and trusted registries onto nodes.
-
-        The trusted policy registry is snapshotted *at build time*, before
-        any scheduled misbehavior can pollute the live database (ORWG's
-        liar plants its forged term in the shared ``live_policies``), so
+        The single restamping path shared by build and state-losing
+        restarts.  The trusted policy registry is snapshotted the first
+        time a validating node is stamped -- at build time, before any
+        scheduled misbehavior can pollute the live database (ORWG's liar
+        plants its forged term in the shared ``live_policies``) -- so
         validators always judge claims against registered ground truth.
         """
-        if self.validation.any_enabled and self._trusted_policies is None:
+        runtime = self.runtime
+        node.hardening = runtime.hardening
+        node.pacing = runtime.pacing
+        node.perf = runtime.perf
+        node.validation = runtime.validation
+        if runtime.validation.any_enabled and self._trusted_policies is None:
             self._trusted_policies = self.policies.copy()
-        for node in network.nodes.values():
-            self._stamp_validation(node)
-
-    def _stamp_validation(self, node: ProtocolNode) -> None:
-        node.validation = self.validation
         node.trusted_policies = self._trusted_policies
         node.trusted_graph = self.graph
-        if self.validation.any_enabled:
-            node.guard = NeighborGuard(self.validation, lambda: node.now)
+        if runtime.validation.any_enabled:
+            node.guard = NeighborGuard(runtime.validation, lambda: node.now)
         else:
             node.guard = None
 
     def converge(self, max_events: int = 5_000_000) -> ConvergenceResult:
-        """Build if needed and run the control plane to quiescence."""
-        return converge(self.build(), max_events=max_events)
+        """Build if needed and run the control plane to quiescence.
 
-    def _require_network(self) -> SimNetwork:
+        Sim substrate only: quiescence is an event-queue property.  Live
+        runs converge in wall-clock time under
+        :func:`repro.live.run_live`.
+        """
+        network = self.build()
+        if not isinstance(network, SimNetwork):
+            raise RuntimeError(
+                f"{self.name}: converge() drives the discrete-event engine; "
+                "use repro.live.run_live for the live substrate"
+            )
+        return converge(network, max_events=max_events)
+
+    def _require_network(self) -> Transport:
         """The built network, or a clear error if build() never ran."""
         if self.network is None:
             raise RuntimeError(
@@ -213,14 +273,11 @@ class RoutingProtocol:
         if not retain:
             old = network.nodes[ad_id]
             fresh = self._fresh_node(ad_id)
-            fresh.hardening = self.hardening
-            fresh.pacing = self.pacing
-            fresh.perf = self.perf
+            self._stamp_runtime(fresh)
             fresh.inherit_nonvolatile(old)
             old.retire()  # idempotent; the node was retired at crash time
         network.restore_node(ad_id, fresh)
         if fresh is not None:
-            self._stamp_validation(fresh)
             fresh.start()
         for a, b in links:
             self.apply_link_status(a, b, True)
@@ -247,7 +304,7 @@ class RoutingProtocol:
         """Schedule a fault plan's events, relative to the current time."""
         network = self._require_network()
         for ev in plan:
-            network.sim.schedule(ev.time, self._apply_fault_event, ev)
+            network.clock.call_later(ev.time, self._apply_fault_event, ev)
 
     def _apply_fault_event(self, ev: object) -> None:
         from repro.faults.misbehavior import MisbehaviorStart, MisbehaviorStop
@@ -288,7 +345,7 @@ class RoutingProtocol:
             self.liars[ad_id] = lie
         self.misbehavior_log.append(
             {
-                "time": network.sim.now,
+                "time": network.clock.now,
                 "ad": ad_id,
                 "lie": lie,
                 "target": target,
@@ -302,7 +359,7 @@ class RoutingProtocol:
         network = self._require_network()
         network.nodes[ad_id].behave()
         self.misbehavior_log.append(
-            {"time": network.sim.now, "ad": ad_id, "lie": None,
+            {"time": network.clock.now, "ad": ad_id, "lie": None,
              "target": None, "applied": True}
         )
 

@@ -152,9 +152,9 @@ class ECMANode(OverloadDefenseMixin, ProtocolNode):
 
     def on_message(self, sender: ADId, msg: Message) -> None:
         assert isinstance(msg, ECMAUpdate)
-        if not self.network.graph.has_link(self.ad_id, sender):
+        if not self.topology.has_link(self.ad_id, sender):
             return
-        link = self.network.graph.link(self.ad_id, sender)
+        link = self.topology.link(self.ad_id, sender)
         if not link.up:
             return
         if self.guard is not None and self.guard.suppresses(sender):

@@ -359,9 +359,14 @@ class EGPProtocol(RoutingProtocol):
         self.excluded_links = 0
         self.tree_graph: Optional[InterADGraph] = None
 
-    def build(self) -> SimNetwork:
+    def build(self, network=None) -> SimNetwork:
         if self.network is not None:
             return self.network
+        if network is not None:
+            raise RuntimeError(
+                "egp builds its own spanning-tree network; a pre-built "
+                "substrate cannot be adopted"
+            )
         import networkx as nx
 
         cyclic = bool(nx.cycle_basis(self.graph.nx_graph(live_only=True)))
@@ -372,9 +377,7 @@ class EGPProtocol(RoutingProtocol):
         self.tree_graph, self.excluded_links = _spanning_tree(self.graph)
         self.network = SimNetwork(self.tree_graph)
         self._make_nodes(self.network)
-        self._distribute_hardening(self.network)
-        self._distribute_validation(self.network)
-        self._distribute_pacing(self.network)
+        self._distribute_runtime(self.network)
         return self.network
 
     def _make_nodes(self, network: SimNetwork) -> None:

@@ -240,7 +240,7 @@ class LSNode(OverloadDefenseMixin, ProtocolNode):
     def _build_own_lsa(self) -> LinkStateAd:
         self._seq += 1
         records = []
-        for link in self.network.graph.links_of(self.ad_id, include_down=True):
+        for link in self.topology.links_of(self.ad_id, include_down=True):
             nbr = link.other(self.ad_id)
             up = link.up
             if up and self.pacing.damp and self._damper is not None:
@@ -371,7 +371,7 @@ class LSNode(OverloadDefenseMixin, ProtocolNode):
 
     def on_message(self, sender: ADId, msg: Message) -> None:
         if isinstance(msg, (LinkStateAd, LSDBExchange)):
-            profiler = self.network.profiler
+            profiler = self.profiler
             if profiler is None:
                 self._on_flood_message(sender, msg)
             else:

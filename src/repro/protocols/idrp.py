@@ -181,7 +181,7 @@ class IDRPNode(OverloadDefenseMixin, ProtocolNode):
 
     def on_message(self, sender: ADId, msg: Message) -> None:
         assert isinstance(msg, IDRPUpdate)
-        if not self.network.graph.has_link(self.ad_id, sender):
+        if not self.topology.has_link(self.ad_id, sender):
             return
         if self.guard is not None and self.guard.suppresses(sender):
             return
@@ -319,7 +319,7 @@ class IDRPNode(OverloadDefenseMixin, ProtocolNode):
         cls_set = self.class_sets[key[2]]
         best: Optional[_LocEntry] = None
         best_rank = None
-        graph = self.network.graph
+        graph = self.topology
         for nbr, ad in sorted(self.rib_in.get(key, {}).items()):
             if self.ad_id in ad.path:
                 continue  # loop suppression via full AD path

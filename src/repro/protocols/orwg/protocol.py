@@ -400,7 +400,7 @@ class ORWGNode(LSNode):
                 self._nak_backward(msg.handle, entry, result.reason)
             return
         assert entry is not None and entry.next is not None
-        graph = self.network.graph
+        graph = self.topology
         if not graph.has_link(self.ad_id, entry.next) or not graph.link(
             self.ad_id, entry.next
         ).up:
@@ -559,7 +559,7 @@ class ORWGProtocol(RoutingProtocol):
         """Launch a policy-route setup; run the network to completion."""
         node = self._node(flow.src)
         attempt = SetupAttempt(handle=node.new_handle(), flow=flow, route=None)
-        self.network.sim.schedule(0.0, node.initiate_setup, attempt, selection)
+        self.network.clock.call_later(0.0, node.initiate_setup, attempt, selection)
         return attempt
 
     def send_data(
@@ -593,7 +593,7 @@ class ORWGProtocol(RoutingProtocol):
             attempt.data_sent += 1
 
         for i in range(packets):
-            self.network.sim.schedule(i * spacing, _send_one)
+            self.network.clock.call_later(i * spacing, _send_one)
 
     def teardown(self, attempt: SetupAttempt) -> None:
         """Schedule an explicit teardown of an established route."""
@@ -608,7 +608,7 @@ class ORWGProtocol(RoutingProtocol):
                 TeardownPacket(attempt.handle, attempt.route, hop=1),
             )
 
-        self.network.sim.schedule(0.0, _send)
+        self.network.clock.call_later(0.0, _send)
 
     def delivered(self, attempt: SetupAttempt) -> int:
         """Data packets that reached the destination on this route."""

@@ -31,15 +31,12 @@ from repro.policy.database import PolicyDatabase
 from repro.policy.qos import QOS
 from repro.protocols.base import RoutingProtocol
 from repro.protocols.dv import DistanceVectorProtocol
-from repro.protocols.hardening import hardening_from
-from repro.protocols.pacing import pacing_from
-from repro.protocols.perf import perf_from
 from repro.protocols.ecma import ECMAProtocol
 from repro.protocols.egp import EGPProtocol
 from repro.protocols.idrp import BGP2Protocol, IDRPProtocol
 from repro.protocols.lshbh import LinkStateHopByHopProtocol
-from repro.protocols.validation import validation_from
 from repro.protocols.orwg import ORWGProtocol
+from repro.protocols.runtime import NodeRuntimeConfig, runtime_from
 from repro.protocols.spf import PlainLinkStateProtocol
 from repro.protocols.variants import (
     DVSourceTermsProtocol,
@@ -104,13 +101,20 @@ def make_protocol(
     ``"ecma"``, ``flooding="tree"`` for ``"orwg"``); values may be given
     as serializable primitives and are normalized here.
 
-    The pseudo-options ``hardening``, ``validation``, ``pacing``, and
-    ``perf`` are handled here for every protocol (they are
-    protocol-independent): ``"all"``, a feature name, a ``+``/``,``-joined
-    list, or the respective config object; the resulting configs are
-    stamped onto the driver and distributed to nodes at build time.
+    The pseudo-options ``hardening``, ``validation``, ``pacing``,
+    ``perf``, and ``ingress`` are handled here for every protocol (they
+    are protocol-independent): ``"all"``, a feature name, a
+    ``+``/``,``-joined list, or the respective config object; they are
+    folded into one :class:`~repro.protocols.runtime.NodeRuntimeConfig`
+    on the driver and distributed to nodes by a single hook at build
+    time.  A ready-made container may also be passed whole as
+    ``runtime=...`` (mutually exclusive with the per-component options).
     ``perf`` defaults on (``"none"`` recovers the legacy from-scratch
     recompute paths for A/B benchmarking).
+
+    ``substrate`` selects the execution substrate: ``"sim"`` (default,
+    the discrete-event engine) or ``"live"`` (asyncio/UDP nodes driven
+    by :mod:`repro.live`).
     """
     if isinstance(point_or_name, DesignPoint):
         factory = PROTOCOL_FOR_POINT[point_or_name]
@@ -123,19 +127,26 @@ def make_protocol(
                 f"available: {', '.join(available_protocols())}"
             ) from None
     opts = _normalize_options(dict(options))
-    hardening = opts.pop("hardening", None)
-    validation = opts.pop("validation", None)
-    pacing = opts.pop("pacing", None)
-    perf = opts.pop("perf", None)
+    runtime = opts.pop("runtime", None)
+    components = {
+        key: opts.pop(key, None)
+        for key in ("hardening", "validation", "pacing", "perf", "ingress")
+    }
+    substrate = opts.pop("substrate", "sim")
+    if substrate not in ("sim", "live"):
+        raise ValueError(f"unknown substrate {substrate!r}; use 'sim' or 'live'")
     protocol = factory(graph, policies, **opts)
-    if hardening is not None:
-        protocol.hardening = hardening_from(hardening)
-    if validation is not None:
-        protocol.validation = validation_from(validation)
-    if pacing is not None:
-        protocol.pacing = pacing_from(pacing)
-    if perf is not None:
-        protocol.perf = perf_from(perf)
+    if runtime is not None:
+        if any(v is not None for v in components.values()):
+            raise ValueError(
+                "pass either runtime=... or per-component options, not both"
+            )
+        if not isinstance(runtime, NodeRuntimeConfig):
+            raise TypeError(f"runtime must be a NodeRuntimeConfig, got {runtime!r}")
+        protocol.runtime = runtime
+    elif any(v is not None for v in components.values()):
+        protocol.runtime = runtime_from(**components)
+    protocol.substrate = substrate
     return protocol
 
 

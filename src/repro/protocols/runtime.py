@@ -1,0 +1,80 @@
+"""The unified per-node runtime configuration.
+
+Five build-time config objects grew up independently — hardening,
+validation, pacing, perf, and the network-level ingress queue — each
+with its own distribution path in the driver and its own restamping code
+on crash/restart.  :class:`NodeRuntimeConfig` packages them into one
+immutable container with a single distribution hook
+(:meth:`~repro.protocols.base.RoutingProtocol._stamp_runtime`), so a
+node always receives a complete, consistent runtime in one place:
+at build time, and again when a state-losing restart swaps in a fresh
+process.
+
+Every component keeps its off-by-default semantics (``perf`` defaults to
+the fast paths, as before), so a default container is byte-identical to
+the pre-unification behaviour.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Union
+
+from repro.protocols.hardening import HardeningConfig, hardening_from
+from repro.protocols.pacing import PacingConfig, pacing_from
+from repro.protocols.perf import PerfConfig, perf_from
+from repro.protocols.validation import ValidationConfig, validation_from
+from repro.simul.ingress import IngressConfig
+
+#: What the user-facing normalizers accept for each component.
+_Spec = Union[None, str, Iterable[str]]
+
+
+@dataclass(frozen=True)
+class NodeRuntimeConfig:
+    """Everything a protocol node is configured with at build time.
+
+    * ``hardening`` — dedup/retransmit/refresh robustness features.
+    * ``validation`` — receiver-side claim checks and quarantine.
+    * ``pacing`` — overload defenses (pacing/hold-down/flap damping).
+    * ``perf`` — delta-recompute fast paths (on by default).
+    * ``ingress`` — the bounded control-plane input queue, or ``None``
+      for instant delivery.  Unlike the other four, this attaches to the
+      *network* (the queue models the substrate's delivery stage), but it
+      is distributed by the same hook so one container describes the
+      whole runtime.
+    """
+
+    hardening: HardeningConfig = field(default_factory=HardeningConfig)
+    validation: ValidationConfig = field(default_factory=ValidationConfig)
+    pacing: PacingConfig = field(default_factory=PacingConfig)
+    perf: PerfConfig = field(default_factory=PerfConfig)
+    ingress: Optional[IngressConfig] = None
+
+    def replace(self, **changes: object) -> "NodeRuntimeConfig":
+        """A copy with the given components swapped out."""
+        return dataclasses.replace(self, **changes)
+
+
+def runtime_from(
+    hardening: Union[_Spec, HardeningConfig] = None,
+    validation: Union[_Spec, ValidationConfig] = None,
+    pacing: Union[_Spec, PacingConfig] = None,
+    perf: Union[_Spec, PerfConfig] = None,
+    ingress: Optional[IngressConfig] = None,
+) -> NodeRuntimeConfig:
+    """Build a runtime container from user-facing component specs.
+
+    Each component accepts whatever its standalone normalizer accepts
+    (``"all"``, a feature name, a ``+``-joined list, a ready config, or
+    ``None``).  ``None`` means "that component's default": off for
+    hardening/validation/pacing/ingress, the fast paths for perf.
+    """
+    return NodeRuntimeConfig(
+        hardening=hardening_from(hardening),
+        validation=validation_from(validation),
+        pacing=pacing_from(pacing),
+        perf=perf_from(perf),
+        ingress=ingress,
+    )

@@ -330,7 +330,7 @@ class SPFNode(LSNode):
             qos = QOS.DEFAULT
         cached = self._tables.get(qos)
         if cached is None or cached[0] != self.db_version:
-            profiler = self.network.profiler
+            profiler = self.profiler
             if profiler is None:
                 table = self._compute_table(qos)
             else:

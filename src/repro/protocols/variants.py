@@ -113,7 +113,7 @@ class _ValleyFreeLSNode(LSNode):
         cached = self._cache.get(key)
         if cached is not None and cached[0] == self.db_version:
             return cached[1]
-        profiler = self.network.profiler
+        profiler = self.profiler
         if profiler is None:
             path = self._compute_route(flow)
         else:

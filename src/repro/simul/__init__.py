@@ -11,6 +11,11 @@ processes over a deterministic discrete-event engine:
 * :class:`~repro.simul.node.ProtocolNode` — base class protocol nodes
   extend.
 * :mod:`~repro.simul.runner` — convergence helpers and failure injection.
+* :mod:`~repro.simul.transport` — the engine/transport boundary
+  (:class:`Transport`/:class:`Clock`/:class:`TimerHandle`); the engine
+  above is one implementation of it, :mod:`repro.live` is the other.
+* :mod:`~repro.simul.wire` — canonical JSON codec for every message
+  type (what the live substrate puts on its sockets).
 """
 
 from repro.simul.engine import Simulator
@@ -21,8 +26,11 @@ from repro.simul.node import ProtocolNode
 from repro.simul.profiling import PhaseProfiler
 from repro.simul.runner import ConvergenceResult, converge, run_with_failures
 from repro.simul.trace import TraceRecord, Tracer
+from repro.simul.transport import Clock, TimerHandle, Transport
+from repro.simul.wire import WireError, from_wire, to_wire
 
 __all__ = [
+    "Clock",
     "ConvergenceResult",
     "Message",
     "MetricsCollector",
@@ -31,8 +39,13 @@ __all__ = [
     "ProtocolNode",
     "SimNetwork",
     "Simulator",
+    "TimerHandle",
     "TraceRecord",
     "Tracer",
+    "Transport",
+    "WireError",
     "converge",
+    "from_wire",
     "run_with_failures",
+    "to_wire",
 ]

@@ -14,6 +14,7 @@ import time
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.simul.profiling import PhaseProfiler
+from repro.simul.transport import TimerHandle
 
 
 class SimulationLimitError(RuntimeError):
@@ -25,12 +26,14 @@ class SimulationLimitError(RuntimeError):
     """
 
 
-class EventHandle:
+class EventHandle(TimerHandle):
     """Handle for a scheduled event, usable to cancel it.
 
-    A plain ``__slots__`` class: one is allocated per scheduled event, so
-    it is on the engine's hottest allocation path.  Never compared or
-    hashed by the heap (``seq`` is the unique tiebreak).
+    The sim substrate's :class:`~repro.simul.transport.TimerHandle`:
+    cancellation is idempotent and harmless after the event fired.  A
+    ``__slots__`` class: one is allocated per scheduled event, so it is on
+    the engine's hottest allocation path.  Never compared or hashed by the
+    heap (``seq`` is the unique tiebreak).
     """
 
     __slots__ = ("seq", "time", "_cancelled", "_on_cancel")

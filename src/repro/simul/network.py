@@ -23,13 +23,20 @@ from repro.simul.messages import Message
 from repro.simul.metrics import MetricsCollector
 from repro.simul.node import ProtocolNode
 from repro.simul.profiling import PhaseProfiler
+from repro.simul.transport import Clock, SimClock, Transport
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults.channel import ChannelModel, Impairment
 
 
-class SimNetwork:
-    """Binds a topology to protocol nodes over a discrete-event engine."""
+class SimNetwork(Transport):
+    """Binds a topology to protocol nodes over a discrete-event engine.
+
+    The simulated implementation of the
+    :class:`~repro.simul.transport.Transport` interface; its
+    :attr:`clock` is a :class:`~repro.simul.transport.SimClock` over the
+    discrete-event engine, so everything stays deterministic.
+    """
 
     def __init__(
         self,
@@ -45,6 +52,16 @@ class SimNetwork:
         self.channel: Optional["ChannelModel"] = None
         self.ingress: Optional[IngressModel] = None
         self._crashed: Set[ADId] = set()
+        self._clock = SimClock(self.sim)
+
+    @property
+    def clock(self) -> Clock:
+        """The engine behind the substrate-neutral :class:`Clock` API."""
+        return self._clock
+
+    def neighbors(self, ad_id: ADId) -> list:
+        """Currently reachable neighbour ADs (live links only)."""
+        return self.graph.neighbors(ad_id)
 
     def set_profiler(self, profiler: Optional[PhaseProfiler]) -> None:
         """Attach (or detach) a wall-clock profiler to network and engine."""

@@ -4,6 +4,12 @@ Each AD is represented by one :class:`ProtocolNode` (the paper's Section
 4.1 abstraction: inter-AD routing happens at AD granularity, so one
 routing entity per AD suffices; intra-AD detail is invisible).
 
+Nodes are substrate-neutral: everything they touch goes through the
+:class:`~repro.simul.transport.Transport` and
+:class:`~repro.simul.transport.Clock` interfaces, so the same subclass
+runs unmodified on the discrete-event simulator and on the live
+asyncio/UDP substrate (:mod:`repro.live`).
+
 Subclasses implement three hooks:
 
 * :meth:`ProtocolNode.start` — fires once at simulation start; typically
@@ -18,9 +24,11 @@ from typing import TYPE_CHECKING, List, Optional
 
 from repro.adgraph.ad import ADId, InterADLink
 from repro.simul.messages import Message
+from repro.simul.transport import TimerHandle, Transport
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.simul.network import SimNetwork
+    from repro.adgraph.graph import InterADGraph
+    from repro.simul.profiling import PhaseProfiler
 
 
 class ProtocolNode:
@@ -28,18 +36,18 @@ class ProtocolNode:
 
     def __init__(self, ad_id: ADId) -> None:
         self.ad_id = ad_id
-        self._network: Optional["SimNetwork"] = None
+        self._transport: Optional[Transport] = None
         self._defunct = False
 
     # ----------------------------------------------------------- plumbing
 
-    def attach(self, network: "SimNetwork") -> None:
-        """Called by the network when the node is registered."""
-        self._network = network
+    def attach(self, transport: Transport) -> None:
+        """Called by the transport when the node is registered."""
+        self._transport = transport
 
     def detach(self) -> None:
-        """Disconnect from the network (used when built on a scratch one)."""
-        self._network = None
+        """Disconnect from the transport (used when built on a scratch one)."""
+        self._transport = None
 
     def retire(self) -> None:
         """Permanently silence this node: pending timers become no-ops.
@@ -59,23 +67,45 @@ class ProtocolNode:
         """
 
     @property
-    def network(self) -> "SimNetwork":
-        if self._network is None:
+    def transport(self) -> Transport:
+        """The substrate this node is attached to."""
+        if self._transport is None:
             raise RuntimeError(f"node {self.ad_id} is not attached to a network")
-        return self._network
+        return self._transport
+
+    @property
+    def network(self) -> Transport:
+        """Historical alias for :attr:`transport`.
+
+        Protocol *drivers* and tests grew up calling the substrate "the
+        network"; node subclasses should prefer the interface-shaped
+        accessors (:attr:`topology`, :attr:`profiler`, :meth:`schedule`,
+        ...).
+        """
+        return self.transport
+
+    @property
+    def topology(self) -> "InterADGraph":
+        """The inter-AD topology (links, metrics, policy terms)."""
+        return self.transport.graph
+
+    @property
+    def profiler(self) -> Optional["PhaseProfiler"]:
+        """The substrate's wall-clock profiler, if one is attached."""
+        return self.transport.profiler
 
     @property
     def now(self) -> float:
-        """Current simulated time."""
-        return self.network.sim.now
+        """Current time, in protocol time units."""
+        return self.transport.clock.now
 
     def neighbors(self) -> List[ADId]:
         """Currently reachable neighbour ADs (live links only)."""
-        return self.network.graph.neighbors(self.ad_id)
+        return self.transport.neighbors(self.ad_id)
 
     def send(self, dst: ADId, msg: Message) -> None:
         """Send a control message to a neighbour AD."""
-        self.network.send(self.ad_id, dst, msg)
+        self.transport.send(self.ad_id, dst, msg)
 
     def broadcast(self, msg: Message, exclude: Optional[ADId] = None) -> None:
         """Send a message to every live neighbour (optionally minus one)."""
@@ -85,20 +115,24 @@ class ProtocolNode:
 
     def note_computation(self, kind: str, count: int = 1) -> None:
         """Record local computation work in the run's metrics."""
-        self.network.metrics.note_computation(self.ad_id, kind, count)
+        self.transport.metrics.note_computation(self.ad_id, kind, count)
 
-    def schedule(self, delay: float, fn, *args) -> "object":
-        """Schedule a local timer on the simulation engine.
+    def schedule(self, delay: float, fn, *args) -> TimerHandle:
+        """Schedule a local timer; returns a cancellable handle.
 
         The timer is bound to this node's lifetime: if the node has been
-        :meth:`retire`\\ d by the time it fires, it does nothing.
+        :meth:`retire`\\ d by the time it fires, it does nothing.  The
+        returned :class:`~repro.simul.transport.TimerHandle` follows the
+        transport-wide contract -- ``cancel()`` is idempotent and is a
+        harmless no-op after the timer has fired, so callers may cancel
+        defensively without tracking whether the timer already ran.
         """
 
         def fire() -> None:
             if not self._defunct:
                 fn(*args)
 
-        return self.network.sim.schedule(delay, fire)
+        return self.transport.clock.call_later(delay, fire)
 
     # --------------------------------------------------------------- hooks
 

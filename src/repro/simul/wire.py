@@ -1,0 +1,256 @@
+"""Canonical JSON wire codec for protocol messages.
+
+The discrete-event simulator passes message *objects* between nodes, so
+sizes are modelled, not serialised.  The live asyncio/UDP substrate
+(:mod:`repro.live`) actually puts messages on a socket, which needs a
+real encoding; this module is it.  It also makes trace output
+machine-readable: any :class:`~repro.simul.messages.Message` can be
+rendered to a JSON-safe dict with :func:`to_wire` and reconstructed with
+:func:`from_wire`.
+
+The encoding is structural and canonical:
+
+* a message is ``{"t": <type name>, "f": {<field>: <value>, ...}}``;
+* registered nested dataclasses (policy terms, route ads, LSAs, ...)
+  are ``{"__d": <type name>, "f": {...}}``;
+* enums are ``{"__e": <enum name>, "v": <value>}``;
+* frozensets are ``{"__fs": [<sorted members>]}`` (sorted by canonical
+  JSON text, so two equal sets always encode identically);
+* tuples become JSON arrays and come back as tuples (every sequence
+  field in the fleet is a tuple).
+
+Only registered message and payload types decode -- the codec is a
+closed vocabulary, not a pickle: a peer can never make the decoder
+instantiate an arbitrary class.
+
+Framing for stream/datagram transports is a 4-byte big-endian length
+prefix followed by the canonical JSON body (:func:`encode_frame` /
+:func:`decode_frame`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+import struct
+from functools import lru_cache
+from typing import Any, Dict, Tuple, Type
+
+from repro.adgraph.ad import ADId
+from repro.simul.messages import Message
+
+#: Length prefix: 4-byte big-endian unsigned message length.
+_LEN = struct.Struct(">I")
+
+#: Hard ceiling on one frame's body (loopback UDP fits ~64 KiB anyway).
+MAX_FRAME_BYTES = 1 << 26
+
+
+class WireError(ValueError):
+    """Raised when bytes or JSON do not decode to a known message."""
+
+
+@lru_cache(maxsize=1)
+def _nested_types() -> Dict[str, type]:
+    """Registered non-message payload dataclasses, by type name.
+
+    Imported lazily: protocol modules import :mod:`repro.simul`, so a
+    module-level import here would be cyclic.
+    """
+    from repro.policy.flows import FlowSpec
+    from repro.policy.sets import ADSet
+    from repro.policy.terms import PolicyTerm, TermRef, TimeWindow
+    from repro.protocols.flooding import LinkRecord, LinkStateAd
+    from repro.protocols.idrp import RouteAd
+    from repro.protocols.orwg.messages import Handle
+
+    return {
+        cls.__name__: cls
+        for cls in (
+            ADSet,
+            FlowSpec,
+            Handle,
+            LinkRecord,
+            LinkStateAd,
+            PolicyTerm,
+            RouteAd,
+            TermRef,
+            TimeWindow,
+        )
+    }
+
+
+@lru_cache(maxsize=1)
+def _message_types() -> Dict[str, Type[Message]]:
+    """Registered wire-encodable message types, by type name."""
+    from repro.protocols.dv import DVUpdate
+    from repro.protocols.ecma import ECMAUpdate
+    from repro.protocols.egp import NRAck, NRUpdate
+    from repro.protocols.flooding import ExchangeAck, LSDBExchange, LinkStateAd
+    from repro.protocols.idrp import IDRPUpdate
+    from repro.protocols.orwg.messages import (
+        DataPacket,
+        SetupAck,
+        SetupNak,
+        SetupPacket,
+        TeardownPacket,
+    )
+
+    return {
+        cls.__name__: cls
+        for cls in (
+            DVUpdate,
+            DataPacket,
+            ECMAUpdate,
+            ExchangeAck,
+            IDRPUpdate,
+            LSDBExchange,
+            LinkStateAd,
+            NRAck,
+            NRUpdate,
+            SetupAck,
+            SetupNak,
+            SetupPacket,
+            TeardownPacket,
+        )
+    }
+
+
+@lru_cache(maxsize=1)
+def _enum_types() -> Dict[str, Type[enum.Enum]]:
+    """Registered enum payload types, by enum name."""
+    from repro.adgraph.ad import Level
+    from repro.policy.qos import QOS
+    from repro.policy.sets import _SetMode
+    from repro.policy.uci import UCI
+
+    return {cls.__name__: cls for cls in (Level, QOS, UCI, _SetMode)}
+
+
+def _canonical_key(value: Any) -> str:
+    """A total order over encoded values (for frozenset determinism)."""
+    return json.dumps(value, sort_keys=True)
+
+
+def _encode_value(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        # bool before int does not matter here: both survive JSON as-is.
+        return value
+    if isinstance(value, enum.Enum):
+        name = type(value).__name__
+        if name not in _enum_types():
+            raise WireError(f"unregistered enum type {name}")
+        return {"__e": name, "v": value.value}
+    if isinstance(value, (tuple, list)):
+        return [_encode_value(v) for v in value]
+    if isinstance(value, frozenset):
+        members = [_encode_value(v) for v in value]
+        members.sort(key=_canonical_key)
+        return {"__fs": members}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        name = type(value).__name__
+        if name not in _nested_types():
+            raise WireError(f"unregistered payload type {name}")
+        return {"__d": name, "f": _encode_fields(value)}
+    raise WireError(f"cannot encode {type(value).__name__} value {value!r}")
+
+
+def _encode_fields(obj: Any) -> Dict[str, Any]:
+    """Encode a dataclass's init fields (memoized caches are skipped)."""
+    out: Dict[str, Any] = {}
+    for f in dataclasses.fields(obj):
+        if not f.init:
+            continue  # e.g. the lazily-memoized _size slots
+        out[f.name] = _encode_value(getattr(obj, f.name))
+    return out
+
+
+def _decode_value(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, list):
+        return tuple(_decode_value(v) for v in value)
+    if isinstance(value, dict):
+        if "__e" in value:
+            cls = _enum_types().get(value["__e"])
+            if cls is None:
+                raise WireError(f"unknown enum type {value['__e']!r}")
+            return cls(value["v"])
+        if "__fs" in value:
+            return frozenset(_decode_value(v) for v in value["__fs"])
+        if "__d" in value:
+            cls = _nested_types().get(value["__d"])
+            if cls is None:
+                raise WireError(f"unknown payload type {value['__d']!r}")
+            return _decode_dataclass(cls, value.get("f", {}))
+        raise WireError(f"untagged object {sorted(value)!r}")
+    raise WireError(f"cannot decode {type(value).__name__} value {value!r}")
+
+
+def _decode_dataclass(cls: type, fields: Dict[str, Any]) -> Any:
+    known = {f.name for f in dataclasses.fields(cls) if f.init}
+    unknown = set(fields) - known
+    if unknown:
+        raise WireError(f"{cls.__name__} has no fields {sorted(unknown)}")
+    try:
+        return cls(**{k: _decode_value(v) for k, v in fields.items()})
+    except (TypeError, ValueError) as exc:
+        raise WireError(f"bad {cls.__name__} payload: {exc}") from exc
+
+
+def to_wire(msg: Message) -> Dict[str, Any]:
+    """Render a message as a canonical JSON-safe dict."""
+    name = type(msg).__name__
+    if name not in _message_types():
+        raise WireError(f"unregistered message type {name}")
+    return {"t": name, "f": _encode_fields(msg)}
+
+
+def from_wire(data: Dict[str, Any]) -> Message:
+    """Reconstruct a message from its :func:`to_wire` dict."""
+    if not isinstance(data, dict) or "t" not in data:
+        raise WireError(f"not a wire message: {data!r}")
+    cls = _message_types().get(data["t"])
+    if cls is None:
+        raise WireError(f"unknown message type {data['t']!r}")
+    return _decode_dataclass(cls, data.get("f", {}))
+
+
+def dumps(msg: Message) -> str:
+    """Canonical JSON text for a message (stable across processes)."""
+    return json.dumps(to_wire(msg), sort_keys=True, separators=(",", ":"))
+
+
+def loads(text: str) -> Message:
+    """Inverse of :func:`dumps`."""
+    return from_wire(json.loads(text))
+
+
+def encode_frame(src: ADId, dst: ADId, msg: Message) -> bytes:
+    """One length-prefixed datagram: 4-byte length + canonical JSON body."""
+    body = json.dumps(
+        {"s": src, "d": dst, "m": to_wire(msg)},
+        sort_keys=True,
+        separators=(",", ":"),
+    ).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:  # pragma: no cover - defensive
+        raise WireError(f"frame body of {len(body)} bytes exceeds the cap")
+    return _LEN.pack(len(body)) + body
+
+
+def decode_frame(frame: bytes) -> Tuple[ADId, ADId, Message]:
+    """Inverse of :func:`encode_frame`; validates the length prefix."""
+    if len(frame) < _LEN.size:
+        raise WireError(f"short frame ({len(frame)} bytes)")
+    (length,) = _LEN.unpack_from(frame)
+    body = frame[_LEN.size:]
+    if length != len(body):
+        raise WireError(f"frame length {length} != body length {len(body)}")
+    try:
+        data = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"undecodable frame body: {exc}") from exc
+    if not isinstance(data, dict) or not {"s", "d", "m"} <= set(data):
+        raise WireError("frame body is not a {s, d, m} envelope")
+    return data["s"], data["d"], from_wire(data["m"])

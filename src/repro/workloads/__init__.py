@@ -1,6 +1,11 @@
 """Workload generators: traffic matrices and bundled scenarios."""
 
-from repro.workloads.scenarios import Scenario, reference_scenario, scaled_scenario
+from repro.workloads.scenarios import (
+    Scenario,
+    reference_scenario,
+    scaled_scenario,
+    small_scenario,
+)
 from repro.workloads.traffic import (
     TrafficMatrix,
     gravity_traffic,
@@ -15,5 +20,6 @@ __all__ = [
     "reference_scenario",
     "request_sequence",
     "scaled_scenario",
+    "small_scenario",
     "uniform_traffic",
 ]

@@ -1,0 +1,94 @@
+"""The harness substrate axis: live cells and the v5 record shim."""
+
+import json
+
+import pytest
+
+from repro.harness.record import SCHEMA_VERSION, RunRecord
+from repro.harness.session import execute_cell
+from repro.harness.spec import (
+    Cell,
+    ExperimentSpec,
+    FailureSpec,
+    FaultSpec,
+    MisbehaviorSpec,
+    ProtocolSpec,
+    ScenarioSpec,
+)
+
+
+def _cell(**overrides):
+    defaults = dict(
+        experiment="t",
+        index=0,
+        scenario=ScenarioSpec(kind="small", num_flows=5),
+        protocol=ProtocolSpec(name="plain-ls"),
+        failure=FailureSpec(),
+    )
+    defaults.update(overrides)
+    return Cell(**defaults)
+
+
+def test_spec_expands_substrate_to_every_cell():
+    spec = ExperimentSpec(
+        name="t",
+        scenarios=(ScenarioSpec(kind="small"),),
+        protocols=(ProtocolSpec(name="plain-ls"),),
+        substrate="live",
+    )
+    cells = spec.cells()
+    assert cells and all(cell.substrate == "live" for cell in cells)
+    assert all(cell.key()["substrate"] == "live" for cell in cells)
+
+
+def test_live_cell_executes_and_records_substrate():
+    record = execute_cell(
+        _cell(failure=FailureSpec(kind="random", count=1), substrate="live")
+    )
+    assert record.substrate == "live"
+    assert record.cell["substrate"] == "live"
+    assert record.schema_version == SCHEMA_VERSION
+    assert record.quiesced
+    # initial + failure + repair episodes, all of which cost messages.
+    assert [ep.kind for ep in record.episodes] == ["initial", "failure", "repair"]
+    assert all(ep.messages > 0 for ep in record.episodes)
+    assert "live.wall" in record.timings
+    # The record survives its own JSON round trip.
+    again = RunRecord.from_json(record.to_json())
+    assert again.substrate == "live"
+    assert again.episodes == record.episodes
+
+
+def test_live_cell_rejects_sim_only_axes():
+    with pytest.raises(ValueError, match="fault"):
+        execute_cell(_cell(fault=FaultSpec(flaps=1), substrate="live"))
+    with pytest.raises(ValueError, match="misbehavior"):
+        execute_cell(
+            _cell(misbehavior=MisbehaviorSpec(lie="route-leak"), substrate="live")
+        )
+    with pytest.raises(ValueError, match="trace"):
+        execute_cell(_cell(trace="all", substrate="live"))
+
+
+def test_unknown_substrate_rejected():
+    with pytest.raises(ValueError, match="substrate"):
+        execute_cell(_cell(substrate="quantum"))
+
+
+def test_v4_records_load_with_sim_substrate():
+    record = execute_cell(_cell())
+    data = json.loads(record.to_json())
+    # Regress the line to v4: no substrate anywhere.
+    data["schema_version"] = 4
+    del data["substrate"]
+    del data["cell"]["substrate"]
+    loaded = RunRecord.from_json(json.dumps(data))
+    assert loaded.schema_version == SCHEMA_VERSION
+    assert loaded.substrate == "sim"
+    assert loaded.cell["substrate"] == "sim"
+
+
+def test_sim_records_default_substrate():
+    record = execute_cell(_cell())
+    assert record.substrate == "sim"
+    assert record.cell["substrate"] == "sim"
