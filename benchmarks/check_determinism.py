@@ -39,6 +39,7 @@ REQUIRED_OUTPUTS = {
     "abstraction.txt",
     "availability.txt",
     "convergence.txt",
+    "dataplane_tail.txt",
     "fig1_topology.txt",
     "granularity.txt",
     "partial_order.txt",

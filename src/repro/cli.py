@@ -310,6 +310,8 @@ def cmd_experiments_run(args: argparse.Namespace) -> int:
             queue_capacity=args.queue_capacity,
             churn_hz=args.churn_hz,
             pacing=args.pacing,
+            flows=args.flows,
+            zipf_s=args.zipf_s,
         )
         print(text)
         jsonl = os.path.join(args.runs_dir, f"{spec.name}.jsonl")
@@ -324,6 +326,43 @@ def cmd_experiments_run(args: argparse.Namespace) -> int:
                           f"({record.cell['label']}) ---")
                     for line in record.trace:
                         print(line)
+    return 0
+
+
+def cmd_traffic_bench(args: argparse.Namespace) -> int:
+    """Compiled-FIB batched replay vs the legacy per-packet forwarder."""
+    from repro.traffic import bench
+
+    protocols = tuple(args.protocols) if args.protocols else (
+        bench.PROTOCOLS_SMOKE if args.smoke else bench.PROTOCOLS
+    )
+    flows = args.flows if args.flows is not None else (
+        bench.FLOWS_SMOKE if args.smoke else bench.FLOWS
+    )
+    pairs = args.pairs if args.pairs is not None else (
+        bench.PAIRS_SMOKE if args.smoke else bench.PAIRS
+    )
+    result = bench.run_bench(
+        protocols=protocols,
+        flows=flows,
+        pairs=pairs,
+        zipf_s=args.zipf_s if args.zipf_s is not None else bench.ZIPF_S,
+        seed=args.seed if args.seed is not None else bench.WORKLOAD_SEED,
+        scenario_seed=(
+            args.scenario_seed
+            if args.scenario_seed is not None
+            else bench.SCENARIO_SEED
+        ),
+    )
+    print(bench.render_table(result))
+    broken = [r["protocol"] for r in result["protocols"] if not r["identical"]]
+    if broken:
+        print(
+            f"error: compiled verdicts diverge from the legacy forwarder "
+            f"for: {', '.join(broken)}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -386,6 +425,8 @@ def cmd_experiments(args: argparse.Namespace) -> int:
          "bench_robustness_misbehavior.py"),
         ("E13", "Control-plane overload under a churn storm",
          "bench_robustness_churn.py"),
+        ("E14", "Data-plane tail latency under convergence",
+         "bench_dataplane.py"),
         ("A1-A4", "Ablations: fast path, flooding scope, PG caches, "
          "multi-route IDRP", "bench_ablations.py"),
     ]
@@ -537,7 +578,42 @@ def build_parser() -> argparse.ArgumentParser:
     ep.add_argument("--pacing", choices=("off", "pace", "holddown",
                                          "damp", "full"), default=None,
                     help="override every protocol point's pacing config")
+    ep.add_argument("--flows", type=int, default=None,
+                    help="override the traffic axis flow count "
+                         "(data-plane experiments, e.g. dataplane_tail)")
+    ep.add_argument("--zipf-s", dest="zipf_s", type=float, default=None,
+                    help="override the traffic axis zipf skew "
+                         "(0 = uniform; larger concentrates harder)")
     ep.set_defaults(fn=cmd_experiments_run)
+
+    p = sub.add_parser(
+        "traffic",
+        help="data-plane workloads: compiled-FIB vs legacy throughput",
+    )
+    tsub = p.add_subparsers(dest="traffic_command", required=True)
+    tp = tsub.add_parser(
+        "bench",
+        help="measure compiled-FIB batched replay against the legacy "
+             "per-packet forwarder on the reference internet",
+    )
+    tp.add_argument("--protocol", action="append", default=None,
+                    metavar="NAME", dest="protocols",
+                    help="protocol point to measure (repeatable; default: "
+                         "the representative ecma/idrp/ls-hbh/orwg spread)")
+    tp.add_argument("--flows", type=int, default=None,
+                    help="workload flow count (default: 1000000)")
+    tp.add_argument("--pairs", type=int, default=None,
+                    help="distinct (src, dst) flow classes (default: 4096)")
+    tp.add_argument("--zipf-s", dest="zipf_s", type=float, default=None,
+                    help="zipf skew of class popularity (default: 1.1)")
+    tp.add_argument("--seed", type=int, default=None,
+                    help="workload generation seed (default: 14)")
+    tp.add_argument("--scenario-seed", type=int, default=None,
+                    help="reference-internet seed (default: 5, as in E14)")
+    tp.add_argument("--smoke", action="store_true",
+                    help="small fast run: 50k flows, 256 pairs, two "
+                         "protocols")
+    tp.set_defaults(fn=cmd_traffic_bench)
 
     return parser
 

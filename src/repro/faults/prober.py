@@ -36,7 +36,7 @@ into the JSON-friendly mapping recorded into ``RunRecord.robustness``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.policy.flows import FlowSpec
 
@@ -91,6 +91,7 @@ class RoutePulse:
         reference_routes: Optional[
             Dict[FlowSpec, Optional[Tuple[int, ...]]]
         ] = None,
+        on_sample: Optional[Callable[[float], None]] = None,
     ) -> None:
         if interval <= 0:
             raise ValueError("probe interval must be positive")
@@ -102,6 +103,10 @@ class RoutePulse:
         #: scheduled (None value = the flow had no route then; absent /
         #: None mapping = hijack detection off).
         self.reference_routes = reference_routes
+        #: Epoch hook: called with the sim time after each probe round,
+        #: so other observers (e.g. the E14 FIB snapshotter) ride the
+        #: same slice-and-sample loop instead of running their own.
+        self.on_sample = on_sample
         self.samples: List[ProbeSample] = []
         self.events_processed = 0
 
@@ -175,6 +180,8 @@ class RoutePulse:
             if network.sim.hit_event_limit:
                 hit_limit = True
             self._sample_once()
+            if self.on_sample is not None:
+                self.on_sample(network.sim.now)
         return not hit_limit
 
     # -------------------------------------------------------------- analysis

@@ -30,6 +30,7 @@ from repro.harness.spec import (
     MisbehaviorSpec,
     ProtocolSpec,
     ScenarioSpec,
+    TrafficSpec,
 )
 
 __all__ = [
@@ -46,6 +47,7 @@ __all__ = [
     "RunRecord",
     "SCHEMA_VERSION",
     "ScenarioSpec",
+    "TrafficSpec",
     "execute_cell",
     "read_jsonl",
     "run_experiment",

@@ -30,6 +30,7 @@ from repro.harness.spec import (
     MisbehaviorSpec,
     ProtocolSpec,
     ScenarioSpec,
+    TrafficSpec,
 )
 
 # --------------------------------------------------------------------------
@@ -613,6 +614,103 @@ def _render_misbehavior(spec: ExperimentSpec, records: Sequence[RunRecord]) -> s
 
 
 # --------------------------------------------------------------------------
+# E14 -- Data-plane tail latency under convergence (bench_dataplane)
+
+#: Full-scale workload: a million flows through every design point's
+#: compiled FIB at every convergence epoch of the storm.
+DATAPLANE_FLOWS = 1_000_000
+DATAPLANE_FLOWS_SMOKE = 20_000
+DATAPLANE_PAIRS = 4096
+DATAPLANE_PAIRS_SMOKE = 256
+
+
+def _dataplane_fault(smoke: bool) -> FaultSpec:
+    """An E11-style churn storm: link flaps then an AD crash/restart,
+    probed (and FIB-snapshotted) every ``probe_interval``."""
+    return FaultSpec(
+        flaps=1 if smoke else 2,
+        crashes=1,
+        retain_state=False,
+        seed=3,
+        probe_interval=100.0 if smoke else 50.0,
+        probe_flows=8,
+        label="storm",
+    )
+
+
+def _dataplane_spec(smoke: bool) -> ExperimentSpec:
+    return ExperimentSpec(
+        name="dataplane_tail",
+        scenarios=(ScenarioSpec(kind="reference", seed=5, num_flows=12),),
+        protocols=tuple(
+            ProtocolSpec(name)
+            for name in (("ls-hbh", "orwg") if smoke else DESIGN_POINT_NAMES)
+        ),
+        faults=(_dataplane_fault(smoke),),
+        traffics=(
+            TrafficSpec(
+                flows=DATAPLANE_FLOWS_SMOKE if smoke else DATAPLANE_FLOWS,
+                zipf_s=1.1,
+                pairs=DATAPLANE_PAIRS_SMOKE if smoke else DATAPLANE_PAIRS,
+                seed=14,
+            ),
+        ),
+    )
+
+
+def _render_dataplane(spec: ExperimentSpec, records: Sequence[RunRecord]) -> str:
+    num_ads = records[0].scenario["num_ads"]
+    workload = records[0].dataplane["workload"]
+    fault = spec.faults[0]
+    table = Table(
+        "protocol",
+        "epochs",
+        "gap0",
+        "gap-worst",
+        "gap-final",
+        "out-p99",
+        "out-p999",
+        "lat-p99",
+        "lat-p999",
+        "str-p99",
+        "fib-KB",
+        title=(
+            "E14: data-plane tails under convergence "
+            f"({num_ads} ADs; {workload['flows']} zipf flows in "
+            f"{workload['classes']} classes, s={workload['zipf_s']:g}; "
+            f"{fault.flaps} flaps + {fault.crashes} crash, FIB recompiled "
+            "at every probe epoch; gap = fraction of flows undelivered at "
+            "the converged start / worst epoch / settled end, out-p99/999 "
+            "= storm-long outage fraction of the unluckiest 1%/0.1% of "
+            "flows, lat/str = delivered-flow latency and stretch tails at "
+            "the worst-gap epoch, fib-KB = compiled state; '*' = event "
+            "budget hit)"
+        ),
+    )
+    for pi, protocol in enumerate(spec.protocols):
+        rec = records[pi]
+        block = rec.dataplane
+        series = block["series"]
+        epochs = series["epochs"]
+        worst = max(epochs, key=lambda e: e["reach_gap"])
+        star = "" if rec.quiesced else "*"
+        table.add(
+            protocol.display,
+            len(epochs),
+            f"{epochs[0]['reach_gap']:.3f}",
+            f"{series['worst_gap']:.3f}{star}",
+            f"{epochs[-1]['reach_gap']:.3f}",
+            f"{series['outage_p99']:.3f}",
+            f"{series['outage_p999']:.3f}",
+            f"{worst['latency_p99']:.1f}",
+            f"{worst['latency_p999']:.1f}",
+            f"{worst['stretch_p99']:.2f}",
+            f"{block['fib']['bytes'] / 1024:.0f}",
+        )
+    return table.render()
+
+
+# --------------------------------------------------------------------------
 # Registry + one-call runner
 
 Renderer = Callable[[ExperimentSpec, Sequence[RunRecord]], str]
@@ -681,6 +779,13 @@ EXPERIMENTS: Dict[str, Experiment] = {
             build_spec=_churn_spec,
             render=_render_churn,
         ),
+        Experiment(
+            name="dataplane_tail",
+            eid="E14",
+            description="Data-plane tail latency under convergence",
+            build_spec=_dataplane_spec,
+            render=_render_dataplane,
+        ),
     )
 }
 
@@ -714,6 +819,8 @@ def run_experiment(
     queue_capacity: Optional[int] = None,
     churn_hz: Optional[float] = None,
     pacing: Optional[str] = None,
+    flows: Optional[int] = None,
+    zipf_s: Optional[float] = None,
 ) -> Tuple[ExperimentSpec, List[RunRecord], str]:
     """Run a named experiment; returns (spec, records, rendered table).
 
@@ -728,7 +835,9 @@ def run_experiment(
     the same way.  ``queue_capacity`` (negative removes the queue) and
     ``churn_hz`` override every fault point's ingress queue and churn
     storm; ``pacing`` (``'off'``, a feature name, or ``'full'``)
-    replaces every protocol point's pacing option.
+    replaces every protocol point's pacing option; ``flows`` and
+    ``zipf_s`` override the active traffic points (the E14 workload
+    size and skew).
     """
     try:
         experiment = EXPERIMENTS[name]
@@ -778,6 +887,23 @@ def run_experiment(
             if point not in protocols:
                 protocols.append(point)
         spec = replace(spec, protocols=tuple(protocols))
+    if flows is not None or zipf_s is not None:
+        fields = {}
+        if flows is not None:
+            if flows <= 0:
+                raise ValueError("--flows must be positive")
+            fields["flows"] = flows
+        if zipf_s is not None:
+            if zipf_s < 0:
+                raise ValueError("--zipf-s must be non-negative")
+            fields["zipf_s"] = zipf_s
+        overridden = []
+        for point in spec.traffics:
+            if point.active:
+                point = replace(point, label=None, **fields)
+            if point not in overridden:
+                overridden.append(point)
+        spec = replace(spec, traffics=tuple(overridden))
     if liar is not None or lie is not None:
         from repro.faults.misbehavior import LIES
 

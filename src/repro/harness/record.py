@@ -31,7 +31,11 @@ from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 #: v5: added ``substrate`` (``"sim"`` or ``"live"``) as a top-level
 #: field and a cell-key entry; v4 lines load with both defaulted to
 #: ``"sim"`` (every pre-v5 run was a simulator run).
-SCHEMA_VERSION = 5
+#: v6: added the optional ``dataplane`` block (compiled-FIB epoch series:
+#: per-epoch reachability gap / latency / stretch tails, across-epoch
+#: flow outage percentiles, FIB state sizes) and ``traffic`` in the cell
+#: key; v5 lines load with the block ``None`` and the axis ``"none"``.
+SCHEMA_VERSION = 6
 
 
 @dataclass(frozen=True)
@@ -106,6 +110,10 @@ class RunRecord:
             drops, deferred deliveries, service duty cycle, plus pacing
             deferrals and damping suppression totals), when the cell had
             a bounded ingress queue or any pacing feature enabled.
+        dataplane: Compiled-FIB replay block (E14), when the cell had a
+            traffic axis: workload shape, per-epoch replay series (time,
+            reachability gap, latency/stretch percentiles, FIB bytes),
+            across-epoch flow outage percentiles, and FIB compile stats.
         timings: Wall-clock phase seconds (``build``, ``converge``,
             ``engine.run``, ``failures``, ``evaluate``).  Never compare
             these for determinism -- they are honest wall-clock.
@@ -132,6 +140,7 @@ class RunRecord:
     robustness: Optional[Mapping[str, Any]] = None
     misbehavior: Optional[Mapping[str, Any]] = None
     overload: Optional[Mapping[str, Any]] = None
+    dataplane: Optional[Mapping[str, Any]] = None
     timings: Mapping[str, float] = field(default_factory=dict)
     trace: Optional[Tuple[str, ...]] = None
     substrate: str = "sim"
@@ -179,6 +188,11 @@ class RunRecord:
             # v4 -> v5: every earlier run was a simulator run.
             data.setdefault("substrate", "sim")
             data.setdefault("cell", {}).setdefault("substrate", "sim")
+            version = 5
+        if version == 5:
+            # v5 -> v6: the traffic axis did not exist; default it.
+            data.setdefault("dataplane", None)
+            data.setdefault("cell", {}).setdefault("traffic", "none")
             version = SCHEMA_VERSION
         if version != SCHEMA_VERSION:
             raise ValueError(
@@ -215,6 +229,7 @@ class RunRecord:
             robustness=data.get("robustness"),
             misbehavior=data.get("misbehavior"),
             overload=data.get("overload"),
+            dataplane=data.get("dataplane"),
             timings=data.get("timings", {}),
             trace=tuple(trace) if trace is not None else None,
             substrate=data.get("substrate", "sim"),

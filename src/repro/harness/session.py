@@ -41,6 +41,8 @@ from repro.simul.ingress import IngressConfig
 from repro.simul.profiling import PhaseProfiler
 from repro.simul.runner import ConvergenceResult, converge
 from repro.simul.trace import Tracer
+from repro.traffic.fib import compile_fib
+from repro.traffic.replay import TailSeries, TrafficReplay
 
 #: Most trace lines kept per run (timeline tails beyond this are elided).
 TRACE_LINE_LIMIT = 500
@@ -144,6 +146,32 @@ def execute_cell(cell: Cell) -> RunRecord:
         initial = converge(network, max_events=cell.max_events)
     episodes: List[EpisodeRecord] = [EpisodeRecord.from_result("initial", initial)]
 
+    # Data-plane axis (E14): generate the workload once, snapshot a
+    # compiled FIB now (the converged epoch) and at every probe round of
+    # the fault timeline, replaying the full workload against each.
+    tail = None
+    snapshot_epoch = None
+    fib_stats: Dict[str, object] = {}
+    if cell.traffic.active:
+        with profiler.phase("traffic.workload"):
+            workload = cell.traffic.build(protocol.graph)
+            replay = TrafficReplay(workload, protocol.graph)
+            tail = TailSeries(workload)
+
+        def snapshot_epoch(now: float, label: str = "epoch") -> None:
+            with profiler.phase("traffic.fib"):
+                fib = compile_fib(
+                    protocol,
+                    workload.classes,
+                    enforce_policy=cell.traffic.enforce_policy,
+                )
+            with profiler.phase("traffic.replay"):
+                tail.record(now, label, fib, replay)
+            if not fib_stats:
+                fib_stats.update(fib.stats.as_dict())
+
+        snapshot_epoch(network.sim.now, "initial")
+
     ingress_start = network.sim.now
     if cell.fault.queued:
         # The bounded queue arms *after* initial convergence, so E13
@@ -178,6 +206,10 @@ def execute_cell(cell: Cell) -> RunRecord:
                         "repair" if ev.up else "failure", result, link=(ev.a, ev.b)
                     )
                 )
+                if snapshot_epoch is not None:
+                    snapshot_epoch(
+                        network.sim.now, "repair" if ev.up else "failure"
+                    )
 
     robustness = None
     misbehavior = None
@@ -216,6 +248,7 @@ def execute_cell(cell: Cell) -> RunRecord:
                 probe_flows,
                 interval=cell.fault.probe_interval,
                 reference_routes=reference_routes,
+                on_sample=snapshot_epoch,
             )
             before = network.metrics.snapshot(network.sim.now)
             horizons = []
@@ -238,6 +271,9 @@ def execute_cell(cell: Cell) -> RunRecord:
             )
             episodes.append(EpisodeRecord.from_result("timeline", result))
             robustness = pulse.summary()
+            if snapshot_epoch is not None:
+                # The settled post-storm state: the series' last word.
+                snapshot_epoch(network.sim.now, "final")
             if cell.misbehavior.active:
                 misbehavior = _misbehavior_block(
                     cell, protocol, pulse, scenario, reference_routes, lie_start
@@ -279,6 +315,22 @@ def execute_cell(cell: Cell) -> RunRecord:
             "mean_stretch": report.mean_stretch,
             "forwarding_loops": protocol.forwarding_loops,
             "source_control": protocol.mode is ForwardingMode.SOURCE,
+        }
+
+    dataplane = None
+    if tail is not None:
+        dataplane = {
+            "workload": {
+                "flows": len(workload),
+                "classes": workload.num_classes,
+                "zipf_s": cell.traffic.zipf_s,
+                "pairs": cell.traffic.pairs,
+                "seed": cell.traffic.seed,
+                "head_share": workload.head_share(),
+                "total_bytes": workload.total_bytes,
+            },
+            "fib": fib_stats,
+            "series": tail.as_dict(),
         }
 
     overload = None
@@ -329,6 +381,7 @@ def execute_cell(cell: Cell) -> RunRecord:
         robustness=robustness,
         misbehavior=misbehavior,
         overload=overload,
+        dataplane=dataplane,
         timings=profiler.as_dict(),
         trace=trace_lines,
     )
@@ -352,6 +405,8 @@ def _execute_live_cell(cell: Cell) -> RunRecord:
         unsupported.append("fault (impairment/churn/queue)")
     if cell.misbehavior.active:
         unsupported.append("misbehavior")
+    if cell.traffic.active:
+        unsupported.append("traffic (compiled-FIB replay)")
     if cell.trace:
         unsupported.append("trace")
     if unsupported:

@@ -387,6 +387,56 @@ class MisbehaviorSpec:
 
 
 @dataclass(frozen=True)
+class TrafficSpec:
+    """Recipe for the data-plane axis: a zipf workload replayed through
+    compiled FIBs at every convergence epoch (E14).
+
+    The default spec is inert -- no workload is generated, no FIBs are
+    compiled, and legacy cells stay byte-identical.  With ``flows`` > 0
+    the session generates the workload once per cell, compiles a FIB
+    after initial convergence, re-snapshots it at every RoutePulse
+    sample during the fault timeline, and attaches the epoch series to
+    the record's ``dataplane`` block.
+    """
+
+    flows: int = 0
+    zipf_s: float = 1.1
+    pairs: int = 4096
+    seed: int = 0
+    hour: int = 12
+    enforce_policy: bool = True
+    label: Optional[str] = None
+
+    @property
+    def active(self) -> bool:
+        return self.flows > 0
+
+    @property
+    def display(self) -> str:
+        if self.label:
+            return self.label
+        if not self.active:
+            return "none"
+        return f"{self.flows}f/s={self.zipf_s:g}"
+
+    def workload_spec(self):
+        from repro.traffic.workload import WorkloadSpec
+
+        return WorkloadSpec(
+            flows=self.flows,
+            zipf_s=self.zipf_s,
+            pairs=self.pairs,
+            seed=self.seed,
+            hour=self.hour,
+        )
+
+    def build(self, graph: InterADGraph):
+        from repro.traffic.workload import zipf_workload
+
+        return zipf_workload(graph, self.workload_spec())
+
+
+@dataclass(frozen=True)
 class Cell:
     """One fully-specified run: the unit of parallel execution."""
 
@@ -397,6 +447,7 @@ class Cell:
     failure: FailureSpec
     fault: FaultSpec = FaultSpec()
     misbehavior: MisbehaviorSpec = MisbehaviorSpec()
+    traffic: TrafficSpec = TrafficSpec()
     evaluate: bool = False
     max_events: int = 5_000_000
     trace: Optional[str] = None
@@ -417,6 +468,7 @@ class Cell:
             "failure": self.failure.display,
             "fault": self.fault.display,
             "misbehavior": self.misbehavior.display,
+            "traffic": self.traffic.display,
             "substrate": self.substrate,
         }
 
@@ -438,6 +490,7 @@ class ExperimentSpec:
     failures: Tuple[FailureSpec, ...] = (FailureSpec(),)
     faults: Tuple[FaultSpec, ...] = (FaultSpec(),)
     misbehaviors: Tuple[MisbehaviorSpec, ...] = (MisbehaviorSpec(),)
+    traffics: Tuple[TrafficSpec, ...] = (TrafficSpec(),)
     evaluate: bool = False
     max_events: int = 5_000_000
     trace: Optional[str] = None
@@ -459,20 +512,22 @@ class ExperimentSpec:
                 for failure in self.failures:
                     for fault in self.faults:
                         for misbehavior in self.misbehaviors:
-                            expanded.append(
-                                Cell(
-                                    experiment=self.name,
-                                    index=index,
-                                    scenario=scenario,
-                                    protocol=protocol,
-                                    failure=failure,
-                                    fault=fault,
-                                    misbehavior=misbehavior,
-                                    evaluate=self.evaluate,
-                                    max_events=self.max_events,
-                                    trace=self.trace,
-                                    substrate=self.substrate,
+                            for traffic in self.traffics:
+                                expanded.append(
+                                    Cell(
+                                        experiment=self.name,
+                                        index=index,
+                                        scenario=scenario,
+                                        protocol=protocol,
+                                        failure=failure,
+                                        fault=fault,
+                                        misbehavior=misbehavior,
+                                        traffic=traffic,
+                                        evaluate=self.evaluate,
+                                        max_events=self.max_events,
+                                        trace=self.trace,
+                                        substrate=self.substrate,
+                                    )
                                 )
-                            )
-                            index += 1
+                                index += 1
         return expanded

@@ -64,6 +64,18 @@ class RoutingProtocol:
     mode: ClassVar[ForwardingMode] = ForwardingMode.HOP_BY_HOP
     #: Whether the protocol can take Policy Terms into account at all.
     policy_aware: ClassVar[bool] = True
+    #: FIB export hook: the FlowSpec fields this protocol's forwarding
+    #: decision actually reads.  The FIB compiler
+    #: (:mod:`repro.traffic.fib`) collapses flow classes that agree on
+    #: these fields into one compiled entry; the conservative default is
+    #: the full flow.  ``src`` is always implied (a walk starts there).
+    fib_key_fields: ClassVar[Tuple[str, ...]] = (
+        "src",
+        "dst",
+        "qos",
+        "uci",
+        "hour",
+    )
 
     def __init__(self, graph: InterADGraph, policies: PolicyDatabase) -> None:
         self.graph = graph
@@ -478,6 +490,18 @@ class RoutingProtocol:
                 return tuple(path)
             prev, current = current, nxt
         return None
+
+    # ------------------------------------------------------------ FIB export
+
+    def flow_fib_key(self, flow: "FlowSpec") -> Tuple:
+        """Project ``flow`` onto the fields the data plane discriminates.
+
+        Two flows with equal keys are guaranteed the same forwarding
+        decisions at every hop, so a compiled FIB stores one entry for
+        both.  Subclasses narrow :attr:`fib_key_fields` instead of
+        overriding this.
+        """
+        return tuple(getattr(flow, f) for f in self.fib_key_fields)
 
     # --------------------------------------------------------------- metrics
 

@@ -310,6 +310,8 @@ class DistanceVectorProtocol(RoutingProtocol):
     design_point = None
     mode = ForwardingMode.HOP_BY_HOP
     policy_aware: ClassVar[bool] = False
+    #: Naive DV forwards on destination alone.
+    fib_key_fields: ClassVar[Tuple[str, ...]] = ("src", "dst")
 
     def __init__(
         self,

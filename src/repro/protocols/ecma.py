@@ -442,6 +442,8 @@ class ECMAProtocol(RoutingProtocol):
     name: ClassVar[str] = "ecma"
     design_point = DV_HBH_TOPOLOGY
     mode = ForwardingMode.HOP_BY_HOP
+    #: ECMA tables discriminate destination and QOS class only.
+    fib_key_fields: ClassVar[Tuple[str, ...]] = ("src", "dst", "qos")
 
     def __init__(
         self,

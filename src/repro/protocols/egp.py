@@ -347,6 +347,8 @@ class EGPProtocol(RoutingProtocol):
     design_point = None
     mode = ForwardingMode.HOP_BY_HOP
     policy_aware: ClassVar[bool] = False
+    #: EGP's pruned-tree tables are destination-only.
+    fib_key_fields: ClassVar[Tuple[str, ...]] = ("src", "dst")
 
     def __init__(
         self,

@@ -377,6 +377,8 @@ class PlainLinkStateProtocol(RoutingProtocol):
     design_point = None
     mode = ForwardingMode.HOP_BY_HOP
     policy_aware: ClassVar[bool] = False
+    #: Plain SPF forwards on destination and QOS metric choice.
+    fib_key_fields: ClassVar[Tuple[str, ...]] = ("src", "dst", "qos")
 
     def _make_nodes(self, network: SimNetwork) -> None:
         for ad_id in self.graph.ad_ids():

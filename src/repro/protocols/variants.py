@@ -308,6 +308,9 @@ class DVSourceTopologyProtocol(RoutingProtocol):
     name: ClassVar[str] = "topo-vector-src"
     design_point = DV_SRC_TOPOLOGY
     mode = ForwardingMode.SOURCE
+    #: Path-vector under partial ordering: the advertised path depends
+    #: on destination and the QOS class of the request only.
+    fib_key_fields: ClassVar[Tuple[str, ...]] = ("src", "dst", "qos")
 
     def __init__(
         self,

@@ -1,0 +1,55 @@
+"""Memoized per-hop policy decisions: same outcomes, fewer engine calls."""
+
+import pytest
+
+from repro.adgraph.generator import TopologyConfig, generate_internet
+from repro.forwarding.dataplane import (
+    HopDecisionCache,
+    forward_flow,
+    run_traffic,
+)
+from repro.policy.generators import restricted_policies
+from repro.protocols.registry import make_protocol
+from repro.traffic.workload import WorkloadSpec, zipf_workload
+
+
+@pytest.fixture(scope="module")
+def setting():
+    graph = generate_internet(TopologyConfig(seed=42))
+    policies = restricted_policies(graph, 0.4, seed=42).policies
+    protocol = make_protocol("ls-hbh", graph, policies)
+    protocol.converge()
+    flows = zipf_workload(
+        graph, WorkloadSpec(flows=1, pairs=128, seed=4)
+    ).classes
+    return protocol, flows
+
+
+def test_outcomes_identical(setting):
+    protocol, flows = setting
+    plain = run_traffic(protocol, flows)
+    memo = run_traffic(protocol, flows, memoize=True)
+    assert plain.outcomes == memo.outcomes
+
+
+def test_cache_collapses_repeats(setting):
+    protocol, flows = setting
+    cache = HopDecisionCache(protocol.policies.transit_permits)
+    for flow in flows:
+        forward_flow(protocol, flow, cache=cache)
+    cold_misses = cache.misses
+    assert cold_misses > 0
+    # Re-forwarding the same sample is pure hits: the memo key is the
+    # full (transit, prev, next, flow) question, so the second pass asks
+    # exactly the first pass's questions again and misses none.
+    for flow in flows:
+        forward_flow(protocol, flow, cache=cache)
+    assert cache.misses == cold_misses
+    assert cache.hits == cold_misses
+
+
+def test_memo_off_without_policy(setting):
+    protocol, flows = setting
+    report = run_traffic(protocol, flows, enforce_policy=False, memoize=True)
+    baseline = run_traffic(protocol, flows, enforce_policy=False)
+    assert report.outcomes == baseline.outcomes

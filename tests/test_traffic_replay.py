@@ -1,0 +1,148 @@
+"""Tests for batched replay: percentiles, summaries, epoch tails."""
+
+import pytest
+
+from repro.adgraph.generator import TopologyConfig, generate_internet
+from repro.policy.generators import restricted_policies
+from repro.protocols.registry import make_protocol
+from repro.traffic.fib import DELIVERED, LinkIndex, compile_fib
+from repro.traffic.replay import (
+    TailSeries,
+    TrafficReplay,
+    shortest_hops,
+    weighted_percentile,
+)
+from repro.traffic.workload import WorkloadSpec, zipf_workload
+from tests.helpers import line_graph
+
+
+@pytest.fixture(scope="module")
+def setting():
+    graph = generate_internet(TopologyConfig(seed=42))
+    policies = restricted_policies(graph, 0.4, seed=42).policies
+    protocol = make_protocol("ls-hbh", graph, policies)
+    protocol.converge()
+    wl = zipf_workload(graph, WorkloadSpec(flows=20_000, pairs=128, seed=8))
+    return graph, protocol, wl
+
+
+class TestWeightedPercentile:
+    def test_empty(self):
+        assert weighted_percentile([], 0.99) == 0.0
+
+    def test_single(self):
+        assert weighted_percentile([(3.0, 10)], 0.5) == 3.0
+
+    def test_weights_shift_the_tail(self):
+        # 99 flows at 1.0, 1 flow at 100.0: p50 sits in the head,
+        # p995 reaches the heavy flow.
+        samples = [(1.0, 99), (100.0, 1)]
+        assert weighted_percentile(samples, 0.50) == 1.0
+        assert weighted_percentile(samples, 0.995) == 100.0
+
+    def test_order_independent(self):
+        samples = [(5.0, 1), (1.0, 3), (2.0, 6)]
+        assert weighted_percentile(samples, 0.9) == weighted_percentile(
+            sorted(samples, reverse=True), 0.9
+        )
+
+
+class TestShortestHops:
+    def test_line(self):
+        g = line_graph(5)
+        hops = shortest_hops(g, [(0, 4), (0, 0), (4, 1)])
+        assert list(hops) == [4, 0, 3]
+
+    def test_ignores_liveness(self):
+        g = line_graph(3)
+        g.set_link_status(1, 2, up=False)
+        assert list(shortest_hops(g, [(0, 2)])) == [2]
+
+
+class TestReplaySummary:
+    def test_verdicts_partition_the_flows(self, setting):
+        graph, protocol, wl = setting
+        replay = TrafficReplay(wl, graph)
+        fib = compile_fib(protocol, wl.classes)
+        summary = replay.replay(fib)
+        assert summary.flows == len(wl)
+        assert sum(summary.verdict_flows) == summary.flows
+        assert 0.0 <= summary.reach_gap < 1.0
+        assert summary.delivered_bytes <= summary.total_bytes
+        assert summary.latency_p99 >= summary.latency_p50 > 0
+        assert summary.stretch_p50 >= 1.0
+        d = summary.as_dict()
+        assert d["flows"] == summary.flows
+        assert sum(d["verdicts"].values()) == summary.flows
+
+    def test_matches_legacy_oracle(self, setting):
+        graph, protocol, wl = setting
+        replay = TrafficReplay(wl, graph)
+        fib = compile_fib(protocol, wl.classes)
+        assert replay.flow_verdicts(fib) == replay.replay_legacy(protocol)
+
+    def test_per_flow_oracle_agrees(self, setting):
+        graph, protocol, wl = setting
+        replay = TrafficReplay(wl, graph)
+        assert replay.replay_legacy(protocol) == replay.replay_legacy_per_flow(
+            protocol
+        )
+
+
+class TestTailSeries:
+    def test_degrading_epochs_move_the_tail(self, setting):
+        graph, protocol, wl = setting
+        replay = TrafficReplay(wl, graph)
+        fib = compile_fib(protocol, wl.classes)
+        index = LinkIndex(graph)
+        tail = TailSeries(wl)
+        tail.record(0.0, "initial", fib, replay)
+        assert tail.outage_percentile(0.99) == 0.0
+        # Degrade: fail a batch of links, replay the same compiled FIB.
+        for key in index.keys[::5]:
+            graph.set_link_status(*key, up=False)
+        broken = tail.record(100.0, "failure", fib, replay)
+        for key in index.keys[::5]:
+            graph.set_link_status(*key, up=True)
+        tail.record(200.0, "final", fib, replay)
+        assert broken.summary.reach_gap > tail.epochs[0].summary.reach_gap
+        assert tail.worst_gap() == broken.summary.reach_gap
+        assert 0.0 < tail.outage_percentile(0.99) <= 1.0
+        d = tail.as_dict()
+        assert len(d["epochs"]) == 3
+        assert d["epochs"][1]["label"] == "failure"
+        assert d["worst_gap"] == tail.worst_gap()
+
+    def test_baseline_filter(self, setting):
+        """Classes never deliverable at the converged start are a policy/
+        availability fact, not a convergence outage: they must not
+        saturate the tail percentiles."""
+        graph, protocol, wl = setting
+        replay = TrafficReplay(wl, graph)
+        fib = compile_fib(protocol, wl.classes)
+        verdicts = fib.class_verdicts()
+        structurally_dark = [
+            c for c, v in enumerate(verdicts) if v != DELIVERED
+        ]
+        tail = TailSeries(wl)
+        tail.record(0.0, "initial", fib, replay)
+        tail.record(50.0, "sample", fib, replay)
+        fractions = dict(
+            (c, frac)
+            for (frac, _), c in zip(
+                tail.outage_fractions(),
+                [
+                    c
+                    for c in range(wl.num_classes)
+                    if wl.class_counts[c] and tail._baseline_ok[c]
+                ],
+            )
+        )
+        # Steady state, no failures: every *routable* class has zero
+        # outage; dark classes are excluded rather than pinned at 1.0.
+        assert all(frac == 0.0 for frac in fractions.values())
+        assert structurally_dark  # the scenario does have dark classes
+        included = sum(1 for c in wl.class_counts if c) - len(
+            [c for c in structurally_dark if wl.class_counts[c]]
+        )
+        assert len(tail.outage_fractions()) == included
