@@ -1,11 +1,15 @@
 """Verify benchmark outputs are deterministic.
 
 Every file under ``benchmarks/out/`` is a simulated, seeded measurement
-and must be byte-identical run to run -- with one exception: the
+and must be byte-identical run to run -- with two exceptions: the
 ``synth ms/route`` column of ``scaling.txt`` is wall-clock
-(``time.perf_counter``) and legitimately varies.  This script compares
-the working-tree outputs against a git reference (default ``HEAD``),
-masking only that column, and exits non-zero on any other difference.
+(``time.perf_counter``) and legitimately varies, and the rows of
+``live_chaos.txt`` measured on the live (asyncio/UDP) substrate ride
+real scheduling, so every line carrying a standalone ``live`` token is
+dropped before comparison (the simulator rows -- availability, outage
+tails, digests -- remain byte-checked).  This script compares the
+working-tree outputs against a git reference (default ``HEAD``) under
+those masks and exits non-zero on any other difference.
 
 Usage (after regenerating the outputs)::
 
@@ -17,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import os
+import re
 import subprocess
 import sys
 
@@ -25,6 +30,13 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 #: file name -> header of the wall-clock column to mask.
 WALL_CLOCK_COLUMNS = {"scaling.txt": "synth ms/route"}
+
+#: Files mixing deterministic simulator rows with live-substrate rows.
+#: Lines carrying a standalone ``live`` token (the substrate column, the
+#: sim-vs-live fidelity footer) are wall-clock measurements and are
+#: dropped before comparison; everything else stays byte-checked.
+LIVE_ROW_FILES = {"live_chaos.txt"}
+_LIVE_TOKEN = re.compile(r"\blive\b")
 
 #: Outputs every full bench run must produce; a missing one means the
 #: suite was run partially (or an experiment silently stopped emitting)
@@ -42,6 +54,7 @@ REQUIRED_OUTPUTS = {
     "dataplane_tail.txt",
     "fig1_topology.txt",
     "granularity.txt",
+    "live_chaos.txt",
     "partial_order.txt",
     "robustness.txt",
     "robustness_churn.txt",
@@ -51,6 +64,15 @@ REQUIRED_OUTPUTS = {
     "synthesis_strategies.txt",
     "table1_design_space.txt",
 }
+
+
+def drop_live_rows(name: str, text: str) -> str:
+    """Drop live-substrate lines from files that mix both regimes."""
+    if name not in LIVE_ROW_FILES:
+        return text
+    return "\n".join(
+        line for line in text.splitlines() if not _LIVE_TOKEN.search(line)
+    )
 
 
 def mask_wall_clock(name: str, text: str) -> str:
@@ -115,7 +137,9 @@ def main(argv=None) -> int:
         if reference is None:
             print(f"  NEW  {name} (not in {args.baseline_ref}; skipped)")
             continue
-        if mask_wall_clock(name, current) == mask_wall_clock(name, reference):
+        current = mask_wall_clock(name, drop_live_rows(name, current))
+        reference = mask_wall_clock(name, drop_live_rows(name, reference))
+        if current == reference:
             print(f"  ok   {name}")
         else:
             print(f"  DIFF {name}")

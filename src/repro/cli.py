@@ -234,6 +234,96 @@ def cmd_live_fidelity(args: argparse.Namespace) -> int:
     return 0 if report.routes_identical and report.live_quiesced else 1
 
 
+def cmd_live_chaos(args: argparse.Namespace) -> int:
+    """Run one chaos program (rolling restarts + partitions) end to end."""
+    from repro.harness.chaos import execute_chaos_cell
+    from repro.harness.spec import (
+        ExperimentSpec,
+        FaultSpec,
+        ProtocolSpec,
+        ScenarioSpec,
+        TrafficSpec,
+    )
+
+    if args.restarts <= 0 and args.partitions <= 0:
+        print("error: need --restarts or --partitions > 0", file=sys.stderr)
+        return 2
+    options = (("graceful", args.gr),) if args.gr else ()
+    label = f"{args.protocol}+gr" if args.gr else None
+    spec = ExperimentSpec(
+        name="live_chaos_cli",
+        scenarios=(
+            ScenarioSpec(kind=args.scenario, seed=args.seed, num_flows=12),
+        ),
+        protocols=(ProtocolSpec(args.protocol, label=label, options=options),),
+        faults=(
+            FaultSpec(
+                restarts=args.restarts,
+                partitions=args.partitions,
+                seed=args.seed,
+            ),
+        ),
+        traffics=(
+            TrafficSpec(flows=args.flows, zipf_s=1.1, pairs=128, seed=args.seed),
+        ),
+        substrate="sim" if args.sim else "live",
+    )
+    (cell,) = spec.cells()
+    record = execute_chaos_cell(
+        cell, time_scale=args.time_scale, settle_timeout_s=args.timeout
+    )
+    chaos = record.chaos
+    substrate = record.substrate
+    table = Table(
+        "chaos event",
+        "t",
+        "msgs",
+        "settle",
+        "routable during",
+        "after",
+        "quiesced",
+        title=f"{cell.protocol.display} chaos on {record.scenario['num_ads']} "
+        f"ADs ({substrate}; {args.restarts} restart(s), "
+        f"{args.partitions} partition(s))",
+    )
+    for group in chaos["groups"]:
+        table.add(
+            group["label"],
+            f"{group['time']:g}",
+            group["messages"],
+            f"{group['settle_time']:.0f}",
+            group["routable_during"],
+            group["routable_after"],
+            "yes" if group["quiesced"] else "NO",
+        )
+    print(table.render())
+    print(
+        f"availability: {chaos['availability']:.2f} "
+        f"(baseline {chaos['baseline_routable']} routable flows)"
+    )
+    gsum = chaos["graceful_summary"]
+    print(
+        f"graceful restart: {chaos['graceful']} (holds={gsum['holds']} "
+        f"expirations={gsum['expirations']} resyncs={gsum['resyncs']})"
+    )
+    if record.dataplane is not None:
+        series = record.dataplane["series"]
+        print(
+            f"flow outage: p99={series['outage_p99']:.3f} "
+            f"p999={series['outage_p999']:.3f} "
+            f"worst-gap={series['worst_gap']:.3f}"
+        )
+    print(f"routes digest: {chaos['routes_digest']}")
+    if chaos["supervisor"] is not None:
+        sup = chaos["supervisor"]
+        print(
+            f"supervisor: {chaos['serve_restarts']} rolling serve "
+            f"restarts, {sup['restarts']} crash recoveries, "
+            f"gave_up={sup['gave_up']}"
+        )
+    return 0 if all(g["quiesced"] for g in chaos["groups"]) else 1
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Run every experiment bench and collate the tables into one report."""
     import os
@@ -312,6 +402,9 @@ def cmd_experiments_run(args: argparse.Namespace) -> int:
             pacing=args.pacing,
             flows=args.flows,
             zipf_s=args.zipf_s,
+            restarts=args.restarts,
+            partitions=args.partitions,
+            gr=args.gr,
         )
         print(text)
         jsonl = os.path.join(args.runs_dir, f"{spec.name}.jsonl")
@@ -535,6 +628,34 @@ def build_parser() -> argparse.ArgumentParser:
     _add_live_args(lp)
     lp.set_defaults(fn=cmd_live_fidelity)
 
+    lp = lsub.add_parser(
+        "chaos",
+        help="run a supervised chaos program: rolling AD restarts and "
+             "partition windows, with data-plane outage measurement (E15)",
+    )
+    lp.add_argument("scenario", choices=("ring", "small", "reference"),
+                    help="topology to torment")
+    lp.add_argument("--protocol", default="ls-hbh",
+                    help="registry name (default: ls-hbh)")
+    lp.add_argument("--seed", type=int, default=0)
+    lp.add_argument("--restarts", type=int, default=1,
+                    help="rolling AD crash/restart cycles (state retained)")
+    lp.add_argument("--partitions", type=int, default=1,
+                    help="bounded partition windows after the restarts")
+    lp.add_argument("--gr", default=None, metavar="SCOPE",
+                    help="enable graceful restart ('all' or a feature name)")
+    lp.add_argument("--flows", type=int, default=20000,
+                    help="zipf data-plane flows replayed per epoch")
+    lp.add_argument("--sim", action="store_true",
+                    help="run on the deterministic simulator instead of "
+                         "the asyncio/UDP substrate")
+    lp.add_argument("--time-scale", type=float, default=0.005,
+                    help="wall seconds per protocol time unit (live only)")
+    lp.add_argument("--timeout", type=float, default=60.0,
+                    help="per-episode settle timeout in wall seconds "
+                         "(live only)")
+    lp.set_defaults(fn=cmd_live_chaos)
+
     p = sub.add_parser("experiments",
                        help="list paper experiments, or run them via the harness")
     p.set_defaults(fn=cmd_experiments)
@@ -584,6 +705,15 @@ def build_parser() -> argparse.ArgumentParser:
     ep.add_argument("--zipf-s", dest="zipf_s", type=float, default=None,
                     help="override the traffic axis zipf skew "
                          "(0 = uniform; larger concentrates harder)")
+    ep.add_argument("--restarts", type=int, default=None,
+                    help="override the chaos-program rolling-restart count "
+                         "on the fault axis (live_chaos)")
+    ep.add_argument("--partitions", type=int, default=None,
+                    help="override the chaos-program partition-window count "
+                         "on the fault axis (live_chaos)")
+    ep.add_argument("--gr", default=None, metavar="SCOPE",
+                    help="override every protocol point's graceful-restart "
+                         "config ('off', 'all', or a feature name)")
     ep.set_defaults(fn=cmd_experiments_run)
 
     p = sub.add_parser(

@@ -248,6 +248,58 @@ def ad_crash_plan(
     return FaultPlan(tuple(events))
 
 
+def partition_plan(
+    graph: InterADGraph,
+    start_time: float = 100.0,
+    duration: float = 200.0,
+    fraction: float = 0.3,
+    seed: int = 0,
+) -> FaultPlan:
+    """Partition the internet for a bounded window, then heal it.
+
+    A seeded BFS from a random AD grows a connected island of roughly
+    ``fraction`` of the ADs; every link crossing the island boundary
+    goes down at ``start_time`` and comes back at ``start_time +
+    duration``.  Unlike the flap/crash generators this *deliberately*
+    disconnects the internet -- partition behaviour is the thing being
+    measured -- so candidates are not restricted to non-bridges.
+    """
+    if not 0.0 < fraction < 1.0:
+        raise ValueError(f"fraction must be in (0, 1), got {fraction}")
+    if duration <= 0:
+        raise ValueError("partition duration must be > 0")
+    rng = random.Random(seed)
+    ids = sorted(graph.ad_ids())
+    if len(ids) < 2:
+        raise ValueError("cannot partition a single-AD internet")
+    target = max(1, int(len(ids) * fraction))
+    start = rng.choice(ids)
+    island = {start}
+    frontier = [start]
+    while frontier and len(island) < target:
+        node = frontier.pop(0)
+        for nbr in sorted(graph.neighbors(node)):
+            if nbr not in island:
+                island.add(nbr)
+                frontier.append(nbr)
+                if len(island) >= target:
+                    break
+    cut = sorted(
+        link.key
+        for link in graph.links(include_down=False)
+        if (link.key[0] in island) != (link.key[1] in island)
+    )
+    if not cut:
+        raise ValueError("partition island has no boundary links")
+    events: List[FaultEvent] = [
+        LinkFault(start_time, a, b, up=False) for a, b in cut
+    ]
+    events.extend(
+        LinkFault(start_time + duration, a, b, up=True) for a, b in cut
+    )
+    return FaultPlan(tuple(events))
+
+
 def lossy_period_plan(
     spec: Impairment,
     start_time: float = 100.0,

@@ -1,0 +1,554 @@
+"""The episodic chaos driver: rolling restarts and partitions, measured.
+
+Chaotic cells (``FaultSpec.restarts``/``partitions``) do not fit the
+legacy measurement loops: a rolling restart is interesting *during* the
+outage, not just after it, and E15 needs the same program executed on
+both substrates so the sim's answer can be checked against real sockets.
+This driver runs the chaos plan episodically on either substrate:
+
+1. converge (the ``initial`` epoch seeds the data-plane baseline);
+2. per event group (simultaneous events -- every cut link of a
+   partition -- are ONE chaos event): compile the pre-event FIB, apply
+   the group, immediately replay the workload through the *stale* FIB
+   under post-event liveness (the disruption epoch: exactly what a
+   converged-then-surprised data plane forwards into), sample
+   control-plane availability, settle, then record the healed epoch;
+3. on the live substrate only, finish with a supervised rolling restart
+   of every serve task (the maintenance sweep; hitless by construction
+   because the socket and the node's state survive);
+4. settle, take the post-chaos routes digest -- the sim-vs-live
+   fidelity anchor -- and assemble the record's ``chaos`` block.
+
+Graceful restart is honoured wherever the plan crashes an AD: the
+protocol's distributed :class:`~repro.protocols.graceful.GracefulRestartConfig`
+decides whether neighbours hold the restarting AD's routes (links stay
+up; the compiled FIB keeps forwarding -- a hitless restart) or tear
+them down immediately (the disruptive legacy behaviour).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+from dataclasses import replace as dc_replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.faults.channel import ImpairedChannel
+from repro.faults.plan import (
+    FaultEvent,
+    ImpairmentChange,
+    LinkFault,
+    NodeFault,
+)
+from repro.harness.record import SCHEMA_VERSION, EpisodeRecord, RunRecord
+from repro.harness.spec import Cell
+from repro.policy.flows import FlowSpec
+from repro.simul.profiling import PhaseProfiler
+from repro.simul.runner import ConvergenceResult, converge
+from repro.traffic.fib import compile_fib
+from repro.traffic.replay import TailSeries, TrafficReplay
+
+#: Wall seconds per protocol time unit for live chaos cells.
+CHAOS_TIME_SCALE = 0.005
+#: Live settle parameters (idle window and per-episode budget, wall s).
+CHAOS_IDLE_WINDOW_S = 0.05
+CHAOS_SETTLE_TIMEOUT_S = 60.0
+#: Wall-clock pause between serve-task restarts of the closing sweep.
+CHAOS_ROLLING_DWELL_S = 0.02
+
+__all__ = ["execute_chaos_cell", "routes_digest"]
+
+
+def routes_digest(protocol) -> str:
+    """Digest of every ordered-pair route the protocol would answer now.
+
+    The fidelity anchor: two substrates that converged to the same
+    control state produce the same digest.  Hashes the full
+    ``find_route`` answer (path or None) for every ordered (src, dst)
+    pair of the topology.
+    """
+    ads = sorted(protocol.graph.ad_ids())
+    h = hashlib.sha256()
+    for src in ads:
+        for dst in ads:
+            if src == dst:
+                continue
+            route = protocol.find_route(FlowSpec(src=src, dst=dst))
+            h.update(
+                f"{src}>{dst}:{route if route is None else tuple(route)};".encode()
+            )
+    return h.hexdigest()[:16]
+
+
+def _group_events(plan) -> List[Tuple[float, List[FaultEvent]]]:
+    """Events bucketed by identical fire time (one chaos event each)."""
+    from repro.live.chaos import grouped_events
+
+    return grouped_events(plan)
+
+
+def _group_label(events: List[FaultEvent]) -> str:
+    """Human label for one event group (partitions collapse to one)."""
+    links_down = sum(
+        1 for ev in events if isinstance(ev, LinkFault) and not ev.up
+    )
+    links_up = sum(1 for ev in events if isinstance(ev, LinkFault) and ev.up)
+    if links_down > 1 and links_down == len(events):
+        return f"partition ({links_down} links down)"
+    if links_up > 1 and links_up == len(events):
+        return f"heal ({links_up} links up)"
+    parts = []
+    for ev in events:
+        if isinstance(ev, LinkFault):
+            parts.append(f"link {ev.a}-{ev.b} {'up' if ev.up else 'down'}")
+        elif isinstance(ev, NodeFault):
+            parts.append(f"AD {ev.ad} {'restart' if ev.up else 'crash'}")
+        elif isinstance(ev, ImpairmentChange):
+            parts.append(f"loss {ev.spec.drop_prob:g}")
+    return "; ".join(parts)
+
+
+def _apply_sim_event(protocol, cell: Cell, ev: FaultEvent) -> None:
+    """Apply one fault event to a sim-built protocol, now."""
+    if isinstance(ev, LinkFault):
+        protocol.apply_link_status(ev.a, ev.b, ev.up)
+    elif isinstance(ev, NodeFault):
+        if ev.up:
+            protocol.restore_node(ev.ad)
+        else:
+            protocol.crash_node(ev.ad, retain_state=ev.retain_state)
+    elif isinstance(ev, ImpairmentChange):
+        network = protocol.network
+        if ev.link is not None:
+            network.set_impairment(ev.link, ev.spec)
+        else:
+            network.set_channel(
+                ImpairedChannel(default=ev.spec, seed=cell.fault.seed)
+            )
+    else:  # pragma: no cover - plan DSL is closed
+        raise TypeError(f"unknown fault event {ev!r}")
+
+
+class _ChaosMeter:
+    """Shared measurement state: traffic series + availability samples."""
+
+    def __init__(self, cell: Cell, protocol, scenario) -> None:
+        self.cell = cell
+        self.protocol = protocol
+        self.flows = scenario.flows
+        self.tail: Optional[TailSeries] = None
+        self.replay: Optional[TrafficReplay] = None
+        self.workload = None
+        self.fib_stats: Dict[str, Any] = {}
+        if cell.traffic.active:
+            self.workload = cell.traffic.build(protocol.graph)
+            self.replay = TrafficReplay(self.workload, protocol.graph)
+            self.tail = TailSeries(self.workload)
+        self.baseline_routable = self.routable()
+        self.groups: List[Dict[str, Any]] = []
+
+    def routable(self) -> int:
+        return sum(
+            1 for f in self.flows if self.protocol.find_route(f) is not None
+        )
+
+    def compile(self):
+        if self.tail is None:
+            return None
+        fib = compile_fib(
+            self.protocol,
+            self.workload.classes,
+            enforce_policy=self.cell.traffic.enforce_policy,
+        )
+        if not self.fib_stats:
+            self.fib_stats.update(fib.stats.as_dict())
+        return fib
+
+    def record_epoch(self, now: float, label: str, fib=None) -> None:
+        if self.tail is None:
+            return
+        if fib is None:
+            fib = self.compile()
+        self.tail.record(now, label, fib, self.replay)
+
+    def dataplane_block(self) -> Optional[Dict[str, Any]]:
+        if self.tail is None:
+            return None
+        wl = self.workload
+        return {
+            "workload": {
+                "flows": len(wl),
+                "classes": wl.num_classes,
+                "zipf_s": self.cell.traffic.zipf_s,
+                "pairs": self.cell.traffic.pairs,
+                "seed": self.cell.traffic.seed,
+                "head_share": wl.head_share(),
+                "total_bytes": wl.total_bytes,
+            },
+            "fib": self.fib_stats,
+            "series": self.tail.as_dict(),
+        }
+
+    def chaos_block(
+        self,
+        plan,
+        digest: str,
+        *,
+        serve_restarts: int = 0,
+        supervisor: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        base = self.baseline_routable
+        during = [g["routable_during"] for g in self.groups]
+        availability = (
+            sum(during) / (len(during) * base) if during and base else 1.0
+        )
+        return {
+            "plan_events": len(plan),
+            "groups": self.groups,
+            "restarts": self.cell.fault.restarts,
+            "partitions": self.cell.fault.partitions,
+            "graceful": str(self.protocol.graceful),
+            "graceful_summary": self.protocol.graceful_summary(),
+            "baseline_routable": base,
+            "availability": availability,
+            "routes_digest": digest,
+            "serve_restarts": serve_restarts,
+            "supervisor": supervisor,
+        }
+
+
+def _finish_record(
+    cell: Cell,
+    scenario,
+    protocol,
+    network,
+    episodes,
+    meter: _ChaosMeter,
+    chaos: Dict[str, Any],
+    profiler: PhaseProfiler,
+    now: float,
+    substrate: str,
+) -> RunRecord:
+    snapshot = network.metrics.snapshot(now)
+    by_kind: Dict[str, int] = {}
+    by_ad: Dict[str, int] = {}
+    for (ad_id, kind), count in sorted(snapshot.computations.items()):
+        by_kind[kind] = by_kind.get(kind, 0) + count
+        by_ad[f"{ad_id}:{kind}"] = count
+    return RunRecord(
+        schema_version=SCHEMA_VERSION,
+        experiment=cell.experiment,
+        cell=cell.key(),
+        scenario={
+            "name": scenario.name,
+            "num_ads": scenario.graph.num_ads,
+            "num_links": scenario.graph.num_links,
+            "num_terms": scenario.policies.num_terms,
+            "num_flows": len(scenario.flows),
+        },
+        episodes=tuple(episodes),
+        messages=dict(snapshot.messages),
+        message_bytes=dict(snapshot.bytes),
+        dropped=snapshot.dropped,
+        computations=by_kind,
+        computations_by_ad=by_ad,
+        state={
+            "max_rib": protocol.max_rib_size(),
+            "total_rib": protocol.total_rib_size(),
+        },
+        channel=network.channel.counters()
+        if getattr(network, "channel", None)
+        else None,
+        dataplane=meter.dataplane_block(),
+        chaos=chaos,
+        timings=profiler.as_dict(),
+        substrate=substrate,
+    )
+
+
+# ----------------------------------------------------------------- sim side
+
+
+def _execute_chaos_sim(cell: Cell) -> RunRecord:
+    profiler = PhaseProfiler()
+    with profiler.phase("scenario"):
+        scenario = cell.scenario.build()
+    with profiler.phase("build"):
+        protocol = cell.protocol.instantiate(
+            scenario.graph.copy(), scenario.policies.copy()
+        )
+        network = protocol.build()
+    if cell.fault.impaired:
+        network.set_channel(
+            ImpairedChannel(
+                default=cell.fault.impairment(), seed=cell.fault.seed
+            )
+        )
+    network.set_profiler(profiler)
+    with profiler.phase("converge"):
+        initial = converge(network, max_events=cell.max_events)
+    episodes: List[EpisodeRecord] = [
+        EpisodeRecord.from_result("initial", initial)
+    ]
+    meter = _ChaosMeter(cell, protocol, scenario)
+    meter.record_epoch(network.sim.now, "initial")
+
+    plan = cell.fault.build_chaos_plan(protocol.graph)
+    groups = _group_events(plan)
+    base = network.sim.now
+    with profiler.phase("chaos"):
+        for gi, (t, events) in enumerate(groups):
+            # Advance to the group's instant.  Bounded runs are load-
+            # bearing: a graceful crash arms a hold timer hold_time
+            # ahead, and running to quiescence here would fast-forward
+            # straight through it, expiring holds the plan's restart
+            # (scheduled *sooner*) should have cancelled.
+            network.run(
+                until=base + t,
+                max_events=cell.max_events,
+                raise_on_limit=False,
+            )
+            fib_before = meter.compile()
+            label = _group_label(events)
+            for ev in events:
+                _apply_sim_event(protocol, cell, ev)
+            # The disruption epoch: the pre-event FIB replayed under
+            # post-event liveness -- what stale forwarding state
+            # actually delivers while the control plane reacts.
+            meter.record_epoch(network.sim.now, label, fib=fib_before)
+            routable_during = meter.routable()
+            next_t = groups[gi + 1][0] if gi + 1 < len(groups) else None
+            before = network.metrics.snapshot(network.sim.now)
+            if next_t is not None:
+                processed = network.run(
+                    until=base + next_t,
+                    max_events=cell.max_events,
+                    raise_on_limit=False,
+                )
+            else:
+                processed = network.run(
+                    max_events=cell.max_events, raise_on_limit=False
+                )
+            after = network.metrics.snapshot(network.sim.now)
+            result = ConvergenceResult.from_delta(
+                before,
+                after,
+                processed,
+                quiesced=not network.sim.hit_event_limit,
+            )
+            episodes.append(EpisodeRecord.from_result("chaos", result))
+            meter.record_epoch(network.sim.now, f"{label} settled")
+            meter.groups.append(
+                {
+                    "time": t,
+                    "label": label,
+                    "n_events": len(events),
+                    "messages": result.messages,
+                    "settle_time": result.time,
+                    "routable_during": routable_during,
+                    "routable_after": meter.routable(),
+                    "quiesced": result.quiesced,
+                }
+            )
+    digest = routes_digest(protocol)
+    chaos = meter.chaos_block(plan, digest)
+    return _finish_record(
+        cell,
+        scenario,
+        protocol,
+        network,
+        episodes,
+        meter,
+        chaos,
+        profiler,
+        network.sim.now,
+        "sim",
+    )
+
+
+# ---------------------------------------------------------------- live side
+
+
+async def _execute_chaos_live_async(
+    cell: Cell, time_scale: float, settle_timeout_s: float
+) -> RunRecord:
+    from repro.live.chaos import LiveFaultPlan
+    from repro.live.network import LiveNetwork
+    from repro.live.runner import settle
+    from repro.live.supervisor import Supervisor, SupervisorConfig
+
+    profiler = PhaseProfiler()
+    with profiler.phase("scenario"):
+        scenario = cell.scenario.build()
+    with profiler.phase("build"):
+        protocol = cell.protocol.instantiate(
+            scenario.graph.copy(), scenario.policies.copy()
+        )
+        protocol.substrate = "live"
+        network = LiveNetwork(protocol.graph, time_scale=time_scale)
+        protocol.build(network=network)
+    loop = asyncio.get_running_loop()
+    started = loop.time()
+    supervisor = Supervisor(network, SupervisorConfig(seed=cell.fault.seed))
+
+    async def measure() -> ConvergenceResult:
+        before = network.metrics.snapshot(network.clock.now)
+        frames_before = network.frames_received
+        quiesced = await settle(
+            network, CHAOS_IDLE_WINDOW_S, settle_timeout_s
+        )
+        after = network.metrics.snapshot(network.clock.now)
+        return ConvergenceResult.from_delta(
+            before,
+            after,
+            events=network.frames_received - frames_before,
+            quiesced=quiesced,
+        )
+
+    try:
+        await network.start()
+        await supervisor.start()
+        if cell.fault.loss > 0:
+            # The one impairment real loopback can emulate: seeded loss
+            # at the receive path, in force from t=0 like the sim's.
+            network.set_recv_loss(cell.fault.loss, seed=cell.fault.seed)
+        with profiler.phase("converge"):
+            initial = await measure()
+        episodes: List[EpisodeRecord] = [
+            EpisodeRecord.from_result("initial", initial)
+        ]
+        meter = _ChaosMeter(cell, protocol, scenario)
+        meter.record_epoch(network.clock.now, "initial")
+
+        plan = cell.fault.build_chaos_plan(protocol.graph)
+        live_plan = LiveFaultPlan(plan, loss_seed=cell.fault.seed)
+        groups = _group_events(plan)
+        base = network.clock.now
+        with profiler.phase("chaos"):
+            for t, events in groups:
+                while network.clock.now < base + t:
+                    remaining = (base + t - network.clock.now) * time_scale
+                    await asyncio.sleep(max(0.001, remaining))
+                fib_before = meter.compile()
+                label = _group_label(events)
+                for ev in events:
+                    live_plan.apply_event(protocol, ev)
+                meter.record_epoch(network.clock.now, label, fib=fib_before)
+                routable_during = meter.routable()
+                before = network.metrics.snapshot(network.clock.now)
+                frames_before = network.frames_received
+                quiesced = await settle(
+                    network, CHAOS_IDLE_WINDOW_S, settle_timeout_s
+                )
+                after = network.metrics.snapshot(network.clock.now)
+                result = ConvergenceResult.from_delta(
+                    before,
+                    after,
+                    events=network.frames_received - frames_before,
+                    quiesced=quiesced,
+                )
+                episodes.append(EpisodeRecord.from_result("chaos", result))
+                meter.record_epoch(network.clock.now, f"{label} settled")
+                meter.groups.append(
+                    {
+                        "time": t,
+                        "label": label,
+                        "n_events": len(events),
+                        "messages": result.messages,
+                        "settle_time": result.time,
+                        "routable_during": routable_during,
+                        "routable_after": meter.routable(),
+                        "quiesced": result.quiesced,
+                    }
+                )
+        # The maintenance sweep: restart every serve task one at a time.
+        # Sockets and node state survive, so the sweep is hitless -- the
+        # routes digest below must not notice it happened.
+        with profiler.phase("rolling"):
+            serve_restarts = await supervisor.rolling_restart(
+                dwell_s=CHAOS_ROLLING_DWELL_S
+            )
+            await settle(network, CHAOS_IDLE_WINDOW_S, settle_timeout_s)
+            meter.record_epoch(network.clock.now, "rolling serve restart")
+        digest = routes_digest(protocol)
+        chaos = meter.chaos_block(
+            plan,
+            digest,
+            serve_restarts=serve_restarts,
+            supervisor={
+                "restarts": sum(supervisor.restart_counts.values()),
+                "gave_up": sorted(supervisor.given_up),
+                "events": len(supervisor.events),
+            },
+        )
+        record = _finish_record(
+            cell,
+            scenario,
+            protocol,
+            network,
+            episodes,
+            meter,
+            chaos,
+            profiler,
+            network.clock.now,
+            "live",
+        )
+        return dc_replace(
+            record,
+            timings={**record.timings, "live.wall": loop.time() - started},
+        )
+    finally:
+        await supervisor.stop()
+        await network.close()
+
+
+def _execute_chaos_live(
+    cell: Cell, time_scale: float, settle_timeout_s: float
+) -> RunRecord:
+    return asyncio.run(
+        _execute_chaos_live_async(cell, time_scale, settle_timeout_s)
+    )
+
+
+# ----------------------------------------------------------------- dispatch
+
+
+def execute_chaos_cell(
+    cell: Cell,
+    *,
+    time_scale: Optional[float] = None,
+    settle_timeout_s: Optional[float] = None,
+) -> RunRecord:
+    """Run one chaotic cell end to end on its substrate.
+
+    ``time_scale`` and ``settle_timeout_s`` override the live pacing
+    (wall seconds per protocol unit, per-episode settle budget); both
+    are ignored on the simulator, whose time is virtual.
+    """
+    if not cell.fault.chaotic:
+        raise ValueError("cell has no chaos program (restarts/partitions)")
+    if cell.misbehavior.active:
+        raise ValueError("chaotic cells do not support the misbehavior axis")
+    if cell.fault.churns or cell.fault.queued:
+        raise ValueError(
+            "chaotic cells replace the churn/queue timeline; use the "
+            "legacy fault axis for those"
+        )
+    if cell.substrate == "live":
+        if cell.fault.dup > 0 or cell.fault.jitter > 0 or cell.fault.burst_enter > 0:
+            raise ValueError(
+                "live chaos supports loss impairments only; dup/jitter/"
+                "burst are simulator models"
+            )
+        return _execute_chaos_live(
+            cell,
+            CHAOS_TIME_SCALE if time_scale is None else time_scale,
+            CHAOS_SETTLE_TIMEOUT_S
+            if settle_timeout_s is None
+            else settle_timeout_s,
+        )
+    if cell.substrate != "sim":
+        raise ValueError(
+            f"unknown substrate {cell.substrate!r}; use 'sim' or 'live'"
+        )
+    return _execute_chaos_sim(cell)

@@ -711,6 +711,133 @@ def _render_dataplane(spec: ExperimentSpec, records: Sequence[RunRecord]) -> str
 
 
 # --------------------------------------------------------------------------
+# E15 -- Rolling restarts + partition chaos, both substrates
+# (bench_live_chaos)
+
+#: The E15 design points: both LS-family hop-by-hop points plus one
+#: DV-family point per forwarding mode, each measured plain and with
+#: graceful restart fully enabled.
+LIVE_CHAOS_PROTOCOLS: Tuple[str, ...] = (
+    "ls-hbh",
+    "ls-hbh-topo",
+    "idrp",
+    "pv-src",
+)
+LIVE_CHAOS_FLOWS = 200_000
+LIVE_CHAOS_FLOWS_SMOKE = 20_000
+LIVE_CHAOS_PAIRS = 1024
+LIVE_CHAOS_PAIRS_SMOKE = 256
+
+
+def _live_chaos_protocols(smoke: bool) -> Tuple[ProtocolSpec, ...]:
+    names = ("ls-hbh",) if smoke else LIVE_CHAOS_PROTOCOLS
+    out: List[ProtocolSpec] = []
+    for name in names:
+        out.append(ProtocolSpec(name))
+        out.append(
+            ProtocolSpec(
+                name, label=f"{name}+gr", options=(("graceful", "all"),)
+            )
+        )
+    return tuple(out)
+
+
+def _live_chaos_fault(smoke: bool) -> FaultSpec:
+    return FaultSpec(
+        restarts=1 if smoke else 3,
+        partitions=1,
+        seed=15,
+        start_time=100.0,
+        spacing=400.0,
+    )
+
+
+def _live_chaos_spec(smoke: bool) -> ExperimentSpec:
+    return ExperimentSpec(
+        name="live_chaos",
+        scenarios=(
+            ScenarioSpec(kind="reference", seed=5, num_flows=12 if smoke else 24),
+        ),
+        protocols=_live_chaos_protocols(smoke),
+        faults=(_live_chaos_fault(smoke),),
+        traffics=(
+            TrafficSpec(
+                flows=LIVE_CHAOS_FLOWS_SMOKE if smoke else LIVE_CHAOS_FLOWS,
+                zipf_s=1.1,
+                pairs=LIVE_CHAOS_PAIRS_SMOKE if smoke else LIVE_CHAOS_PAIRS,
+                seed=15,
+            ),
+        ),
+        substrates=("sim", "live"),
+    )
+
+
+def _render_live_chaos(spec: ExperimentSpec, records: Sequence[RunRecord]) -> str:
+    num_ads = records[0].scenario["num_ads"]
+    fault = spec.faults[0]
+    workload = records[0].dataplane["workload"]
+    table = Table(
+        "protocol",
+        "substrate",
+        "gr",
+        "avail",
+        "gap-worst",
+        "out-p99",
+        "out-p999",
+        "msgs",
+        "holds",
+        "resyncs",
+        "digest",
+        title=(
+            "E15: rolling-restart + partition chaos, both substrates "
+            f"({num_ads} ADs; {fault.restarts} rolling AD restart(s) + "
+            f"{fault.partitions} partition window(s); "
+            f"{workload['flows']} zipf flows, s={workload['zipf_s']:g}; "
+            "avail = mean control-plane routability while each chaos "
+            "event is in force, gap-worst = worst-epoch fraction of "
+            "flows undelivered, out-p99/999 = chaos-long outage of the "
+            "unluckiest 1%/0.1% of flows, msgs = reconvergence messages "
+            "across all chaos events, holds/resyncs = graceful-restart "
+            "helper activity, digest = post-chaos routes fingerprint "
+            "-- equal digests mean identical forwarding state)"
+        ),
+    )
+    for rec in records:
+        chaos = rec.chaos
+        series = rec.dataplane["series"]
+        gsum = chaos["graceful_summary"]
+        table.add(
+            rec.cell["label"],
+            rec.cell["substrate"],
+            chaos["graceful"],
+            f"{chaos['availability']:.2f}",
+            f"{series['worst_gap']:.3f}",
+            f"{series['outage_p99']:.3f}",
+            f"{series['outage_p999']:.3f}",
+            sum(g["messages"] for g in chaos["groups"]),
+            gsum["holds"],
+            gsum["resyncs"],
+            chaos["routes_digest"][:12],
+        )
+    lines = [table.render()]
+    digests: Dict[str, Dict[str, str]] = {}
+    for rec in records:
+        digests.setdefault(rec.cell["label"], {})[rec.cell["substrate"]] = (
+            rec.chaos["routes_digest"]
+        )
+    footer = [
+        f"fidelity {label}: post-chaos routes sim-vs-live "
+        + ("IDENTICAL" if subs["sim"] == subs["live"] else "MISMATCH")
+        for label, subs in digests.items()
+        if "sim" in subs and "live" in subs
+    ]
+    if footer:
+        lines.append("")
+        lines.extend(footer)
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
 # Registry + one-call runner
 
 Renderer = Callable[[ExperimentSpec, Sequence[RunRecord]], str]
@@ -786,6 +913,13 @@ EXPERIMENTS: Dict[str, Experiment] = {
             build_spec=_dataplane_spec,
             render=_render_dataplane,
         ),
+        Experiment(
+            name="live_chaos",
+            eid="E15",
+            description="Rolling-restart + partition chaos, both substrates",
+            build_spec=_live_chaos_spec,
+            render=_render_live_chaos,
+        ),
     )
 }
 
@@ -821,6 +955,9 @@ def run_experiment(
     pacing: Optional[str] = None,
     flows: Optional[int] = None,
     zipf_s: Optional[float] = None,
+    restarts: Optional[int] = None,
+    partitions: Optional[int] = None,
+    gr: Optional[str] = None,
 ) -> Tuple[ExperimentSpec, List[RunRecord], str]:
     """Run a named experiment; returns (spec, records, rendered table).
 
@@ -837,7 +974,10 @@ def run_experiment(
     storm; ``pacing`` (``'off'``, a feature name, or ``'full'``)
     replaces every protocol point's pacing option; ``flows`` and
     ``zipf_s`` override the active traffic points (the E14 workload
-    size and skew).
+    size and skew).  ``restarts`` and ``partitions`` override every
+    fault point's chaos program (E15), and ``gr`` (``'off'`` or a
+    graceful-restart scope) replaces every protocol point's graceful
+    option the same way ``pacing`` does.
     """
     try:
         experiment = EXPERIMENTS[name]
@@ -883,6 +1023,37 @@ def run_experiment(
             )
             if pacing != "off":
                 options = options + (("pacing", pacing),)
+            point = replace(point, options=options)
+            if point not in protocols:
+                protocols.append(point)
+        spec = replace(spec, protocols=tuple(protocols))
+    if restarts is not None or partitions is not None:
+        fields = {}
+        if restarts is not None:
+            if restarts < 0:
+                raise ValueError("--restarts must be non-negative")
+            fields["restarts"] = restarts
+        if partitions is not None:
+            if partitions < 0:
+                raise ValueError("--partitions must be non-negative")
+            fields["partitions"] = partitions
+        overridden = []
+        for fault in spec.faults:
+            fault = replace(fault, label=None, **fields)
+            if fault not in overridden:
+                overridden.append(fault)
+        spec = replace(spec, faults=tuple(overridden))
+    if gr is not None:
+        from repro.protocols.graceful import graceful_from
+
+        graceful_from("" if gr == "off" else gr)  # validate early
+        protocols = []
+        for point in spec.protocols:
+            options = tuple(
+                (k, v) for k, v in point.options if k != "graceful"
+            )
+            if gr != "off":
+                options = options + (("graceful", gr),)
             point = replace(point, options=options)
             if point not in protocols:
                 protocols.append(point)

@@ -35,7 +35,11 @@ from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 #: per-epoch reachability gap / latency / stretch tails, across-epoch
 #: flow outage percentiles, FIB state sizes) and ``traffic`` in the cell
 #: key; v5 lines load with the block ``None`` and the axis ``"none"``.
-SCHEMA_VERSION = 6
+#: v7: added the optional ``chaos`` block (E15 episodic chaos driver:
+#: per-event-group settle cost, control-plane availability samples,
+#: graceful-restart counters, supervisor events, post-chaos routes
+#: digest); v6 lines load with it ``None``.
+SCHEMA_VERSION = 7
 
 
 @dataclass(frozen=True)
@@ -114,6 +118,11 @@ class RunRecord:
             traffic axis: workload shape, per-epoch replay series (time,
             reachability gap, latency/stretch percentiles, FIB bytes),
             across-epoch flow outage percentiles, and FIB compile stats.
+        chaos: Episodic chaos block (E15), when the cell had a chaotic
+            fault axis: per-event-group labels and settle costs,
+            control-plane availability during and after each disruption,
+            graceful-restart counters, live supervisor activity, and the
+            post-chaos routes digest (the sim-vs-live fidelity anchor).
         timings: Wall-clock phase seconds (``build``, ``converge``,
             ``engine.run``, ``failures``, ``evaluate``).  Never compare
             these for determinism -- they are honest wall-clock.
@@ -141,6 +150,7 @@ class RunRecord:
     misbehavior: Optional[Mapping[str, Any]] = None
     overload: Optional[Mapping[str, Any]] = None
     dataplane: Optional[Mapping[str, Any]] = None
+    chaos: Optional[Mapping[str, Any]] = None
     timings: Mapping[str, float] = field(default_factory=dict)
     trace: Optional[Tuple[str, ...]] = None
     substrate: str = "sim"
@@ -193,6 +203,10 @@ class RunRecord:
             # v5 -> v6: the traffic axis did not exist; default it.
             data.setdefault("dataplane", None)
             data.setdefault("cell", {}).setdefault("traffic", "none")
+            version = 6
+        if version == 6:
+            # v6 -> v7: the chaos block did not exist; default it.
+            data.setdefault("chaos", None)
             version = SCHEMA_VERSION
         if version != SCHEMA_VERSION:
             raise ValueError(
@@ -230,6 +244,7 @@ class RunRecord:
             misbehavior=data.get("misbehavior"),
             overload=data.get("overload"),
             dataplane=data.get("dataplane"),
+            chaos=data.get("chaos"),
             timings=data.get("timings", {}),
             trace=tuple(trace) if trace is not None else None,
             substrate=data.get("substrate", "sim"),

@@ -118,6 +118,13 @@ def _parse_trace(trace: Optional[str]) -> Optional[Dict[str, Optional[int]]]:
 
 def execute_cell(cell: Cell) -> RunRecord:
     """Run one cell end to end and measure it (worker entry point)."""
+    if cell.fault.chaotic:
+        # Chaotic cells (rolling restarts / partitions) take the
+        # episodic chaos driver on EITHER substrate; the legacy paths
+        # below stay byte-identical for everything else.
+        from repro.harness.chaos import execute_chaos_cell
+
+        return execute_chaos_cell(cell)
     if cell.substrate == "live":
         return _execute_live_cell(cell)
     if cell.substrate != "sim":
@@ -412,7 +419,8 @@ def _execute_live_cell(cell: Cell) -> RunRecord:
     if unsupported:
         raise ValueError(
             f"live cells do not support the {', '.join(unsupported)} axis; "
-            "run these cells on the sim substrate"
+            "run these cells on the sim substrate (or give the cell a "
+            "chaos program -- chaotic cells run faults and traffic live)"
         )
 
     profiler = PhaseProfiler()

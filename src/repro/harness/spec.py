@@ -33,11 +33,13 @@ from repro.faults.plan import (
     churn_storm_plan,
     link_flap_plan,
     merge_plans,
+    partition_plan,
 )
 from repro.policy.generators import restricted_policies
 from repro.workloads.scenarios import (
     Scenario,
     reference_scenario,
+    ring_scenario,
     scaled_scenario,
     small_scenario,
 )
@@ -51,6 +53,8 @@ class ScenarioSpec:
 
     * ``"reference"`` -- :func:`~repro.workloads.scenarios.reference_scenario`;
     * ``"small"``     -- :func:`~repro.workloads.scenarios.small_scenario`;
+    * ``"ring"``      -- :func:`~repro.workloads.scenarios.ring_scenario`
+      (a lateral transit ring; ``target_ads`` sets the size, default 8);
     * ``"scaled"``    -- :func:`~repro.workloads.scenarios.scaled_scenario`
       (set ``target_ads``);
     * ``"custom"``    -- explicit ``topology`` shape parameters with
@@ -76,6 +80,12 @@ class ScenarioSpec:
             )
         if self.kind == "small":
             return small_scenario(seed=self.seed, num_flows=self.num_flows)
+        if self.kind == "ring":
+            return ring_scenario(
+                num_ads=self.target_ads or 8,
+                seed=self.seed,
+                num_flows=self.num_flows,
+            )
         if self.kind == "scaled":
             return scaled_scenario(
                 self.target_ads,
@@ -108,7 +118,7 @@ class ScenarioSpec:
     def describe(self) -> Dict[str, Any]:
         """Cell-key fragment (only the parameters that are set)."""
         out: Dict[str, Any] = {"kind": self.kind, "seed": self.seed}
-        if self.kind == "scaled":
+        if self.kind in ("scaled", "ring"):
             out["target_ads"] = self.target_ads
         if self.topology is not None:
             out["topology"] = dict(self.topology)
@@ -213,6 +223,16 @@ class FaultSpec:
     churn_hz: float = 0.0
     churn_links: int = 3
     churn_duration: float = 400.0
+    #: Chaos program (E15): ``restarts`` > 0 runs that many rolling AD
+    #: crash/restart cycles (state retained -- a maintenance restart, the
+    #: regime graceful restart is measured against) and ``partitions``
+    #: > 0 adds that many bounded partition windows afterwards.  Chaotic
+    #: cells take the episodic chaos driver
+    #: (:mod:`repro.harness.chaos`), which runs on BOTH substrates,
+    #: instead of the legacy sim fault timeline.
+    restarts: int = 0
+    partitions: int = 0
+    partition_fraction: float = 0.3
     #: Bounded ingress queue (E13): ``queue_capacity`` >= 0 attaches an
     #: :class:`~repro.simul.ingress.IngressModel` after initial
     #: convergence; ``None`` keeps the unbounded legacy delivery.
@@ -247,6 +267,11 @@ class FaultSpec:
         return self.queue_capacity is not None
 
     @property
+    def chaotic(self) -> bool:
+        """Whether a chaos program (rolling restarts/partitions) runs."""
+        return self.restarts > 0 or self.partitions > 0
+
+    @property
     def active(self) -> bool:
         return self.impaired or self.churns or self.queued
 
@@ -254,7 +279,7 @@ class FaultSpec:
     def display(self) -> str:
         if self.label:
             return self.label
-        if not self.active:
+        if not (self.active or self.chaotic):
             return "none"
         parts = []
         if self.loss > 0:
@@ -273,6 +298,10 @@ class FaultSpec:
             parts.append(f"churn={self.churn_hz:g}Hz")
         if self.queue_capacity is not None:
             parts.append(f"queue={self.queue_capacity}")
+        if self.restarts > 0:
+            parts.append(f"restarts={self.restarts}")
+        if self.partitions > 0:
+            parts.append(f"partitions={self.partitions}")
         return ",".join(parts)
 
     def impairment(self) -> Impairment:
@@ -329,6 +358,42 @@ class FaultSpec:
         if self.churn_hz > 0:
             horizon += self.churn_duration + self.spacing
         return horizon
+
+    def build_chaos_plan(self, graph: InterADGraph) -> FaultPlan:
+        """The E15 chaos timeline: rolling restarts, then partitions.
+
+        Restarts are crash/restart cycles with state retained (each AD
+        is down for half a ``spacing`` window -- shorter than the
+        default graceful-restart hold time, so a helper-enabled
+        neighbourhood rides the restart out).  Each partition window
+        cuts a seeded island of ``partition_fraction`` of the ADs loose
+        for half a spacing window, then heals it.
+        """
+        plans = []
+        if self.restarts > 0:
+            plans.append(
+                ad_crash_plan(
+                    graph,
+                    crashes=self.restarts,
+                    retain_state=True,
+                    start_time=self.start_time,
+                    spacing=self.spacing,
+                    down_for=self.spacing / 2.0,
+                    seed=self.seed,
+                )
+            )
+        partition_start = self.start_time + self.restarts * self.spacing
+        for i in range(self.partitions):
+            plans.append(
+                partition_plan(
+                    graph,
+                    start_time=partition_start + i * self.spacing,
+                    duration=self.spacing / 2.0,
+                    fraction=self.partition_fraction,
+                    seed=self.seed + 3 + i,
+                )
+            )
+        return merge_plans(*plans) if plans else FaultPlan(())
 
 
 @dataclass(frozen=True)
@@ -495,6 +560,10 @@ class ExperimentSpec:
     max_events: int = 5_000_000
     trace: Optional[str] = None
     substrate: str = "sim"
+    #: Substrate sweep axis (E15): each cell is expanded once per listed
+    #: substrate, innermost, so sim/live twins of the same design point
+    #: sit adjacent in the grid.  Empty keeps the single ``substrate``.
+    substrates: Tuple[str, ...] = ()
 
     def cells(self) -> List[Cell]:
         expanded: List[Cell] = []
@@ -506,6 +575,7 @@ class ExperimentSpec:
                 )
             else:
                 scenario_axis.append(scenario)
+        substrate_axis = self.substrates or (self.substrate,)
         index = 0
         for scenario in scenario_axis:
             for protocol in self.protocols:
@@ -513,21 +583,22 @@ class ExperimentSpec:
                     for fault in self.faults:
                         for misbehavior in self.misbehaviors:
                             for traffic in self.traffics:
-                                expanded.append(
-                                    Cell(
-                                        experiment=self.name,
-                                        index=index,
-                                        scenario=scenario,
-                                        protocol=protocol,
-                                        failure=failure,
-                                        fault=fault,
-                                        misbehavior=misbehavior,
-                                        traffic=traffic,
-                                        evaluate=self.evaluate,
-                                        max_events=self.max_events,
-                                        trace=self.trace,
-                                        substrate=self.substrate,
+                                for substrate in substrate_axis:
+                                    expanded.append(
+                                        Cell(
+                                            experiment=self.name,
+                                            index=index,
+                                            scenario=scenario,
+                                            protocol=protocol,
+                                            failure=failure,
+                                            fault=fault,
+                                            misbehavior=misbehavior,
+                                            traffic=traffic,
+                                            evaluate=self.evaluate,
+                                            max_events=self.max_events,
+                                            trace=self.trace,
+                                            substrate=substrate,
+                                        )
                                     )
-                                )
-                                index += 1
+                                    index += 1
         return expanded

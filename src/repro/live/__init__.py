@@ -13,9 +13,14 @@ UDP sockets on the loopback interface.
   lifecycle (start/serve/drain/stop), crash/restart.
 * :mod:`~repro.live.runner` — wall-clock convergence (settle-based
   quiescence), failure episodes, and FaultPlan-driven runs.
+* :mod:`~repro.live.supervisor` — the init system: dead/hung serve-task
+  detection, backed-off restarts, rolling-restart orchestration.
+* :mod:`~repro.live.chaos` — the FaultPlan vocabulary translated into
+  wall-clock chaos (link/node faults, seeded recv-path loss).
 * :mod:`~repro.live.fidelity` — the sim-vs-live fidelity report.
 """
 
+from repro.live.chaos import LiveFaultPlan
 from repro.live.clock import LiveClock, LiveTimerHandle
 from repro.live.network import LiveNetwork, NodeState
 from repro.live.runner import (
@@ -24,15 +29,19 @@ from repro.live.runner import (
     run_live_async,
     settle,
 )
+from repro.live.supervisor import Supervisor, SupervisorConfig
 from repro.live.fidelity import FidelityReport, fidelity_report, format_report
 
 __all__ = [
     "FidelityReport",
     "LiveClock",
+    "LiveFaultPlan",
     "LiveNetwork",
     "LiveRunResult",
     "LiveTimerHandle",
     "NodeState",
+    "Supervisor",
+    "SupervisorConfig",
     "fidelity_report",
     "format_report",
     "run_live",

@@ -1,0 +1,122 @@
+"""Wall-clock chaos: the FaultPlan vocabulary on the live substrate.
+
+The sim expresses faults declaratively (:mod:`repro.faults.plan`) and
+the discrete-event engine applies them at exact virtual instants.  Real
+sockets need a translation: link and node faults reuse the driver-level
+machinery unchanged (it only touches the transport surface), while
+channel impairments -- a simulator model -- map onto seeded Bernoulli
+loss at the UDP receive path
+(:meth:`~repro.live.network.LiveNetwork.set_recv_loss`), the one
+impairment a real loopback socket can emulate faithfully.
+
+A :class:`LiveFaultPlan` validates that translation up front (loudly
+rejecting duplication/jitter impairments rather than silently dropping
+them) and offers both execution styles:
+
+* :meth:`LiveFaultPlan.apply_event` -- apply one event now, for
+  episodic drivers that settle between events (the E15 chaos driver);
+* :meth:`LiveFaultPlan.schedule` -- arm every event on the live clock,
+  for background chaos during an otherwise-normal run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.faults.plan import (
+    FaultEvent,
+    FaultPlan,
+    ImpairmentChange,
+    LinkFault,
+    NodeFault,
+)
+from repro.protocols.base import RoutingProtocol
+
+__all__ = ["LiveFaultPlan"]
+
+
+class LiveFaultPlan:
+    """A :class:`~repro.faults.plan.FaultPlan` executable on live UDP."""
+
+    def __init__(self, plan: FaultPlan, *, loss_seed: int = 0) -> None:
+        for ev in plan:
+            if isinstance(ev, ImpairmentChange):
+                if ev.spec.dup_prob > 0.0 or ev.spec.jitter > 0.0:
+                    raise ValueError(
+                        "live chaos supports loss impairments only; "
+                        f"dup/jitter in {ev.spec!r} cannot be induced on "
+                        "a real loopback socket"
+                    )
+                if ev.link is not None:
+                    raise ValueError(
+                        "live loss is injected at the receive path "
+                        "(network-wide); per-link impairments are "
+                        "sim-only"
+                    )
+        self.plan = plan
+        self.loss_seed = loss_seed
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.plan)
+
+    def __len__(self) -> int:
+        return len(self.plan)
+
+    @property
+    def horizon(self) -> float:
+        return self.plan.horizon
+
+    # ------------------------------------------------------------ execution
+
+    def apply_event(
+        self, protocol: RoutingProtocol, ev: FaultEvent
+    ) -> str:
+        """Apply one fault event to a live-built protocol, now.
+
+        Returns a short label describing the event (epoch labels in the
+        E15 table).  Node faults honour the protocol's distributed
+        :class:`~repro.protocols.graceful.GracefulRestartConfig` exactly
+        as they do on the sim substrate.
+        """
+        network = protocol.network
+        if network is None:
+            raise RuntimeError("protocol is not built on a substrate")
+        if isinstance(ev, LinkFault):
+            protocol.apply_link_status(ev.a, ev.b, ev.up)
+            return f"link {ev.a}-{ev.b} {'up' if ev.up else 'down'}"
+        if isinstance(ev, NodeFault):
+            if ev.up:
+                protocol.restore_node(ev.ad)
+                return f"AD {ev.ad} restart"
+            protocol.crash_node(ev.ad, retain_state=ev.retain_state)
+            return f"AD {ev.ad} crash"
+        if isinstance(ev, ImpairmentChange):
+            network.set_recv_loss(ev.spec.drop_prob, seed=self.loss_seed)
+            if ev.spec.drop_prob > 0.0:
+                return f"recv loss {ev.spec.drop_prob:g}"
+            return "recv loss off"
+        raise TypeError(f"unknown fault event {ev!r}")
+
+    def schedule(self, protocol: RoutingProtocol) -> None:
+        """Arm every event on the live clock (background chaos)."""
+        network = protocol.network
+        if network is None:
+            raise RuntimeError("protocol is not built on a substrate")
+        for ev in self.plan:
+            network.clock.call_later(ev.time, self.apply_event, protocol, ev)
+
+
+def grouped_events(plan: FaultPlan) -> "list[tuple[float, list[FaultEvent]]]":
+    """Events bucketed by identical fire time, in order.
+
+    Episodic chaos drivers treat simultaneous events (every cut link of
+    a partition goes down at the same instant) as ONE chaos event with
+    one disruption epoch, not dozens.
+    """
+    groups: "list[tuple[float, list[FaultEvent]]]" = []
+    for ev in plan:
+        if groups and groups[-1][0] == ev.time:
+            groups[-1][1].append(ev)
+        else:
+            groups.append((ev.time, [ev]))
+    return groups

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import asyncio
 import enum
+import random
 import socket as socketlib
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -49,6 +50,18 @@ SOCKET_BUF_BYTES = 4 << 20
 
 #: Largest datagram a loopback UDP socket accepts (65535 - headers).
 MAX_DATAGRAM_BYTES = 65507
+
+#: Wall-clock backoff schedule for transient UDP send errors
+#: (``BlockingIOError``/``ENOBUFS``).  One synchronous attempt plus one
+#: retry per delay; a frame that still cannot be handed to the kernel is
+#: dropped and counted (``live_send_drops``), never raised into the
+#: sending node's serve task.
+SEND_RETRY_DELAYS = (0.001, 0.005, 0.02)
+
+#: Wall-clock budget for draining one AD's queue at shutdown.  A dead
+#: serve task (or a wedged dispatch) must never hang ``close()``:
+#: whatever cannot drain inside the budget is flushed and counted.
+DRAIN_DEADLINE_S = 5.0
 
 
 class NodeState(enum.Enum):
@@ -86,6 +99,14 @@ class _NodeRuntime:
         self.task: Optional[asyncio.Task] = None
         #: Frames received but not yet fully processed (idle detection).
         self.unprocessed = 0
+        #: Frames fully dispatched over this runtime's lifetime.
+        self.dispatched = 0
+        #: Wall-clock instant of the last dispatch completion; the
+        #: supervisor's hung-node heartbeat (``unprocessed > 0`` with no
+        #: progress past the deadline means the serve task is wedged).
+        self.last_progress = network._loop.time()
+        #: Serve-task restarts performed by the supervisor.
+        self.restarts = 0
 
     # ------------------------------------------------------------ lifecycle
 
@@ -131,6 +152,8 @@ class _NodeRuntime:
                 network._errors.append(exc)
             finally:
                 self.unprocessed -= 1
+                self.dispatched += 1
+                self.last_progress = network._loop.time()
                 network._touch()
 
     def _dispatch(self, data: bytes) -> None:
@@ -148,17 +171,40 @@ class _NodeRuntime:
             # process is lost and counted.
             network.metrics.count_drop()
             return
+        if network._recv_loss_rate > 0.0 and (
+            network._recv_loss_rng.random() < network._recv_loss_rate
+        ):
+            # Seeded chaos loss at the receive path: the frame reached
+            # the socket (so sent/received stay balanced for idle
+            # detection) but the routing process never sees it.
+            network.metrics.count_channel_drop()
+            return
         network.metrics.count_message(
             msg.type_name, msg.size_bytes(), network.clock.now
         )
         network.nodes[dst].on_message(src, msg)
 
-    async def drain(self) -> None:
-        """Stop admitting new frames; process everything already queued."""
+    async def drain(self, deadline_s: float = DRAIN_DEADLINE_S) -> None:
+        """Stop admitting new frames; process everything already queued.
+
+        Bounded: a serve task that died (or wedged) mid-queue would
+        otherwise spin this loop forever and hang ``close()``.  On a
+        dead task or an expired deadline the leftover frames are flushed
+        and counted as queue drops instead.
+        """
         if self.state is NodeState.SERVING:
             self.state = NodeState.DRAINING
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + deadline_s
         while self.unprocessed > 0:
+            if self.task is not None and self.task.done():
+                break
+            if loop.time() >= deadline:
+                break
             await asyncio.sleep(0)
+        if self.unprocessed > 0:
+            for _ in range(self.flush()):
+                self.network.metrics.count_queue_drop()
 
     async def stop(self) -> None:
         """Drain, cancel the serve task, and close the socket."""
@@ -185,6 +231,40 @@ class _NodeRuntime:
             self.queue.get_nowait()
             self.unprocessed -= 1
             lost += 1
+        return lost
+
+    async def restart_task(self) -> int:
+        """Kill and respawn the serve task, keeping the socket.
+
+        The supervised recovery path: the port (and any frame already
+        handed to the kernel for it) survives, so idle detection's
+        ``sent == received`` invariant is preserved across the restart.
+        Queued-but-undispatched frames die with the old task; the count
+        of lost frames is returned and accounted as queue drops.
+        """
+        loop = asyncio.get_running_loop()
+        old = self.task
+        if old is not None:
+            if old.done():
+                # A crashed task's exception must be observed exactly
+                # once; the supervisor reports it, we just defuse it.
+                if not old.cancelled():
+                    old.exception()
+            else:
+                old.cancel()
+                try:
+                    await old
+                except asyncio.CancelledError:
+                    pass
+        lost = self.flush()
+        for _ in range(lost):
+            self.network.metrics.count_queue_drop()
+        self.state = NodeState.SERVING
+        self.restarts += 1
+        self.last_progress = loop.time()
+        self.task = loop.create_task(
+            self.serve(), name=f"ad-{self.ad_id}-serve"
+        )
         return lost
 
 
@@ -218,6 +298,14 @@ class LiveNetwork(Transport):
         self._started = False
         self._sent_frames = 0
         self._recv_frames = 0
+        #: Sends waiting on a transient-error retry timer.
+        self._pending_sends = 0
+        #: Seeded Bernoulli loss at the receive path (chaos injection).
+        self._recv_loss_rate = 0.0
+        self._recv_loss_rng = random.Random(0)
+        #: The attached :class:`~repro.live.supervisor.Supervisor`, when
+        #: one is watching this network (set by ``Supervisor.start``).
+        self.supervisor = None
         #: Wall-clock instant of the last observable activity.
         self._last_activity = loop.time()
 
@@ -250,9 +338,48 @@ class LiveNetwork(Transport):
                 f"{msg.type_name} from AD {src} encodes to {len(frame)} "
                 f"bytes, over the {MAX_DATAGRAM_BYTES}-byte UDP limit"
             )
+        self._transmit(src, dst, frame, attempt=0)
+
+    def _transmit(self, src: ADId, dst: ADId, frame: bytes, attempt: int) -> None:
+        """Hand one frame to the kernel, retrying transient errors.
+
+        ``BlockingIOError``/``ENOBUFS`` under a convergence burst is a
+        full kernel buffer, not a protocol failure: back off briefly and
+        try again instead of letting the exception kill the sending
+        node's serve task.  ``_sent_frames`` counts only successful
+        hand-offs; a pending retry keeps the network non-idle via
+        ``_pending_sends`` so settle() cannot declare quiescence with a
+        frame still waiting to leave.
+        """
+        runtime = self._runtimes[src]
+        target = self._runtimes[dst]
+        if runtime.transport is None or target.port is None:
+            # The endpoint closed while a retry timer was pending.
+            self.metrics.count_live_send_drop()
+            return
+        try:
+            runtime.transport.sendto(frame, ("127.0.0.1", target.port))
+        except (BlockingIOError, InterruptedError, OSError):
+            if attempt >= len(SEND_RETRY_DELAYS):
+                self.metrics.count_live_send_drop()
+                self._touch()
+                return
+            self.metrics.count_live_send_retry()
+            self._pending_sends += 1
+            self._touch()
+            self._loop.call_later(
+                SEND_RETRY_DELAYS[attempt], self._retry_transmit,
+                src, dst, frame, attempt + 1,
+            )
+            return
         self._sent_frames += 1
         self._touch()
-        runtime.transport.sendto(frame, ("127.0.0.1", target.port))
+
+    def _retry_transmit(
+        self, src: ADId, dst: ADId, frame: bytes, attempt: int
+    ) -> None:
+        self._pending_sends -= 1
+        self._transmit(src, dst, frame, attempt)
 
     # ----------------------------------------------------------- node mgmt
 
@@ -304,10 +431,14 @@ class LiveNetwork(Transport):
 
         Frames handed to the kernel but not yet received are in flight
         and count as activity (``sent != received``), so a quiet instant
-        between send and receive is never mistaken for quiescence.
+        between send and receive is never mistaken for quiescence; a
+        send waiting on a transient-error retry timer counts the same
+        way (``_pending_sends``).
         """
-        return self._sent_frames == self._recv_frames and all(
-            rt.unprocessed == 0 for rt in self._runtimes.values()
+        return (
+            self._pending_sends == 0
+            and self._sent_frames == self._recv_frames
+            and all(rt.unprocessed == 0 for rt in self._runtimes.values())
         )
 
     @property
@@ -370,6 +501,37 @@ class LiveNetwork(Transport):
             self.metrics.count_queue_drop()
         return lost
 
+    def set_recv_loss(self, rate: float, seed: int = 0) -> None:
+        """Seeded Bernoulli frame loss at the UDP receive path.
+
+        The live substrate's chaos hook: real sockets cannot be told to
+        lose packets on demand, so loss is injected just before dispatch
+        (after idle-detection accounting, mirroring crashed-destination
+        drops).  ``rate=0`` turns it off.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"loss rate {rate} outside [0, 1]")
+        self._recv_loss_rate = rate
+        self._recv_loss_rng = random.Random(seed)
+
+    async def restart_runtime(self, ad_id: ADId) -> int:
+        """Supervised serve-task restart for one AD (socket preserved).
+
+        Returns the number of queued frames lost with the old task.
+        """
+        return await self._runtimes[ad_id].restart_task()
+
+    def runtime_stats(self, ad_id: ADId) -> Dict[str, object]:
+        """One AD's lifecycle counters (observability/supervision)."""
+        rt = self._runtimes[ad_id]
+        return {
+            "state": rt.state,
+            "unprocessed": rt.unprocessed,
+            "dispatched": rt.dispatched,
+            "last_progress": rt.last_progress,
+            "restarts": rt.restarts,
+        }
+
     # --------------------------------------------------- sim-only machinery
 
     def set_channel(self, model) -> None:
@@ -395,6 +557,23 @@ class LiveNetwork(Transport):
     def lifecycle_states(self) -> Dict[ADId, NodeState]:
         """Each AD's current lifecycle state (observability/tests)."""
         return {ad: rt.state for ad, rt in self._runtimes.items()}
+
+    def dead_serve_tasks(self) -> List[Tuple[ADId, int]]:
+        """ADs whose serve task finished while still supposed to serve.
+
+        Returns ``(ad_id, pending_frames)`` pairs.  A task is dead when
+        it completed (crash or stray cancellation) while its runtime is
+        in SERVING/DRAINING -- a stopped AD's task is cancelled on
+        purpose and its runtime is STOPPED first.
+        """
+        dead: List[Tuple[ADId, int]] = []
+        for ad_id in sorted(self._runtimes):
+            rt = self._runtimes[ad_id]
+            if rt.state in (NodeState.SERVING, NodeState.DRAINING) and (
+                rt.task is not None and rt.task.done()
+            ):
+                dead.append((ad_id, rt.unprocessed))
+        return dead
 
     def port_of(self, ad_id: ADId) -> Optional[int]:
         """The UDP port an AD's endpoint is bound to (None before start)."""

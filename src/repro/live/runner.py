@@ -50,7 +50,10 @@ async def settle(
     reached (quiesced) and ``False`` on timeout -- mirroring the
     engine's ``max_events`` cutoff, a timeout is reported, not raised.
     Errors raised inside serve tasks *are* re-raised here: a crashed
-    serve loop would otherwise masquerade as quiescence.
+    serve loop would otherwise masquerade as quiescence.  So is a serve
+    *task* dying with frames still queued: without a supervisor to
+    restart it, those frames can never drain and the loop would
+    otherwise sit out the full timeout on a run that is already lost.
     """
     loop = asyncio.get_running_loop()
     deadline = loop.time() + timeout_s
@@ -59,6 +62,16 @@ async def settle(
             raise RuntimeError(
                 f"{len(network.errors)} serve-task failure(s); first one follows"
             ) from network.errors[0]
+        if network.supervisor is None:
+            dead = network.dead_serve_tasks()
+            if dead:
+                details = ", ".join(
+                    f"AD {ad} ({pending} frame(s) pending)"
+                    for ad, pending in dead
+                )
+                raise RuntimeError(
+                    f"serve task(s) died without a supervisor: {details}"
+                )
         if network.idle() and network.idle_for >= idle_window_s:
             return True
         if loop.time() >= deadline:

@@ -27,6 +27,7 @@ from repro.core.design_space import DesignPoint
 from repro.policy.database import PolicyDatabase
 from repro.policy.flows import FlowSpec
 from repro.policy.selection import OPEN_SELECTION, RouteSelectionPolicy
+from repro.protocols.graceful import GracefulRestartConfig
 from repro.protocols.hardening import HardeningConfig
 from repro.protocols.pacing import PacingConfig
 from repro.protocols.perf import PerfConfig
@@ -100,6 +101,15 @@ class RoutingProtocol:
         self._trusted_policies: Optional[PolicyDatabase] = None
         self._crashed_links: Dict[ADId, Tuple[Tuple[ADId, ADId], ...]] = {}
         self._crash_retain: Dict[ADId, bool] = {}
+        #: ADs currently down under graceful-restart helper semantics:
+        #: their incident links stay up (neighbours hold routes stale)
+        #: until restore or hold-timer expiry.
+        self._graceful_down: Dict[ADId, bool] = {}
+        #: Armed hold timers, cancelled by a restore within the window.
+        self._graceful_holds: Dict[ADId, Any] = {}
+        #: Observability: expired holds and resync rounds driven.
+        self.grace_expirations = 0
+        self.grace_resyncs = 0
 
     # --------------------------------------------------- runtime components
 
@@ -138,6 +148,15 @@ class RoutingProtocol:
     @perf.setter
     def perf(self, value: PerfConfig) -> None:
         self.runtime = self.runtime.replace(perf=value)
+
+    @property
+    def graceful(self) -> GracefulRestartConfig:
+        """Graceful-restart helper/resync behaviour, distributed too."""
+        return self.runtime.graceful
+
+    @graceful.setter
+    def graceful(self, value: GracefulRestartConfig) -> None:
+        self.runtime = self.runtime.replace(graceful=value)
 
     # --------------------------------------------------------- control plane
 
@@ -192,6 +211,7 @@ class RoutingProtocol:
         node.hardening = runtime.hardening
         node.pacing = runtime.pacing
         node.perf = runtime.perf
+        node.graceful = runtime.graceful
         node.validation = runtime.validation
         if runtime.validation.any_enabled and self._trusted_policies is None:
             self._trusted_policies = self.policies.copy()
@@ -236,17 +256,34 @@ class RoutingProtocol:
 
     # -------------------------------------------------------------- crashes
 
-    def crash_node(self, ad_id: ADId, retain_state: bool = True) -> None:
-        """Crash an AD's routing process: all incident links drop, the
-        node goes silent, in-flight messages to it are lost.
+    def crash_node(
+        self,
+        ad_id: ADId,
+        retain_state: bool = True,
+        graceful: Optional[bool] = None,
+    ) -> None:
+        """Crash an AD's routing process: the node goes silent and
+        in-flight messages to it are lost.
 
         ``retain_state`` decides what :meth:`restore_node` later brings
         back: the same process (tables intact) or a fresh one that must
         relearn the internet from its neighbours.
+
+        ``graceful`` selects graceful-restart helper semantics: instead
+        of dropping the AD's incident links (the disruptive path),
+        surviving neighbours are told to hold its routes as stale for
+        the configured hold time, so the data plane keeps forwarding
+        through the restart.  ``None`` defers to the distributed
+        :class:`~repro.protocols.graceful.GracefulRestartConfig`
+        (``helper`` flag); with that off, the legacy disruptive path
+        runs byte-identically.
         """
         network = self._require_network()
         if ad_id in self._crashed_links:
             raise ValueError(f"AD {ad_id} is already crashed")
+        gr = self.runtime.graceful
+        if graceful is None:
+            graceful = gr.helper
         live = tuple(
             link.key for link in self.graph.links_of(ad_id)
         )
@@ -263,10 +300,44 @@ class RoutingProtocol:
             # No NVRAM: messages sitting in the dead process's input
             # queue are lost with the rest of its state.
             network.flush_ingress(ad_id)
-        for a, b in live:
-            self.apply_link_status(a, b, False)
+        if graceful:
+            # Helper mode: the links stay up in ground truth, so nobody
+            # withdraws and the compiled FIB keeps forwarding.  Survivors
+            # are notified out of band (the restarting process cannot
+            # announce anything) and a hold timer bounds their patience.
+            for a, b in live:
+                survivor = b if a == ad_id else a
+                if survivor not in network.nodes:
+                    continue
+                if not self.is_crashed(survivor):
+                    network.nodes[survivor].on_neighbor_grace(
+                        ad_id, gr.hold_time
+                    )
+            self._graceful_down[ad_id] = True
+            self._graceful_holds[ad_id] = network.clock.call_later(
+                gr.hold_time, self._grace_expired, ad_id
+            )
+        else:
+            for a, b in live:
+                self.apply_link_status(a, b, False)
         self._crashed_links[ad_id] = live
         self._crash_retain[ad_id] = retain_state
+
+    def _grace_expired(self, ad_id: ADId) -> None:
+        """Hold timer fired before the restarter came back: give up.
+
+        Helpers stop holding stale routes and the normal withdrawal
+        machinery runs -- the restart turns disruptive after all.
+        """
+        if ad_id not in self._graceful_down:  # pragma: no cover - defensive
+            return
+        del self._graceful_down[ad_id]
+        self._graceful_holds.pop(ad_id, None)
+        self.grace_expirations += 1
+        for a, b in self._crashed_links.get(ad_id, ()):
+            link = self.graph.link_if_exists(a, b)
+            if link is not None and link.up:
+                self.apply_link_status(a, b, False)
 
     def restore_node(self, ad_id: ADId) -> None:
         """Restart a crashed AD and bring its links back up.
@@ -281,6 +352,16 @@ class RoutingProtocol:
             raise ValueError(f"AD {ad_id} is not crashed")
         links = self._crashed_links.pop(ad_id)
         retain = self._crash_retain.pop(ad_id)
+        graceful = ad_id in self._graceful_down
+        if graceful:
+            # Back inside the hold window: cancel the helpers' give-up
+            # timer.  The links never went down, so the legacy
+            # up-notification storm below is replaced by an explicit
+            # resynchronisation round (when configured).
+            del self._graceful_down[ad_id]
+            handle = self._graceful_holds.pop(ad_id, None)
+            if handle is not None:
+                handle.cancel()
         fresh: Optional[ProtocolNode] = None
         if not retain:
             old = network.nodes[ad_id]
@@ -291,6 +372,21 @@ class RoutingProtocol:
         network.restore_node(ad_id, fresh)
         if fresh is not None:
             fresh.start()
+        if graceful:
+            if self.runtime.graceful.resync:
+                self.grace_resyncs += 1
+                restarter = network.nodes[ad_id]
+                for a, b in links:
+                    link = self.graph.link_if_exists(a, b)
+                    if link is None or not link.up:
+                        continue
+                    survivor = b if a == ad_id else a
+                    if survivor in network.nodes and not self.is_crashed(
+                        survivor
+                    ):
+                        network.nodes[survivor].on_neighbor_resync(ad_id)
+                    restarter.on_neighbor_resync(survivor)
+            return
         for a, b in links:
             self.apply_link_status(a, b, True)
 
@@ -434,6 +530,18 @@ class RoutingProtocol:
             getattr(node, "duplicates_ignored", 0)
             for node in network.nodes.values()
         )
+
+    def graceful_summary(self) -> Dict[str, int]:
+        """Network-wide graceful-restart counters for the run record."""
+        network = self._require_network()
+        return {
+            "holds": sum(
+                getattr(node, "grace_holds", 0)
+                for node in network.nodes.values()
+            ),
+            "expirations": self.grace_expirations,
+            "resyncs": self.grace_resyncs,
+        }
 
     # ------------------------------------------------------------ data plane
 

@@ -21,6 +21,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Union
 
+from repro.protocols.graceful import GracefulRestartConfig, graceful_from
 from repro.protocols.hardening import HardeningConfig, hardening_from
 from repro.protocols.pacing import PacingConfig, pacing_from
 from repro.protocols.perf import PerfConfig, perf_from
@@ -39,6 +40,8 @@ class NodeRuntimeConfig:
     * ``validation`` — receiver-side claim checks and quarantine.
     * ``pacing`` — overload defenses (pacing/hold-down/flap damping).
     * ``perf`` — delta-recompute fast paths (on by default).
+    * ``graceful`` — graceful-restart helper/resync behaviour around
+      planned control-plane restarts.
     * ``ingress`` — the bounded control-plane input queue, or ``None``
       for instant delivery.  Unlike the other four, this attaches to the
       *network* (the queue models the substrate's delivery stage), but it
@@ -50,6 +53,9 @@ class NodeRuntimeConfig:
     validation: ValidationConfig = field(default_factory=ValidationConfig)
     pacing: PacingConfig = field(default_factory=PacingConfig)
     perf: PerfConfig = field(default_factory=PerfConfig)
+    graceful: GracefulRestartConfig = field(
+        default_factory=GracefulRestartConfig
+    )
     ingress: Optional[IngressConfig] = None
 
     def replace(self, **changes: object) -> "NodeRuntimeConfig":
@@ -62,6 +68,7 @@ def runtime_from(
     validation: Union[_Spec, ValidationConfig] = None,
     pacing: Union[_Spec, PacingConfig] = None,
     perf: Union[_Spec, PerfConfig] = None,
+    graceful: Union[_Spec, GracefulRestartConfig] = None,
     ingress: Optional[IngressConfig] = None,
 ) -> NodeRuntimeConfig:
     """Build a runtime container from user-facing component specs.
@@ -76,5 +83,6 @@ def runtime_from(
         validation=validation_from(validation),
         pacing=pacing_from(pacing),
         perf=perf_from(perf),
+        graceful=graceful_from(graceful),
         ingress=ingress,
     )

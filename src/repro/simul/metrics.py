@@ -38,6 +38,8 @@ class MetricsSnapshot:
     duplicated: int = 0
     queue_dropped: int = 0
     deferred: int = 0
+    live_send_retries: int = 0
+    live_send_drops: int = 0
 
     @property
     def total_messages(self) -> int:
@@ -67,6 +69,10 @@ class MetricsSnapshot:
             duplicated=self.duplicated - earlier.duplicated,
             queue_dropped=self.queue_dropped - earlier.queue_dropped,
             deferred=self.deferred - earlier.deferred,
+            live_send_retries=(
+                self.live_send_retries - earlier.live_send_retries
+            ),
+            live_send_drops=self.live_send_drops - earlier.live_send_drops,
         )
 
 
@@ -92,6 +98,8 @@ class MetricsCollector:
         self.duplicated = 0
         self.queue_dropped = 0
         self.deferred = 0
+        self.live_send_retries = 0
+        self.live_send_drops = 0
 
     def count_message(self, type_name: str, size: int, time: float) -> None:
         """Record one delivered control message."""
@@ -119,6 +127,14 @@ class MetricsCollector:
         """Record a backpressure deferral (redelivery scheduled)."""
         self.deferred += 1
 
+    def count_live_send_retry(self) -> None:
+        """Record a transient UDP send error that will be retried."""
+        self.live_send_retries += 1
+
+    def count_live_send_drop(self) -> None:
+        """Record a frame given up on after the send retry budget."""
+        self.live_send_drops += 1
+
     def note_computation(self, ad_id: ADId, kind: str, count: int = 1) -> None:
         """Record protocol computation work at an AD (e.g. one SPF run)."""
         self.computations[(ad_id, kind)] += count
@@ -144,4 +160,6 @@ class MetricsCollector:
             duplicated=self.duplicated,
             queue_dropped=self.queue_dropped,
             deferred=self.deferred,
+            live_send_retries=self.live_send_retries,
+            live_send_drops=self.live_send_drops,
         )

@@ -28,6 +28,7 @@ from repro.simul.transport import TimerHandle, Transport
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.adgraph.graph import InterADGraph
+    from repro.protocols.graceful import GracefulRestartConfig
     from repro.simul.profiling import PhaseProfiler
 
 
@@ -38,6 +39,17 @@ class ProtocolNode:
         self.ad_id = ad_id
         self._transport: Optional[Transport] = None
         self._defunct = False
+        # Imported lazily: repro.protocols imports this module at
+        # package-init time, so the reverse import must wait until the
+        # first node is constructed.
+        from repro.protocols.graceful import GracefulRestartConfig
+
+        #: Graceful-restart runtime config, restamped at build/restart
+        #: time by the driver alongside hardening/validation/pacing.
+        self.graceful: "GracefulRestartConfig" = GracefulRestartConfig()
+        #: How many times this node acted as a graceful-restart helper
+        #: (entered the hold-routes-as-stale state for a neighbour).
+        self.grace_holds = 0
 
     # ----------------------------------------------------------- plumbing
 
@@ -148,6 +160,30 @@ class ProtocolNode:
 
     def on_link_change(self, link: InterADLink, up: bool) -> None:
         """An incident link changed status.  Default: do nothing."""
+
+    def on_neighbor_grace(self, neighbor: ADId, hold_time: float) -> None:
+        """A neighbour began a graceful restart: hold its routes as stale.
+
+        The default helper behaviour is *inaction* -- the neighbour's
+        routes stay installed because no link-down event is delivered,
+        which is exactly the stale-retention semantics every family
+        needs.  Subclasses may additionally mark state stale; the base
+        class just counts the hold for observability.
+        """
+        self.grace_holds += 1
+
+    def on_neighbor_resync(self, neighbor: ADId) -> None:
+        """A gracefully restarted neighbour is back: replay bring-up.
+
+        Default: re-run this family's own link-up machinery on the
+        shared link, which is a full adjacency resynchronisation in
+        every implemented family (LS database exchange, DV full-table
+        flush, path-vector Loc-RIB re-advertisement) and refreshes any
+        stale-held state on both sides.
+        """
+        link = self.topology.link_if_exists(self.ad_id, neighbor)
+        if link is not None and link.up:
+            self.on_link_change(link, True)
 
     def misbehave(self, lie: str, target: Optional[ADId] = None) -> bool:
         """Turn this node into a liar of the given kind.

@@ -3,6 +3,7 @@
 from repro.workloads.scenarios import (
     Scenario,
     reference_scenario,
+    ring_scenario,
     scaled_scenario,
     small_scenario,
 )
@@ -19,6 +20,7 @@ __all__ = [
     "gravity_traffic",
     "reference_scenario",
     "request_sequence",
+    "ring_scenario",
     "scaled_scenario",
     "small_scenario",
     "uniform_traffic",

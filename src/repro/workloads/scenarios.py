@@ -76,6 +76,37 @@ def small_scenario(seed: int = 0, num_flows: int = 30) -> Scenario:
     )
 
 
+def ring_scenario(num_ads: int = 8, seed: int = 0, num_flows: int = 16) -> Scenario:
+    """A lateral ring of ``num_ads`` transit ADs -- the chaos-smoke shape.
+
+    Every AD has exactly two neighbours and every pair keeps an alternate
+    path, so one rolling restart plus one partition window exercises both
+    chaos mechanisms in seconds without disconnecting the control plane.
+    """
+    from repro.adgraph.ad import AD, ADKind, InterADLink, Level, LinkKind
+
+    graph = InterADGraph()
+    for i in range(num_ads):
+        graph.add_ad(AD(i, f"ring{i}", Level.REGIONAL, ADKind.TRANSIT))
+    for i in range(num_ads):
+        graph.add_link(
+            InterADLink(
+                i,
+                (i + 1) % num_ads,
+                LinkKind.LATERAL,
+                {"delay": 1.0, "cost": 1.0},
+            )
+        )
+    policy = hierarchical_policies(graph)
+    flows = sample_flows(graph, num_flows, seed=seed + 1)
+    return Scenario(
+        name=f"ring({num_ads}, seed={seed})",
+        graph=graph,
+        policy_scenario=policy,
+        flows=flows,
+    )
+
+
 def scaled_scenario(
     target_ads: int,
     seed: int = 0,

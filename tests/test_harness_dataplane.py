@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.harness import EXPERIMENTS, RunRecord, run_experiment
+from repro.harness.record import SCHEMA_VERSION
 from repro.harness.session import execute_cell
 from repro.harness.spec import (
     Cell,
@@ -68,7 +69,7 @@ class TestExecution:
         return execute_cell(dataplane_cell())
 
     def test_dataplane_block(self, record):
-        assert record.schema_version == 6
+        assert record.schema_version == SCHEMA_VERSION
         dp = record.dataplane
         assert dp is not None
         assert dp["workload"]["flows"] == 5000
@@ -107,7 +108,7 @@ class TestExecution:
         del data["dataplane"]
         del data["cell"]["traffic"]
         old = RunRecord.from_json(json.dumps(data))
-        assert old.schema_version == 6
+        assert old.schema_version == SCHEMA_VERSION
         assert old.dataplane is None
         assert old.cell["traffic"] == "none"
 
