@@ -4,9 +4,9 @@ Every file under ``benchmarks/out/`` is a simulated, seeded measurement
 and must be byte-identical run to run -- with two exceptions: the
 ``synth ms/route`` column of ``scaling.txt`` is wall-clock
 (``time.perf_counter``) and legitimately varies, and the rows of
-``live_chaos.txt`` measured on the live (asyncio/UDP) substrate ride
-real scheduling, so every line carrying a standalone ``live`` token is
-dropped before comparison (the simulator rows -- availability, outage
+``live_chaos.txt`` and ``version_skew.txt`` measured on the live
+(asyncio/UDP) substrate ride real scheduling, so every line carrying a
+standalone ``live`` token is dropped before comparison (the simulator rows -- availability, outage
 tails, digests -- remain byte-checked).  This script compares the
 working-tree outputs against a git reference (default ``HEAD``) under
 those masks and exits non-zero on any other difference.
@@ -35,7 +35,7 @@ WALL_CLOCK_COLUMNS = {"scaling.txt": "synth ms/route"}
 #: Lines carrying a standalone ``live`` token (the substrate column, the
 #: sim-vs-live fidelity footer) are wall-clock measurements and are
 #: dropped before comparison; everything else stays byte-checked.
-LIVE_ROW_FILES = {"live_chaos.txt"}
+LIVE_ROW_FILES = {"live_chaos.txt", "version_skew.txt"}
 _LIVE_TOKEN = re.compile(r"\blive\b")
 
 #: Outputs every full bench run must produce; a missing one means the
@@ -63,6 +63,7 @@ REQUIRED_OUTPUTS = {
     "setup_overhead.txt",
     "synthesis_strategies.txt",
     "table1_design_space.txt",
+    "version_skew.txt",
 }
 
 

@@ -405,6 +405,9 @@ def cmd_experiments_run(args: argparse.Namespace) -> int:
             restarts=args.restarts,
             partitions=args.partitions,
             gr=args.gr,
+            wire_version=args.wire_version,
+            upgrade_waves=args.upgrade_waves,
+            rollback=args.rollback,
         )
         print(text)
         jsonl = os.path.join(args.runs_dir, f"{spec.name}.jsonl")
@@ -714,6 +717,19 @@ def build_parser() -> argparse.ArgumentParser:
     ep.add_argument("--gr", default=None, metavar="SCOPE",
                     help="override every protocol point's graceful-restart "
                          "config ('off', 'all', or a feature name)")
+    ep.add_argument("--wire-version", dest="wire_version", default=None,
+                    metavar="SPEC",
+                    help="override every protocol point's wire config "
+                         "('off', 'v1', 'v2', 'current', 'v1+negotiate', "
+                         "...); mixed_version starts all-v1 negotiating")
+    ep.add_argument("--upgrade-waves", dest="upgrade_waves", type=int,
+                    default=None,
+                    help="override the rolling-upgrade wave count on the "
+                         "fault axis (mixed_version)")
+    ep.add_argument("--rollback", dest="rollback", default=None,
+                    action=argparse.BooleanOptionalAction,
+                    help="force the downgrade/re-upgrade leg on or off "
+                         "(mixed_version)")
     ep.set_defaults(fn=cmd_experiments_run)
 
     p = sub.add_parser(

@@ -24,6 +24,18 @@ protocol's distributed :class:`~repro.protocols.graceful.GracefulRestartConfig`
 decides whether neighbours hold the restarting AD's routes (links stay
 up; the compiled FIB keeps forwarding -- a hitless restart) or tear
 them down immediately (the disruptive legacy behaviour).
+
+This module also hosts the E16 **version-skew** driver
+(:func:`execute_version_cell`): the same episodic skeleton, but the
+"events" are rolling wire-version upgrade waves.  Every AD starts at
+the cell's configured wire version (normally v1 with negotiation on),
+converges, and is then upgraded to the current version in
+``FaultSpec.upgrade_waves`` contiguous waves -- on the live substrate
+each flip also bounces the AD's serve task, modelling a binary
+upgrade.  Routes are digested after every wave: a wire upgrade must be
+invisible to routing, so every digest has to match the pre-upgrade
+baseline (``digest_stable``).  ``FaultSpec.rollback`` adds a
+downgrade/re-upgrade leg for the last wave (the aborted-deploy drill).
 """
 
 from __future__ import annotations
@@ -56,7 +68,7 @@ CHAOS_SETTLE_TIMEOUT_S = 60.0
 #: Wall-clock pause between serve-task restarts of the closing sweep.
 CHAOS_ROLLING_DWELL_S = 0.02
 
-__all__ = ["execute_chaos_cell", "routes_digest"]
+__all__ = ["execute_chaos_cell", "execute_version_cell", "routes_digest"]
 
 
 def routes_digest(protocol) -> str:
@@ -224,10 +236,11 @@ def _finish_record(
     network,
     episodes,
     meter: _ChaosMeter,
-    chaos: Dict[str, Any],
+    chaos: Optional[Dict[str, Any]],
     profiler: PhaseProfiler,
     now: float,
     substrate: str,
+    versioning: Optional[Dict[str, Any]] = None,
 ) -> RunRecord:
     snapshot = network.metrics.snapshot(now)
     by_kind: Dict[str, int] = {}
@@ -261,6 +274,7 @@ def _finish_record(
         else None,
         dataplane=meter.dataplane_block(),
         chaos=chaos,
+        versioning=versioning,
         timings=profiler.as_dict(),
         substrate=substrate,
     )
@@ -374,7 +388,7 @@ async def _execute_chaos_live_async(
 ) -> RunRecord:
     from repro.live.chaos import LiveFaultPlan
     from repro.live.network import LiveNetwork
-    from repro.live.runner import settle
+    from repro.live.runner import try_settle
     from repro.live.supervisor import Supervisor, SupervisorConfig
 
     profiler = PhaseProfiler()
@@ -394,7 +408,7 @@ async def _execute_chaos_live_async(
     async def measure() -> ConvergenceResult:
         before = network.metrics.snapshot(network.clock.now)
         frames_before = network.frames_received
-        quiesced = await settle(
+        quiesced = await try_settle(
             network, CHAOS_IDLE_WINDOW_S, settle_timeout_s
         )
         after = network.metrics.snapshot(network.clock.now)
@@ -437,7 +451,7 @@ async def _execute_chaos_live_async(
                 routable_during = meter.routable()
                 before = network.metrics.snapshot(network.clock.now)
                 frames_before = network.frames_received
-                quiesced = await settle(
+                quiesced = await try_settle(
                     network, CHAOS_IDLE_WINDOW_S, settle_timeout_s
                 )
                 after = network.metrics.snapshot(network.clock.now)
@@ -468,7 +482,7 @@ async def _execute_chaos_live_async(
             serve_restarts = await supervisor.rolling_restart(
                 dwell_s=CHAOS_ROLLING_DWELL_S
             )
-            await settle(network, CHAOS_IDLE_WINDOW_S, settle_timeout_s)
+            await try_settle(network, CHAOS_IDLE_WINDOW_S, settle_timeout_s)
             meter.record_epoch(network.clock.now, "rolling serve restart")
         digest = routes_digest(protocol)
         chaos = meter.chaos_block(
@@ -552,3 +566,363 @@ def execute_chaos_cell(
             f"unknown substrate {cell.substrate!r}; use 'sim' or 'live'"
         )
     return _execute_chaos_sim(cell)
+
+
+# -------------------------------------------------------- version-skew (E16)
+
+
+def _upgrade_wave_plan(ads: List[int], waves: int) -> List[List[int]]:
+    """Split sorted AD ids into contiguous waves (early waves larger)."""
+    waves = max(1, min(waves, len(ads)))
+    base, extra = divmod(len(ads), waves)
+    out: List[List[int]] = []
+    start = 0
+    for i in range(waves):
+        size = base + (1 if i < extra else 0)
+        out.append(ads[start : start + size])
+        start += size
+    return [wave for wave in out if wave]
+
+
+def _wave_entry(
+    label: str,
+    wave: List[int],
+    version: int,
+    result: ConvergenceResult,
+    routable_during: int,
+    meter: _ChaosMeter,
+    protocol,
+    baseline_digest: str,
+) -> Dict[str, Any]:
+    """One wave's record entry; the digest check is the invariant."""
+    return {
+        "label": label,
+        "ads": len(wave),
+        "to_version": version,
+        "messages": result.messages,
+        "settle_time": result.time,
+        "routable_during": routable_during,
+        "routable_after": meter.routable(),
+        "quiesced": result.quiesced,
+        "negotiation": protocol.negotiation_summary(),
+        "digest_match": routes_digest(protocol) == baseline_digest,
+    }
+
+
+def _versioning_block(
+    cell: Cell,
+    protocol,
+    network,
+    now: float,
+    waves_info: List[Dict[str, Any]],
+    baseline_digest: str,
+    start_version: int,
+    target_version: int,
+    supervisor: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    final_digest = routes_digest(protocol)
+    snapshot = network.metrics.snapshot(now)
+    return {
+        "upgrade_waves": cell.fault.upgrade_waves,
+        "rollback": cell.fault.rollback,
+        "wire_start": start_version,
+        "wire_target": target_version,
+        "waves": waves_info,
+        "negotiation": protocol.negotiation_summary(),
+        "version_rejected": snapshot.version_rejected,
+        "baseline_digest": baseline_digest,
+        "routes_digest": final_digest,
+        "digest_stable": final_digest == baseline_digest
+        and all(w["digest_match"] for w in waves_info),
+        "supervisor": supervisor,
+    }
+
+
+def _execute_version_sim(cell: Cell) -> RunRecord:
+    from repro.simul.wire import WIRE_VERSION
+
+    profiler = PhaseProfiler()
+    with profiler.phase("scenario"):
+        scenario = cell.scenario.build()
+    with profiler.phase("build"):
+        protocol = cell.protocol.instantiate(
+            scenario.graph.copy(), scenario.policies.copy()
+        )
+        network = protocol.build()
+    if cell.fault.impaired:
+        network.set_channel(
+            ImpairedChannel(
+                default=cell.fault.impairment(), seed=cell.fault.seed
+            )
+        )
+    network.set_profiler(profiler)
+    start_version = protocol.wire.version
+    with profiler.phase("converge"):
+        initial = converge(network, max_events=cell.max_events)
+    episodes: List[EpisodeRecord] = [
+        EpisodeRecord.from_result("initial", initial)
+    ]
+    meter = _ChaosMeter(cell, protocol, scenario)
+    meter.record_epoch(network.sim.now, "initial")
+    baseline_digest = routes_digest(protocol)
+
+    def run_wave(wave: List[int], version: int, label: str) -> Dict[str, Any]:
+        fib_before = meter.compile()
+        for ad in wave:
+            protocol.set_wire_version(ad, version)
+        # The disruption epoch: the pre-wave FIB replayed while the
+        # wave's Hellos and renegotiations are still in flight.
+        meter.record_epoch(network.sim.now, label, fib=fib_before)
+        routable_during = meter.routable()
+        before = network.metrics.snapshot(network.sim.now)
+        processed = network.run(
+            max_events=cell.max_events, raise_on_limit=False
+        )
+        after = network.metrics.snapshot(network.sim.now)
+        result = ConvergenceResult.from_delta(
+            before,
+            after,
+            processed,
+            quiesced=not network.sim.hit_event_limit,
+        )
+        episodes.append(EpisodeRecord.from_result("upgrade", result))
+        meter.record_epoch(network.sim.now, f"{label} settled")
+        return _wave_entry(
+            label,
+            wave,
+            version,
+            result,
+            routable_during,
+            meter,
+            protocol,
+            baseline_digest,
+        )
+
+    ads = sorted(protocol.graph.ad_ids())
+    waves = _upgrade_wave_plan(ads, cell.fault.upgrade_waves)
+    target = WIRE_VERSION
+    waves_info: List[Dict[str, Any]] = []
+    with profiler.phase("upgrade"):
+        for wi, wave in enumerate(waves):
+            waves_info.append(
+                run_wave(
+                    wave,
+                    target,
+                    f"upgrade wave {wi + 1}/{len(waves)} -> v{target}",
+                )
+            )
+        if cell.fault.rollback:
+            last = waves[-1]
+            waves_info.append(
+                run_wave(last, start_version, f"rollback -> v{start_version}")
+            )
+            waves_info.append(run_wave(last, target, f"re-upgrade -> v{target}"))
+    versioning = _versioning_block(
+        cell,
+        protocol,
+        network,
+        network.sim.now,
+        waves_info,
+        baseline_digest,
+        start_version,
+        target,
+    )
+    return _finish_record(
+        cell,
+        scenario,
+        protocol,
+        network,
+        episodes,
+        meter,
+        None,
+        profiler,
+        network.sim.now,
+        "sim",
+        versioning=versioning,
+    )
+
+
+async def _execute_version_live_async(
+    cell: Cell, time_scale: float, settle_timeout_s: float
+) -> RunRecord:
+    from repro.live.network import LiveNetwork
+    from repro.live.runner import try_settle
+    from repro.live.supervisor import Supervisor, SupervisorConfig
+    from repro.simul.wire import WIRE_VERSION
+
+    profiler = PhaseProfiler()
+    with profiler.phase("scenario"):
+        scenario = cell.scenario.build()
+    with profiler.phase("build"):
+        protocol = cell.protocol.instantiate(
+            scenario.graph.copy(), scenario.policies.copy()
+        )
+        protocol.substrate = "live"
+        network = LiveNetwork(protocol.graph, time_scale=time_scale)
+        protocol.build(network=network)
+    loop = asyncio.get_running_loop()
+    started = loop.time()
+    supervisor = Supervisor(network, SupervisorConfig(seed=cell.fault.seed))
+    start_version = protocol.wire.version
+
+    async def measure() -> ConvergenceResult:
+        before = network.metrics.snapshot(network.clock.now)
+        frames_before = network.frames_received
+        quiesced = await try_settle(
+            network, CHAOS_IDLE_WINDOW_S, settle_timeout_s
+        )
+        after = network.metrics.snapshot(network.clock.now)
+        return ConvergenceResult.from_delta(
+            before,
+            after,
+            events=network.frames_received - frames_before,
+            quiesced=quiesced,
+        )
+
+    try:
+        await network.start()
+        await supervisor.start()
+        if cell.fault.loss > 0:
+            network.set_recv_loss(cell.fault.loss, seed=cell.fault.seed)
+        with profiler.phase("converge"):
+            initial = await measure()
+        episodes: List[EpisodeRecord] = [
+            EpisodeRecord.from_result("initial", initial)
+        ]
+        meter = _ChaosMeter(cell, protocol, scenario)
+        meter.record_epoch(network.clock.now, "initial")
+        baseline_digest = routes_digest(protocol)
+
+        async def run_wave(
+            wave: List[int], version: int, label: str
+        ) -> Dict[str, Any]:
+            fib_before = meter.compile()
+            # The rolling deploy: flip the version pin, then bounce the
+            # serve task (a binary upgrade restarts the process), one
+            # AD at a time with an operator dwell between them.
+            for ad in wave:
+                protocol.set_wire_version(ad, version)
+                await network.restart_runtime(ad)
+                await asyncio.sleep(CHAOS_ROLLING_DWELL_S)
+            meter.record_epoch(network.clock.now, label, fib=fib_before)
+            routable_during = meter.routable()
+            result = await measure()
+            episodes.append(EpisodeRecord.from_result("upgrade", result))
+            meter.record_epoch(network.clock.now, f"{label} settled")
+            return _wave_entry(
+                label,
+                wave,
+                version,
+                result,
+                routable_during,
+                meter,
+                protocol,
+                baseline_digest,
+            )
+
+        ads = sorted(protocol.graph.ad_ids())
+        waves = _upgrade_wave_plan(ads, cell.fault.upgrade_waves)
+        target = WIRE_VERSION
+        waves_info: List[Dict[str, Any]] = []
+        with profiler.phase("upgrade"):
+            for wi, wave in enumerate(waves):
+                waves_info.append(
+                    await run_wave(
+                        wave,
+                        target,
+                        f"upgrade wave {wi + 1}/{len(waves)} -> v{target}",
+                    )
+                )
+            if cell.fault.rollback:
+                last = waves[-1]
+                waves_info.append(
+                    await run_wave(
+                        last, start_version, f"rollback -> v{start_version}"
+                    )
+                )
+                waves_info.append(
+                    await run_wave(last, target, f"re-upgrade -> v{target}")
+                )
+        versioning = _versioning_block(
+            cell,
+            protocol,
+            network,
+            network.clock.now,
+            waves_info,
+            baseline_digest,
+            start_version,
+            target,
+            supervisor={
+                "restarts": sum(supervisor.restart_counts.values()),
+                "gave_up": sorted(supervisor.given_up),
+                "events": len(supervisor.events),
+            },
+        )
+        record = _finish_record(
+            cell,
+            scenario,
+            protocol,
+            network,
+            episodes,
+            meter,
+            None,
+            profiler,
+            network.clock.now,
+            "live",
+            versioning=versioning,
+        )
+        return dc_replace(
+            record,
+            timings={**record.timings, "live.wall": loop.time() - started},
+        )
+    finally:
+        await supervisor.stop()
+        await network.close()
+
+
+def _execute_version_live(
+    cell: Cell, time_scale: float, settle_timeout_s: float
+) -> RunRecord:
+    return asyncio.run(
+        _execute_version_live_async(cell, time_scale, settle_timeout_s)
+    )
+
+
+def execute_version_cell(
+    cell: Cell,
+    *,
+    time_scale: Optional[float] = None,
+    settle_timeout_s: Optional[float] = None,
+) -> RunRecord:
+    """Run one mixed-version upgrade cell end to end on its substrate.
+
+    ``time_scale`` and ``settle_timeout_s`` override the live pacing as
+    for :func:`execute_chaos_cell`; both are ignored on the simulator.
+    """
+    if not cell.fault.versioned:
+        raise ValueError("cell has no upgrade program (upgrade_waves)")
+    if cell.misbehavior.active:
+        raise ValueError("version cells do not support the misbehavior axis")
+    if cell.fault.chaotic or cell.fault.churns or cell.fault.queued:
+        raise ValueError(
+            "version cells replace the chaos/churn/queue timeline; use "
+            "separate cells for those"
+        )
+    if cell.substrate == "live":
+        if cell.fault.dup > 0 or cell.fault.jitter > 0 or cell.fault.burst_enter > 0:
+            raise ValueError(
+                "live version cells support loss impairments only; dup/"
+                "jitter/burst are simulator models"
+            )
+        return _execute_version_live(
+            cell,
+            CHAOS_TIME_SCALE if time_scale is None else time_scale,
+            CHAOS_SETTLE_TIMEOUT_S
+            if settle_timeout_s is None
+            else settle_timeout_s,
+        )
+    if cell.substrate != "sim":
+        raise ValueError(
+            f"unknown substrate {cell.substrate!r}; use 'sim' or 'live'"
+        )
+    return _execute_version_sim(cell)

@@ -39,7 +39,12 @@ from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 #: per-event-group settle cost, control-plane availability samples,
 #: graceful-restart counters, supervisor events, post-chaos routes
 #: digest); v6 lines load with it ``None``.
-SCHEMA_VERSION = 7
+#: v8: added the optional ``versioning`` block (E16 mixed-version
+#: rolling-upgrade sweep: per-wave labels and settle costs, negotiated
+#: wire-version census after each wave, version-rejected counters, and
+#: the digest-stability verdict against the pre-upgrade baseline); v7
+#: lines load with it ``None``.
+SCHEMA_VERSION = 8
 
 
 @dataclass(frozen=True)
@@ -123,6 +128,12 @@ class RunRecord:
             control-plane availability during and after each disruption,
             graceful-restart counters, live supervisor activity, and the
             post-chaos routes digest (the sim-vs-live fidelity anchor).
+        versioning: Mixed-version upgrade block (E16), when the cell had
+            an ``upgrade_waves`` fault axis: per-wave upgrade epochs with
+            negotiated-version census, version-rejected counters, the
+            mixed-population measurement leg, optional rollback leg, and
+            whether the post-upgrade routes digest matched the all-v1
+            baseline (``digest_stable``).
         timings: Wall-clock phase seconds (``build``, ``converge``,
             ``engine.run``, ``failures``, ``evaluate``).  Never compare
             these for determinism -- they are honest wall-clock.
@@ -151,6 +162,7 @@ class RunRecord:
     overload: Optional[Mapping[str, Any]] = None
     dataplane: Optional[Mapping[str, Any]] = None
     chaos: Optional[Mapping[str, Any]] = None
+    versioning: Optional[Mapping[str, Any]] = None
     timings: Mapping[str, float] = field(default_factory=dict)
     trace: Optional[Tuple[str, ...]] = None
     substrate: str = "sim"
@@ -207,6 +219,10 @@ class RunRecord:
         if version == 6:
             # v6 -> v7: the chaos block did not exist; default it.
             data.setdefault("chaos", None)
+            version = 7
+        if version == 7:
+            # v7 -> v8: the versioning block did not exist; default it.
+            data.setdefault("versioning", None)
             version = SCHEMA_VERSION
         if version != SCHEMA_VERSION:
             raise ValueError(
@@ -245,6 +261,7 @@ class RunRecord:
             overload=data.get("overload"),
             dataplane=data.get("dataplane"),
             chaos=data.get("chaos"),
+            versioning=data.get("versioning"),
             timings=data.get("timings", {}),
             trace=tuple(trace) if trace is not None else None,
             substrate=data.get("substrate", "sim"),

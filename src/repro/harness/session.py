@@ -118,6 +118,12 @@ def _parse_trace(trace: Optional[str]) -> Optional[Dict[str, Optional[int]]]:
 
 def execute_cell(cell: Cell) -> RunRecord:
     """Run one cell end to end and measure it (worker entry point)."""
+    if cell.fault.versioned:
+        # Versioned cells (mixed-version upgrade waves) take the E16
+        # driver on EITHER substrate, like chaotic cells below.
+        from repro.harness.chaos import execute_version_cell
+
+        return execute_version_cell(cell)
     if cell.fault.chaotic:
         # Chaotic cells (rolling restarts / partitions) take the
         # episodic chaos driver on EITHER substrate; the legacy paths

@@ -233,6 +233,15 @@ class FaultSpec:
     restarts: int = 0
     partitions: int = 0
     partition_fraction: float = 0.3
+    #: Mixed-version upgrade program (E16): ``upgrade_waves`` > 0 starts
+    #: every AD at wire v1 (negotiating) and upgrades the population to
+    #: the current wire version in that many rolling waves, measuring a
+    #: mixed-population epoch mid-flight; ``rollback`` adds a downgrade/
+    #: re-upgrade leg for the last wave.  Versioned cells take the
+    #: version-skew driver (:mod:`repro.harness.chaos`), which runs on
+    #: BOTH substrates like the chaos driver.
+    upgrade_waves: int = 0
+    rollback: bool = False
     #: Bounded ingress queue (E13): ``queue_capacity`` >= 0 attaches an
     #: :class:`~repro.simul.ingress.IngressModel` after initial
     #: convergence; ``None`` keeps the unbounded legacy delivery.
@@ -272,6 +281,11 @@ class FaultSpec:
         return self.restarts > 0 or self.partitions > 0
 
     @property
+    def versioned(self) -> bool:
+        """Whether a mixed-version upgrade program (E16) runs."""
+        return self.upgrade_waves > 0
+
+    @property
     def active(self) -> bool:
         return self.impaired or self.churns or self.queued
 
@@ -279,7 +293,7 @@ class FaultSpec:
     def display(self) -> str:
         if self.label:
             return self.label
-        if not (self.active or self.chaotic):
+        if not (self.active or self.chaotic or self.versioned):
             return "none"
         parts = []
         if self.loss > 0:
@@ -302,6 +316,10 @@ class FaultSpec:
             parts.append(f"restarts={self.restarts}")
         if self.partitions > 0:
             parts.append(f"partitions={self.partitions}")
+        if self.upgrade_waves > 0:
+            parts.append(f"waves={self.upgrade_waves}")
+        if self.rollback:
+            parts.append("rollback")
         return ",".join(parts)
 
     def impairment(self) -> Impairment:

@@ -25,9 +25,11 @@ from repro.live.clock import LiveClock, LiveTimerHandle
 from repro.live.network import LiveNetwork, NodeState
 from repro.live.runner import (
     LiveRunResult,
+    SettleTimeout,
     run_live,
     run_live_async,
     settle,
+    try_settle,
 )
 from repro.live.supervisor import Supervisor, SupervisorConfig
 from repro.live.fidelity import FidelityReport, fidelity_report, format_report
@@ -40,6 +42,7 @@ __all__ = [
     "LiveRunResult",
     "LiveTimerHandle",
     "NodeState",
+    "SettleTimeout",
     "Supervisor",
     "SupervisorConfig",
     "fidelity_report",
@@ -47,4 +50,5 @@ __all__ = [
     "run_live",
     "run_live_async",
     "settle",
+    "try_settle",
 ]

@@ -38,7 +38,12 @@ from repro.simul.messages import Message
 from repro.simul.metrics import MetricsCollector
 from repro.simul.node import ProtocolNode
 from repro.simul.transport import Clock, Transport
-from repro.simul.wire import WireError, decode_frame, encode_frame
+from repro.simul.wire import (
+    WireError,
+    WireVersionError,
+    decode_frame_ex,
+    encode_frame,
+)
 
 
 #: Requested kernel buffer per endpoint socket.  Convergence storms
@@ -159,7 +164,21 @@ class _NodeRuntime:
     def _dispatch(self, data: bytes) -> None:
         network = self.network
         try:
-            src, dst, msg = decode_frame(data)
+            src, dst, msg, _version = decode_frame_ex(data)
+        except WireVersionError as exc:
+            # A peer speaking a wire version this build cannot decode is
+            # a deployment-skew condition, not a serve-task failure:
+            # count it, quarantine the claimed sender, drop the frame.
+            network.metrics.count_version_reject()
+            node = network.nodes.get(self.ad_id)
+            if node is not None and exc.src is not None:
+                node.version_blocked.add(exc.src)
+                guard = getattr(node, "guard", None)
+                if guard is not None:
+                    guard.quarantine_now(
+                        exc.src, f"undecodable wire version {exc.version!r}"
+                    )
+            return
         except WireError as exc:
             raise WireError(f"AD {self.ad_id}: {exc}") from exc
         if dst != self.ad_id:
@@ -182,7 +201,7 @@ class _NodeRuntime:
         network.metrics.count_message(
             msg.type_name, msg.size_bytes(), network.clock.now
         )
-        network.nodes[dst].on_message(src, msg)
+        network.nodes[dst].receive(src, msg)
 
     async def drain(self, deadline_s: float = DRAIN_DEADLINE_S) -> None:
         """Stop admitting new frames; process everything already queued.
@@ -332,7 +351,12 @@ class LiveNetwork(Transport):
             raise RuntimeError(
                 f"AD {src} sent before the network started serving"
             )
-        frame = encode_frame(src, dst, msg)
+        # The sender's per-neighbour tx version: the node's configured
+        # version by default; with negotiation on, the negotiated one
+        # (or the node's minimum until the handshake completes).
+        frame = encode_frame(
+            src, dst, msg, version=self.nodes[src].wire_tx_version(dst)
+        )
         if len(frame) > MAX_DATAGRAM_BYTES:
             raise ValueError(
                 f"{msg.type_name} from AD {src} encodes to {len(frame)} "
@@ -406,6 +430,10 @@ class LiveNetwork(Transport):
             await self._runtimes[ad_id].start()
         for ad_id in sorted(self.nodes):
             self.nodes[ad_id].start()
+        for ad_id in sorted(self.nodes):
+            node = self.nodes[ad_id]
+            if node.wire.negotiate:
+                node.announce_wire()
 
     async def close(self) -> None:
         """Stop every AD: drain queues, cancel tasks, close sockets."""

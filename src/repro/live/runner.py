@@ -37,6 +37,71 @@ from repro.simul.runner import ConvergenceResult
 #: How often the settle loop re-checks for quiescence (wall seconds).
 _POLL_S = 0.002
 
+#: How many per-AD diagnostic lines a SettleTimeout message carries.
+_DIAG_MAX_ADS = 12
+
+
+class SettleTimeout(RuntimeError):
+    """settle() ran out its wall-clock budget before the network idled.
+
+    The message carries per-AD diagnostic state (lifecycle, queue
+    depth, dispatch progress, supervisor restart budget) so a hung
+    chaos run can be debugged from the error alone.
+    """
+
+
+def _timeout_diagnostics(network: LiveNetwork, timeout_s: float) -> str:
+    """Per-AD state for a settle timeout's error message.
+
+    One summary line, then a line per *interesting* AD -- not serving,
+    frames still queued, or a restart history -- capped at
+    ``_DIAG_MAX_ADS`` entries (63-AD sweeps should not emit 63 healthy
+    lines for one wedged node).
+    """
+    supervisor = network.supervisor
+    lines = [
+        f"live network failed to settle within {timeout_s:g}s: "
+        f"frames sent={network.frames_sent} received={network.frames_received} "
+        f"pending_sends={network._pending_sends} "
+        f"idle_for={network.idle_for:.3f}s"
+    ]
+    interesting = []
+    for ad_id, state in sorted(network.lifecycle_states().items()):
+        stats = network.runtime_stats(ad_id)
+        budget = None
+        if supervisor is not None:
+            used = supervisor.restart_counts.get(ad_id, 0)
+            budget = supervisor.config.max_restarts - used
+        if (
+            stats["unprocessed"] == 0
+            and state.value == "serving"
+            and stats["restarts"] == 0
+            and not network.is_crashed(ad_id)
+        ):
+            continue
+        entry = (
+            f"  AD {ad_id}: state={state.value} "
+            f"unprocessed={stats['unprocessed']} "
+            f"dispatched={stats['dispatched']} "
+            f"restarts={stats['restarts']}"
+        )
+        if network.is_crashed(ad_id):
+            entry += " crashed"
+        if budget is not None:
+            entry += f" restart_budget_remaining={budget}"
+        interesting.append(entry)
+    if not interesting:
+        interesting.append(
+            "  (every AD serving with empty queues -- frames in flight "
+            "or a pending send retry kept the network non-idle)"
+        )
+    shown = interesting[:_DIAG_MAX_ADS]
+    if len(interesting) > len(shown):
+        shown.append(
+            f"  ... and {len(interesting) - len(shown)} more AD(s)"
+        )
+    return "\n".join(lines + shown)
+
 
 async def settle(
     network: LiveNetwork,
@@ -47,13 +112,15 @@ async def settle(
 
     Idle means no frame in flight, none queued, none being processed,
     and no timer fired recently.  Returns ``True`` when the window was
-    reached (quiesced) and ``False`` on timeout -- mirroring the
-    engine's ``max_events`` cutoff, a timeout is reported, not raised.
-    Errors raised inside serve tasks *are* re-raised here: a crashed
-    serve loop would otherwise masquerade as quiescence.  So is a serve
-    *task* dying with frames still queued: without a supervisor to
-    restart it, those frames can never drain and the loop would
-    otherwise sit out the full timeout on a run that is already lost.
+    reached; a timeout raises :class:`SettleTimeout` whose message
+    carries per-AD diagnostics (lifecycle state, queue counters,
+    supervisor restart budget) -- measurement paths that treat a
+    timeout as data catch it (:func:`try_settle`).  Errors raised
+    inside serve tasks are re-raised here: a crashed serve loop would
+    otherwise masquerade as quiescence.  So is a serve *task* dying
+    with frames still queued: without a supervisor to restart it, those
+    frames can never drain and the loop would otherwise sit out the
+    full timeout on a run that is already lost.
     """
     loop = asyncio.get_running_loop()
     deadline = loop.time() + timeout_s
@@ -75,8 +142,25 @@ async def settle(
         if network.idle() and network.idle_for >= idle_window_s:
             return True
         if loop.time() >= deadline:
-            return False
+            raise SettleTimeout(_timeout_diagnostics(network, timeout_s))
         await asyncio.sleep(_POLL_S)
+
+
+async def try_settle(
+    network: LiveNetwork,
+    idle_window_s: float = 0.05,
+    timeout_s: float = 30.0,
+) -> bool:
+    """:func:`settle`, with a timeout reported as ``False``, not raised.
+
+    The measurement paths use this: a non-quiescing episode is a result
+    (``quiesced=False`` in the record), not a crashed run.  Serve-task
+    failures still raise.
+    """
+    try:
+        return await settle(network, idle_window_s, timeout_s)
+    except SettleTimeout:
+        return False
 
 
 @dataclass(frozen=True)
@@ -114,7 +198,7 @@ async def _measure(
     """Settle and report the metrics delta as one episode."""
     before = network.metrics.snapshot(network.clock.now)
     frames_before = network.frames_received
-    quiesced = await settle(network, idle_window_s, timeout_s)
+    quiesced = await try_settle(network, idle_window_s, timeout_s)
     after = network.metrics.snapshot(network.clock.now)
     return ConvergenceResult.from_delta(
         before,
@@ -158,7 +242,9 @@ async def run_live_async(
                     before = network.metrics.snapshot(network.clock.now)
                     frames_before = network.frames_received
                     protocol.apply_link_status(ev.a, ev.b, ev.up)
-                    quiesced = await settle(network, idle_window_s, timeout_s)
+                    quiesced = await try_settle(
+                        network, idle_window_s, timeout_s
+                    )
                     after = network.metrics.snapshot(network.clock.now)
                     state = "up" if ev.up else "down"
                     episodes.append(
@@ -183,7 +269,7 @@ async def run_live_async(
                 while network.clock.now < horizon_at:
                     remaining = (horizon_at - network.clock.now) * time_scale
                     await asyncio.sleep(max(_POLL_S, remaining))
-                quiesced = await settle(network, idle_window_s, timeout_s)
+                quiesced = await try_settle(network, idle_window_s, timeout_s)
                 after = network.metrics.snapshot(network.clock.now)
                 episodes.append(
                     LiveEpisode(

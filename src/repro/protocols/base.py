@@ -33,6 +33,7 @@ from repro.protocols.pacing import PacingConfig
 from repro.protocols.perf import PerfConfig
 from repro.protocols.runtime import NodeRuntimeConfig
 from repro.protocols.validation import NeighborGuard, ValidationConfig
+from repro.protocols.versioning import WireConfig
 from repro.simul.network import SimNetwork
 from repro.simul.node import ProtocolNode
 from repro.simul.runner import ConvergenceResult, converge
@@ -110,6 +111,9 @@ class RoutingProtocol:
         #: Observability: expired holds and resync rounds driven.
         self.grace_expirations = 0
         self.grace_resyncs = 0
+        #: Per-AD wire-version pins (the live upgrade/rollback knob):
+        #: an entry overrides the runtime config's version for that AD.
+        self._wire_overrides: Dict[ADId, int] = {}
 
     # --------------------------------------------------- runtime components
 
@@ -157,6 +161,15 @@ class RoutingProtocol:
     @graceful.setter
     def graceful(self, value: GracefulRestartConfig) -> None:
         self.runtime = self.runtime.replace(graceful=value)
+
+    @property
+    def wire(self) -> WireConfig:
+        """Wire-version/negotiation runtime config, distributed too."""
+        return self.runtime.wire
+
+    @wire.setter
+    def wire(self, value: WireConfig) -> None:
+        self.runtime = self.runtime.replace(wire=value)
 
     # --------------------------------------------------------- control plane
 
@@ -212,6 +225,7 @@ class RoutingProtocol:
         node.pacing = runtime.pacing
         node.perf = runtime.perf
         node.graceful = runtime.graceful
+        node.wire = self._effective_wire(node.ad_id)
         node.validation = runtime.validation
         if runtime.validation.any_enabled and self._trusted_policies is None:
             self._trusted_policies = self.policies.copy()
@@ -221,6 +235,50 @@ class RoutingProtocol:
             node.guard = NeighborGuard(runtime.validation, lambda: node.now)
         else:
             node.guard = None
+
+    def _effective_wire(self, ad_id: ADId) -> WireConfig:
+        """The runtime wire config with any per-AD version pin applied."""
+        wire = self.runtime.wire
+        override = self._wire_overrides.get(ad_id)
+        if override is not None:
+            wire = wire.at_version(override)
+        return wire
+
+    def set_wire_version(self, ad_id: ADId, version: int) -> None:
+        """Flip one AD's wire version live (the upgrade/rollback knob).
+
+        The pin survives state-losing restarts (restamping reapplies
+        it).  With negotiation on, the node recomputes every neighbour
+        pair from its stored Hellos and re-announces, so the population
+        reconverges on the new highest-mutually-supported versions.
+        """
+        network = self._require_network()
+        self._wire_overrides[ad_id] = version
+        node = network.nodes[ad_id]
+        node.wire = self._effective_wire(ad_id)
+        node.renegotiate()
+
+    def negotiation_summary(self) -> Dict[str, Any]:
+        """Network-wide version-negotiation state for the run record."""
+        network = self._require_network()
+        node_census: Dict[str, int] = {}
+        pair_census: Dict[str, int] = {}
+        blocked = 0
+        drops = 0
+        for node in network.nodes.values():
+            key = f"v{node.wire.version}"
+            node_census[key] = node_census.get(key, 0) + 1
+            for version in node.negotiated.values():
+                pkey = f"v{version}"
+                pair_census[pkey] = pair_census.get(pkey, 0) + 1
+            blocked += len(node.version_blocked)
+            drops += node.version_drops
+        return {
+            "nodes": dict(sorted(node_census.items())),
+            "pairs": dict(sorted(pair_census.items())),
+            "blocked_pairs": blocked,
+            "version_drops": drops,
+        }
 
     def converge(self, max_events: int = 5_000_000) -> ConvergenceResult:
         """Build if needed and run the control plane to quiescence.
@@ -372,6 +430,9 @@ class RoutingProtocol:
         network.restore_node(ad_id, fresh)
         if fresh is not None:
             fresh.start()
+            # A fresh process lost its negotiation state; re-announce
+            # (no-op unless the runtime negotiates).
+            fresh.announce_wire()
         if graceful:
             if self.runtime.graceful.resync:
                 self.grace_resyncs += 1

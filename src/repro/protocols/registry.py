@@ -102,8 +102,8 @@ def make_protocol(
     as serializable primitives and are normalized here.
 
     The pseudo-options ``hardening``, ``validation``, ``pacing``,
-    ``perf``, ``graceful``, and ``ingress`` are handled here for every
-    protocol (they
+    ``perf``, ``graceful``, ``wire``, and ``ingress`` are handled here
+    for every protocol (they
     are protocol-independent): ``"all"``, a feature name, a
     ``+``/``,``-joined list, or the respective config object; they are
     folded into one :class:`~repro.protocols.runtime.NodeRuntimeConfig`
@@ -132,7 +132,7 @@ def make_protocol(
     components = {
         key: opts.pop(key, None)
         for key in ("hardening", "validation", "pacing", "perf",
-                    "graceful", "ingress")
+                    "graceful", "wire", "ingress")
     }
     substrate = opts.pop("substrate", "sim")
     if substrate not in ("sim", "live"):

@@ -26,6 +26,7 @@ from repro.protocols.hardening import HardeningConfig, hardening_from
 from repro.protocols.pacing import PacingConfig, pacing_from
 from repro.protocols.perf import PerfConfig, perf_from
 from repro.protocols.validation import ValidationConfig, validation_from
+from repro.protocols.versioning import WireConfig, wire_from
 from repro.simul.ingress import IngressConfig
 
 #: What the user-facing normalizers accept for each component.
@@ -42,6 +43,8 @@ class NodeRuntimeConfig:
     * ``perf`` — delta-recompute fast paths (on by default).
     * ``graceful`` — graceful-restart helper/resync behaviour around
       planned control-plane restarts.
+    * ``wire`` — the wire-protocol version the node speaks and whether
+      it runs HELLO-time version negotiation (off by default).
     * ``ingress`` — the bounded control-plane input queue, or ``None``
       for instant delivery.  Unlike the other four, this attaches to the
       *network* (the queue models the substrate's delivery stage), but it
@@ -56,6 +59,7 @@ class NodeRuntimeConfig:
     graceful: GracefulRestartConfig = field(
         default_factory=GracefulRestartConfig
     )
+    wire: WireConfig = field(default_factory=WireConfig)
     ingress: Optional[IngressConfig] = None
 
     def replace(self, **changes: object) -> "NodeRuntimeConfig":
@@ -69,6 +73,7 @@ def runtime_from(
     pacing: Union[_Spec, PacingConfig] = None,
     perf: Union[_Spec, PerfConfig] = None,
     graceful: Union[_Spec, GracefulRestartConfig] = None,
+    wire: Union[None, str, int, WireConfig] = None,
     ingress: Optional[IngressConfig] = None,
 ) -> NodeRuntimeConfig:
     """Build a runtime container from user-facing component specs.
@@ -76,7 +81,8 @@ def runtime_from(
     Each component accepts whatever its standalone normalizer accepts
     (``"all"``, a feature name, a ``+``-joined list, a ready config, or
     ``None``).  ``None`` means "that component's default": off for
-    hardening/validation/pacing/ingress, the fast paths for perf.
+    hardening/validation/pacing/ingress, the fast paths for perf, the
+    current wire version without negotiation for wire.
     """
     return NodeRuntimeConfig(
         hardening=hardening_from(hardening),
@@ -84,5 +90,6 @@ def runtime_from(
         pacing=pacing_from(pacing),
         perf=perf_from(perf),
         graceful=graceful_from(graceful),
+        wire=wire_from(wire),
         ingress=ingress,
     )

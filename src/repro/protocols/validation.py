@@ -200,6 +200,27 @@ class NeighborGuard:
         self.quarantine_events.append(QuarantineEvent(now, neighbor, reason))
         return True
 
+    def quarantine_now(self, neighbor: ADId, reason: str) -> None:
+        """Quarantine ``neighbor`` immediately, bypassing the threshold.
+
+        The hard-failure path for wire-version mismatches: a peer whose
+        advertised version range does not overlap ours cannot become
+        trustworthy by sending fewer bad messages, so it is penalised at
+        once -- regardless of whether the graduated ``quarantine``
+        feature is enabled.  Re-quarantining an already-quarantined
+        neighbour just extends the penalty timer (no duplicate event).
+        """
+        now = self._clock()
+        self.violations[neighbor] = self.violations.get(neighbor, 0) + 1
+        already = now < self._quarantined_until.get(neighbor, -1.0)
+        self._quarantined_until[neighbor] = now + self.config.quarantine_period
+        self._probation_until.pop(neighbor, None)
+        self.strikes[neighbor] = 0
+        if not already:
+            self.quarantine_events.append(
+                QuarantineEvent(now, neighbor, reason)
+            )
+
     def suppresses(self, neighbor: ADId) -> bool:
         """Whether updates from ``neighbor`` are currently dropped.
 

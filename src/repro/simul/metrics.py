@@ -40,6 +40,17 @@ class MetricsSnapshot:
     deferred: int = 0
     live_send_retries: int = 0
     live_send_drops: int = 0
+    #: Messages rejected on version grounds (failed negotiations plus
+    #: frames dropped from version-blocked peers).
+    version_rejected: int = 0
+    #: ``"ad>peer" -> negotiated wire version`` for every pair that has
+    #: completed the HELLO handshake.  State, not a counter: a delta
+    #: carries the *later* snapshot's census as-is.
+    negotiated_versions: Mapping[str, int] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.negotiated_versions is None:
+            object.__setattr__(self, "negotiated_versions", {})
 
     @property
     def total_messages(self) -> int:
@@ -73,6 +84,8 @@ class MetricsSnapshot:
                 self.live_send_retries - earlier.live_send_retries
             ),
             live_send_drops=self.live_send_drops - earlier.live_send_drops,
+            version_rejected=self.version_rejected - earlier.version_rejected,
+            negotiated_versions=self.negotiated_versions,
         )
 
 
@@ -100,6 +113,8 @@ class MetricsCollector:
         self.deferred = 0
         self.live_send_retries = 0
         self.live_send_drops = 0
+        self.version_rejected = 0
+        self.negotiated_versions: Dict[str, int] = {}
 
     def count_message(self, type_name: str, size: int, time: float) -> None:
         """Record one delivered control message."""
@@ -135,6 +150,14 @@ class MetricsCollector:
         """Record a frame given up on after the send retry budget."""
         self.live_send_drops += 1
 
+    def count_version_reject(self) -> None:
+        """Record a message rejected on wire-version grounds."""
+        self.version_rejected += 1
+
+    def note_negotiated(self, ad_id: ADId, peer: ADId, version: int) -> None:
+        """Record a completed per-neighbour version negotiation."""
+        self.negotiated_versions[f"{ad_id}>{peer}"] = version
+
     def note_computation(self, ad_id: ADId, kind: str, count: int = 1) -> None:
         """Record protocol computation work at an AD (e.g. one SPF run)."""
         self.computations[(ad_id, kind)] += count
@@ -162,4 +185,6 @@ class MetricsCollector:
             deferred=self.deferred,
             live_send_retries=self.live_send_retries,
             live_send_drops=self.live_send_drops,
+            version_rejected=self.version_rejected,
+            negotiated_versions=dict(self.negotiated_versions),
         )

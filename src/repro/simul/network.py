@@ -88,9 +88,20 @@ class SimNetwork(Transport):
         return self.nodes[ad_id]
 
     def start(self) -> None:
-        """Schedule every node's start hook at t=0 (in AD id order)."""
+        """Schedule every node's start hook at t=0 (in AD id order).
+
+        Nodes whose runtime negotiates wire versions additionally get
+        their Hello announcement scheduled (after every start hook, so
+        Hellos land on started peers).  With negotiation off -- the
+        default -- no extra event is ever scheduled and the event
+        stream is byte-identical to the pre-versioning engine.
+        """
         for ad_id in sorted(self.nodes):
             self.sim.schedule(0.0, self.nodes[ad_id].start)
+        for ad_id in sorted(self.nodes):
+            node = self.nodes[ad_id]
+            if node.wire.negotiate:
+                self.sim.schedule(0.0, node.announce_wire)
 
     # ------------------------------------------------------------ messages
 
@@ -129,7 +140,7 @@ class SimNetwork(Transport):
             self._enqueue(src, dst, msg, attempt)
             return
         self.metrics.count_message(msg.type_name, msg.size_bytes(), self.sim.now)
-        self.nodes[dst].on_message(src, msg)
+        self.nodes[dst].receive(src, msg)
 
     # -------------------------------------------------------------- ingress
 
@@ -177,7 +188,7 @@ class SimNetwork(Transport):
         q.busy_time += cfg.service_time
         q.served += 1
         self.metrics.count_message(msg.type_name, msg.size_bytes(), self.sim.now)
-        self.nodes[dst].on_message(src, msg)
+        self.nodes[dst].receive(src, msg)
         if q.items:
             nsrc, nmsg, _ = q.items.popleft()
             q.serving = (nsrc, nmsg)

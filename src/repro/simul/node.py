@@ -20,7 +20,7 @@ Subclasses implement three hooks:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from repro.adgraph.ad import ADId, InterADLink
 from repro.simul.messages import Message
@@ -29,6 +29,7 @@ from repro.simul.transport import TimerHandle, Transport
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.adgraph.graph import InterADGraph
     from repro.protocols.graceful import GracefulRestartConfig
+    from repro.protocols.versioning import WireConfig
     from repro.simul.profiling import PhaseProfiler
 
 
@@ -43,6 +44,7 @@ class ProtocolNode:
         # package-init time, so the reverse import must wait until the
         # first node is constructed.
         from repro.protocols.graceful import GracefulRestartConfig
+        from repro.protocols.versioning import WireConfig
 
         #: Graceful-restart runtime config, restamped at build/restart
         #: time by the driver alongside hardening/validation/pacing.
@@ -50,6 +52,19 @@ class ProtocolNode:
         #: How many times this node acted as a graceful-restart helper
         #: (entered the hold-routes-as-stale state for a neighbour).
         self.grace_holds = 0
+        #: Wire-version runtime config, restamped like ``graceful``.
+        self.wire: "WireConfig" = WireConfig()
+        #: peer -> (min_version, version) last advertised in a Hello.
+        self.peer_wire: Dict[ADId, Tuple[int, int]] = {}
+        #: peer -> capability strings last advertised in a Hello.
+        self.peer_capabilities: Dict[ADId, Tuple[str, ...]] = {}
+        #: peer -> negotiated tx version (highest mutually supported).
+        self.negotiated: Dict[ADId, int] = {}
+        #: Peers whose advertised version range does not overlap ours;
+        #: their control traffic is dropped, never believed.
+        self.version_blocked: Set[ADId] = set()
+        #: Frames dropped because the sender is version-blocked.
+        self.version_drops = 0
 
     # ----------------------------------------------------------- plumbing
 
@@ -145,6 +160,95 @@ class ProtocolNode:
                 fn(*args)
 
         return self.transport.clock.call_later(delay, fire)
+
+    # ------------------------------------------------- version negotiation
+
+    def receive(self, sender: ADId, msg: Message) -> None:
+        """Substrate-facing delivery entry point.
+
+        When negotiation is off (the default) this is exactly
+        :meth:`on_message`.  When on, Hellos are consumed here -- before
+        any protocol code sees them -- and control traffic from
+        version-blocked peers is dropped, so an unsupported-version peer
+        can never corrupt the believed view.
+        """
+        if self.wire.negotiate:
+            from repro.protocols.versioning import Hello
+
+            if isinstance(msg, Hello):
+                self._on_hello(sender, msg)
+                return
+            if sender in self.version_blocked:
+                self.version_drops += 1
+                self.transport.metrics.count_version_reject()
+                return
+        self.on_message(sender, msg)
+
+    def announce_wire(self) -> None:
+        """Send a Hello to every live neighbour (start / post-flip)."""
+        if not self.wire.negotiate:
+            return
+        for nbr in self.neighbors():
+            self._send_hello(nbr, reply=False)
+
+    def wire_tx_version(self, dst: ADId) -> int:
+        """The version to encode frames to ``dst`` at.
+
+        Before negotiation completes (or when it is off for this pair)
+        a negotiating node transmits at its *minimum* version -- the
+        only revision it can prove the peer decodes.
+        """
+        if not self.wire.negotiate:
+            return self.wire.version
+        return self.negotiated.get(dst, self.wire.min_version)
+
+    def renegotiate(self) -> None:
+        """Recompute every pair after a live version flip, re-announce."""
+        if not self.wire.negotiate:
+            return
+        for peer, (peer_min, peer_version) in list(self.peer_wire.items()):
+            self._settle_pair(peer, peer_min, peer_version)
+        self.announce_wire()
+
+    def _send_hello(self, dst: ADId, *, reply: bool) -> None:
+        from repro.protocols.versioning import Hello
+
+        self.send(
+            dst,
+            Hello(
+                version=self.wire.version,
+                min_version=self.wire.min_version,
+                reply=reply,
+                capabilities=self.wire.capabilities,
+            ),
+        )
+
+    def _on_hello(self, sender: ADId, hello: "Message") -> None:
+        self.peer_wire[sender] = (hello.min_version, hello.version)
+        self.peer_capabilities[sender] = tuple(hello.capabilities)
+        self._settle_pair(sender, hello.min_version, hello.version)
+        if not hello.reply:
+            self._send_hello(sender, reply=True)
+
+    def _settle_pair(self, peer: ADId, peer_min: int, peer_version: int) -> None:
+        low = max(self.wire.min_version, peer_min)
+        high = min(self.wire.version, peer_version)
+        if low > high:
+            # No mutually supported revision: block the peer loudly.
+            self.negotiated.pop(peer, None)
+            self.version_blocked.add(peer)
+            self.transport.metrics.count_version_reject()
+            guard = getattr(self, "guard", None)
+            if guard is not None:
+                guard.quarantine_now(
+                    peer,
+                    f"unsupported wire version [{peer_min}, {peer_version}]",
+                )
+            return
+        self.version_blocked.discard(peer)
+        if self.negotiated.get(peer) != high:
+            self.negotiated[peer] = high
+            self.transport.metrics.note_negotiated(self.ad_id, peer, high)
 
     # --------------------------------------------------------------- hooks
 

@@ -22,6 +22,14 @@ Nodes must only touch these interfaces (plus their own state); protocol
 *drivers* — the build/evaluate orchestration in
 :mod:`repro.protocols.base` — may still reach for substrate-specific
 machinery such as ``SimNetwork.run``.
+
+The boundary is also where wire versioning stays substrate-neutral:
+:meth:`Transport.send` carries in-memory :class:`~repro.simul.messages.Message`
+objects, and each substrate encodes them with the *sender's* negotiated
+wire version (:mod:`repro.simul.wire`, ``ProtocolNode.wire_tx_version``)
+at its own edge — the sim when it counts bytes, the live substrate when
+it frames UDP datagrams — so nodes negotiate and re-negotiate versions
+without knowing which substrate carries their frames.
 """
 
 from __future__ import annotations

@@ -26,6 +26,26 @@ instantiate an arbitrary class.
 Framing for stream/datagram transports is a 4-byte big-endian length
 prefix followed by the canonical JSON body (:func:`encode_frame` /
 :func:`decode_frame`).
+
+Versioning.  The codec speaks every wire version in
+``[MIN_WIRE_VERSION, WIRE_VERSION]``:
+
+* a version-1 frame is the original ``{"s", "d", "m"}`` envelope,
+  byte-identical to what this module emitted before versioning existed;
+* a version-2+ frame adds ``"v": <sender's tx version>`` to the
+  envelope and an ``"r": <schema revision>`` stamp to the message dict;
+* encoders down-emit older versions on demand (``version=`` keyword):
+  fields newer than the target version (:data:`FIELD_REVISIONS`) are
+  omitted so a v(N-1) peer never sees a field it cannot name;
+* decoders shim the other direction: fields missing from an old frame
+  take their dataclass defaults, and version-2+ frames are decoded
+  *leniently* (unknown fields from a newer minor revision are dropped,
+  not fatal).  Version-1 frames keep the original strict decode.
+
+A frame whose envelope version falls outside the supported range raises
+:class:`WireVersionError` (carrying the claimed sender and version) so
+the live substrate can quarantine the peer instead of crashing the
+serve task.
 """
 
 from __future__ import annotations
@@ -46,9 +66,39 @@ _LEN = struct.Struct(">I")
 #: Hard ceiling on one frame's body (loopback UDP fits ~64 KiB anyway).
 MAX_FRAME_BYTES = 1 << 26
 
+#: The newest wire version this build can speak.
+WIRE_VERSION = 2
+
+#: The oldest wire version this build can still emit and decode.
+MIN_WIRE_VERSION = 1
+
+#: message type name -> wire version at which its current schema was
+#: defined (the ``"r"`` stamp on version-2+ frames).  Types absent from
+#: this map are revision 1 (the pre-versioning vocabulary).
+SCHEMA_REVISIONS: Dict[str, int] = {"Hello": 2}
+
+#: message type name -> {field name -> wire version that introduced it}.
+#: Down-emitting at an older version omits these fields; decoders let
+#: the dataclass defaults fill them back in.
+FIELD_REVISIONS: Dict[str, Dict[str, int]] = {"Hello": {"capabilities": 2}}
+
 
 class WireError(ValueError):
     """Raised when bytes or JSON do not decode to a known message."""
+
+
+class WireVersionError(WireError):
+    """A frame's envelope version is outside the supported range.
+
+    Carries the envelope's claimed sender (``src``) and version so the
+    receiving substrate can quarantine the peer loudly instead of
+    treating the frame as undecodable garbage.
+    """
+
+    def __init__(self, message: str, *, src: Any = None, version: Any = None):
+        super().__init__(message)
+        self.src = src
+        self.version = version
 
 
 @lru_cache(maxsize=1)
@@ -96,6 +146,7 @@ def _message_types() -> Dict[str, Type[Message]]:
         SetupPacket,
         TeardownPacket,
     )
+    from repro.protocols.versioning import Hello
 
     return {
         cls.__name__: cls
@@ -104,6 +155,7 @@ def _message_types() -> Dict[str, Type[Message]]:
             DataPacket,
             ECMAUpdate,
             ExchangeAck,
+            Hello,
             IDRPUpdate,
             LSDBExchange,
             LinkStateAd,
@@ -166,11 +218,11 @@ def _encode_fields(obj: Any) -> Dict[str, Any]:
     return out
 
 
-def _decode_value(value: Any) -> Any:
+def _decode_value(value: Any, lenient: bool = False) -> Any:
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
     if isinstance(value, list):
-        return tuple(_decode_value(v) for v in value)
+        return tuple(_decode_value(v, lenient) for v in value)
     if isinstance(value, dict):
         if "__e" in value:
             cls = _enum_types().get(value["__e"])
@@ -178,43 +230,79 @@ def _decode_value(value: Any) -> Any:
                 raise WireError(f"unknown enum type {value['__e']!r}")
             return cls(value["v"])
         if "__fs" in value:
-            return frozenset(_decode_value(v) for v in value["__fs"])
+            return frozenset(_decode_value(v, lenient) for v in value["__fs"])
         if "__d" in value:
             cls = _nested_types().get(value["__d"])
             if cls is None:
                 raise WireError(f"unknown payload type {value['__d']!r}")
-            return _decode_dataclass(cls, value.get("f", {}))
+            return _decode_dataclass(cls, value.get("f", {}), lenient=lenient)
         raise WireError(f"untagged object {sorted(value)!r}")
     raise WireError(f"cannot decode {type(value).__name__} value {value!r}")
 
 
-def _decode_dataclass(cls: type, fields: Dict[str, Any]) -> Any:
+def _decode_dataclass(
+    cls: type, fields: Dict[str, Any], *, lenient: bool = False
+) -> Any:
     known = {f.name for f in dataclasses.fields(cls) if f.init}
     unknown = set(fields) - known
     if unknown:
-        raise WireError(f"{cls.__name__} has no fields {sorted(unknown)}")
+        if not lenient:
+            raise WireError(f"{cls.__name__} has no fields {sorted(unknown)}")
+        # Version-skew read shim: a newer minor revision may carry
+        # fields this build cannot name yet; drop them, keep the rest.
+        fields = {k: v for k, v in fields.items() if k in known}
     try:
-        return cls(**{k: _decode_value(v) for k, v in fields.items()})
+        return cls(**{k: _decode_value(v, lenient) for k, v in fields.items()})
     except (TypeError, ValueError) as exc:
         raise WireError(f"bad {cls.__name__} payload: {exc}") from exc
 
 
-def to_wire(msg: Message) -> Dict[str, Any]:
-    """Render a message as a canonical JSON-safe dict."""
+def to_wire(msg: Message, *, version: int = WIRE_VERSION) -> Dict[str, Any]:
+    """Render a message as a canonical JSON-safe dict.
+
+    ``version`` selects the target wire version: version 1 reproduces
+    the pre-versioning encoding byte for byte (no revision stamp, no
+    post-v1 fields); version 2+ stamps the message's schema revision as
+    ``"r"`` and carries the full field set allowed at that version.
+    """
     name = type(msg).__name__
     if name not in _message_types():
         raise WireError(f"unregistered message type {name}")
-    return {"t": name, "f": _encode_fields(msg)}
+    if not MIN_WIRE_VERSION <= version <= WIRE_VERSION:
+        raise WireVersionError(
+            f"cannot encode wire version {version!r}", version=version
+        )
+    fields = _encode_fields(msg)
+    introduced = FIELD_REVISIONS.get(name)
+    if introduced:
+        # Down-emit shim: omit fields newer than the target version so
+        # an old peer never sees a field it cannot name.
+        fields = {
+            k: v for k, v in fields.items() if introduced.get(k, 1) <= version
+        }
+    if version == 1:
+        return {"t": name, "f": fields}
+    return {
+        "t": name,
+        "f": fields,
+        "r": min(SCHEMA_REVISIONS.get(name, 1), version),
+    }
 
 
-def from_wire(data: Dict[str, Any]) -> Message:
-    """Reconstruct a message from its :func:`to_wire` dict."""
+def from_wire(data: Dict[str, Any], *, lenient: bool = False) -> Message:
+    """Reconstruct a message from its :func:`to_wire` dict.
+
+    Missing fields take their dataclass defaults (old-frame shim); with
+    ``lenient=True`` unknown fields are dropped instead of fatal
+    (new-frame shim).  The revision stamp ``"r"``, when present, is
+    informational and ignored.
+    """
     if not isinstance(data, dict) or "t" not in data:
         raise WireError(f"not a wire message: {data!r}")
     cls = _message_types().get(data["t"])
     if cls is None:
         raise WireError(f"unknown message type {data['t']!r}")
-    return _decode_dataclass(cls, data.get("f", {}))
+    return _decode_dataclass(cls, data.get("f", {}), lenient=lenient)
 
 
 def dumps(msg: Message) -> str:
@@ -227,10 +315,29 @@ def loads(text: str) -> Message:
     return from_wire(json.loads(text))
 
 
-def encode_frame(src: ADId, dst: ADId, msg: Message) -> bytes:
-    """One length-prefixed datagram: 4-byte length + canonical JSON body."""
+def encode_frame(
+    src: ADId, dst: ADId, msg: Message, *, version: int = WIRE_VERSION
+) -> bytes:
+    """One length-prefixed datagram: 4-byte length + canonical JSON body.
+
+    A version-1 frame is the original ``{"s", "d", "m"}`` envelope --
+    byte-identical to the pre-versioning encoder, which is what makes
+    down-emitting to a v1 peer safe.  Version 2+ adds ``"v"`` so the
+    receiver knows the sender's tx version.
+    """
+    if not MIN_WIRE_VERSION <= version <= WIRE_VERSION:
+        raise WireVersionError(
+            f"cannot encode wire version {version!r}", src=src, version=version
+        )
+    envelope: Dict[str, Any] = {
+        "s": src,
+        "d": dst,
+        "m": to_wire(msg, version=version),
+    }
+    if version > 1:
+        envelope["v"] = version
     body = json.dumps(
-        {"s": src, "d": dst, "m": to_wire(msg)},
+        envelope,
         sort_keys=True,
         separators=(",", ":"),
     ).encode("utf-8")
@@ -239,8 +346,16 @@ def encode_frame(src: ADId, dst: ADId, msg: Message) -> bytes:
     return _LEN.pack(len(body)) + body
 
 
-def decode_frame(frame: bytes) -> Tuple[ADId, ADId, Message]:
-    """Inverse of :func:`encode_frame`; validates the length prefix."""
+def decode_frame_ex(frame: bytes) -> Tuple[ADId, ADId, Message, int]:
+    """Decode a frame to ``(src, dst, msg, envelope version)``.
+
+    A missing ``"v"`` key means version 1 (legacy envelope).  An
+    envelope version outside ``[MIN_WIRE_VERSION, WIRE_VERSION]`` raises
+    :class:`WireVersionError` carrying the claimed sender, so the
+    receiver can quarantine the peer.  Version-2+ message payloads are
+    decoded leniently (unknown fields dropped); version-1 payloads keep
+    the original strict decode.
+    """
     if len(frame) < _LEN.size:
         raise WireError(f"short frame ({len(frame)} bytes)")
     (length,) = _LEN.unpack_from(frame)
@@ -253,4 +368,20 @@ def decode_frame(frame: bytes) -> Tuple[ADId, ADId, Message]:
         raise WireError(f"undecodable frame body: {exc}") from exc
     if not isinstance(data, dict) or not {"s", "d", "m"} <= set(data):
         raise WireError("frame body is not a {s, d, m} envelope")
-    return data["s"], data["d"], from_wire(data["m"])
+    version = data.get("v", 1)
+    if not isinstance(version, int) or isinstance(version, bool) or not (
+        MIN_WIRE_VERSION <= version <= WIRE_VERSION
+    ):
+        raise WireVersionError(
+            f"unsupported wire version {version!r} from {data['s']!r}",
+            src=data["s"],
+            version=version,
+        )
+    msg = from_wire(data["m"], lenient=version > 1)
+    return data["s"], data["d"], msg, version
+
+
+def decode_frame(frame: bytes) -> Tuple[ADId, ADId, Message]:
+    """Inverse of :func:`encode_frame`; validates the length prefix."""
+    src, dst, msg, _version = decode_frame_ex(frame)
+    return src, dst, msg

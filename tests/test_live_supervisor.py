@@ -229,7 +229,98 @@ def test_rolling_restart_is_hitless():
     _run(scenario())
 
 
+def test_rolling_restart_never_charges_the_crash_budget():
+    async def scenario():
+        proto, network = await _converged_network(ring8())
+        supervisor = Supervisor(
+            network,
+            SupervisorConfig(seed=6, backoff_initial_s=0.01, max_restarts=2),
+        )
+        await supervisor.start()
+        try:
+            # Spend the victim's entire crash budget on real crashes.
+            victim = network._runtimes[3]
+            for wave in range(1, 3):
+                victim.task.cancel()
+                await _wait_for(
+                    lambda: victim.restarts >= wave, 10.0, f"recovery {wave}"
+                )
+            assert supervisor.restart_counts[3] == 2
+            assert 3 not in supervisor.given_up
+
+            # A full sweep right at the budget boundary: if orchestrated
+            # restarts were charged like crashes, AD 3 would blow its
+            # budget here and the run would be declared lost.
+            restarted = await supervisor.rolling_restart(dwell_s=0.01)
+            assert restarted == 8
+            assert supervisor.restart_counts == {3: 2}
+            assert supervisor.given_up == set()
+            sweeps = [
+                ev
+                for ev in supervisor.events
+                if ev["reason"] == "rolling restart"
+            ]
+            assert len(sweeps) == 8
+            assert all(ev["gave_up"] is False for ev in sweeps)
+            assert await settle(network, idle_window_s=0.05, timeout_s=30.0)
+        finally:
+            await supervisor.stop()
+            await network.close()
+
+    _run(scenario())
+
+
 # ---------------------------------------------------------- settle contract
+
+
+def test_settle_timeout_carries_per_ad_diagnostics():
+    async def scenario():
+        from repro.live.runner import SettleTimeout, try_settle
+        from repro.protocols.egp import NRAck
+
+        proto, network = await _converged_network(ring8())
+        supervisor = Supervisor(
+            network,
+            # A heartbeat far past the settle timeout: the wedged node
+            # must still be wedged when settle gives up.
+            SupervisorConfig(seed=7, heartbeat_s=60.0, max_restarts=5),
+        )
+        await supervisor.start()
+        try:
+            loop = asyncio.get_running_loop()
+            victim = network._runtimes[4]
+            victim.task.cancel()
+            try:
+                await victim.task
+            except asyncio.CancelledError:
+                pass
+            # Alive but never draining: the queued frame keeps the
+            # network non-idle for as long as settle cares to wait.
+            victim.task = loop.create_task(asyncio.sleep(3600))
+            victim.last_progress = loop.time()
+            network.send(3, 4, NRAck(seq=1))
+            await _wait_for(
+                lambda: victim.unprocessed > 0, 10.0, "frame queued"
+            )
+
+            with pytest.raises(SettleTimeout) as exc:
+                await settle(network, idle_window_s=0.05, timeout_s=0.5)
+            message = str(exc.value)
+            assert "failed to settle within 0.5s" in message
+            assert "AD 4:" in message
+            assert "unprocessed=1" in message
+            assert "restart_budget_remaining=5" in message
+            # Healthy ADs are elided, not listed one line each.
+            assert "AD 0:" not in message
+            # Measurement paths see the same condition as data.
+            assert not await try_settle(
+                network, idle_window_s=0.05, timeout_s=0.5
+            )
+        finally:
+            await supervisor.stop()
+            await network.close()
+
+    _run(scenario())
 
 
 def test_settle_raises_on_dead_task_without_supervisor():
